@@ -1,0 +1,32 @@
+"""Fig. 4 — sparse cubes, 10^4 input trees, coverage fails / disjointness
+holds.  Benchmarks each algorithm at the 4-axis configuration (scaled to
+the small population the figure uses relative to Fig. 5) and asserts the
+figure's shape.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+
+ALGORITHMS = ["COUNTER", "BUC", "BUCOPT", "TD", "TDOPT"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig4_algorithm(benchmark, sparse_nocov_disj_small, algorithm):
+    result = bench_once(
+        benchmark, lambda: sparse_nocov_disj_small.run(algorithm)
+    )
+    benchmark.extra_info["simulated_seconds"] = result.simulated_seconds
+    benchmark.extra_info["cells"] = result.total_cells()
+    assert result.total_cells() > 0
+
+
+def test_fig4_shape(sparse_nocov_disj_small):
+    """BUC family lowest; TD family blows up; TDOPT between TD and BUC."""
+    sim = {
+        name: sparse_nocov_disj_small.simulated(name) for name in ALGORITHMS
+    }
+    assert sim["BUC"] < sim["TD"]
+    assert sim["BUCOPT"] <= sim["BUC"]
+    assert sim["TDOPT"] < sim["TD"]
+    assert sim["BUC"] < sim["TDOPT"]

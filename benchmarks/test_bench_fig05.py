@@ -1,0 +1,43 @@
+"""Fig. 5 — sparse cubes, 10^5 input trees, coverage fails / disjointness
+holds: the same setting as Fig. 4 at a larger scale.  Also covers
+Sec. 4.4's scaling observation: optimized variants gain more at larger
+scale.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+
+ALGORITHMS = ["COUNTER", "BUC", "BUCOPT", "TD", "TDOPT"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_algorithm(benchmark, sparse_nocov_disj, algorithm):
+    result = bench_once(benchmark, lambda: sparse_nocov_disj.run(algorithm))
+    benchmark.extra_info["simulated_seconds"] = result.simulated_seconds
+    assert result.total_cells() > 0
+
+
+def test_fig5_shape(sparse_nocov_disj):
+    sim = {name: sparse_nocov_disj.simulated(name) for name in ALGORITHMS}
+    assert sim["BUC"] < sim["TD"]
+    assert sim["BUCOPT"] <= sim["BUC"]
+    assert sim["TDOPT"] < sim["TD"]
+
+
+def test_scaling_fig4_vs_fig5(sparse_nocov_disj_small, sparse_nocov_disj):
+    """Sec. 4.4: larger data sizes take proportionately longer, and the
+    optimized variants' benefit grows with scale."""
+    small_buc = sparse_nocov_disj_small.simulated("BUC")
+    large_buc = sparse_nocov_disj.simulated("BUC")
+    assert large_buc > small_buc
+
+    small_gain = (
+        sparse_nocov_disj_small.simulated("TD")
+        - sparse_nocov_disj_small.simulated("TDOPT")
+    )
+    large_gain = (
+        sparse_nocov_disj.simulated("TD")
+        - sparse_nocov_disj.simulated("TDOPT")
+    )
+    assert large_gain > small_gain

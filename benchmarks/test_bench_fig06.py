@@ -1,0 +1,64 @@
+"""Fig. 6 — dense cubes, 10^5 trees, coverage fails / disjointness holds.
+
+The paper's DNF observation (COUNTER/TD/TDOPT could not finish 7 axes in
+10,000 s) appears here as the axis-count blow-up assertion: their cost
+grows much faster than BUC's between 3 and 5 axes.
+"""
+
+import pytest
+
+from benchmarks.conftest import PreparedWorkload, bench_once
+from repro.datagen.workload import WorkloadConfig
+
+ALGORITHMS = ["COUNTER", "BUC", "BUCOPT", "TD", "TDOPT"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_algorithm(benchmark, dense_nocov_disj, algorithm):
+    result = bench_once(benchmark, lambda: dense_nocov_disj.run(algorithm))
+    benchmark.extra_info["simulated_seconds"] = result.simulated_seconds
+    benchmark.extra_info["passes"] = result.passes
+    assert result.total_cells() > 0
+
+
+def test_fig6_shape(dense_nocov_disj):
+    sim = {name: dense_nocov_disj.simulated(name) for name in ALGORITHMS}
+    # TD family melts down; BUC survives.
+    assert sim["TD"] > 5 * sim["BUC"]
+    assert sim["TDOPT"] > sim["BUC"]
+
+
+def test_fig6_axis_blowup():
+    """TD's growth rate between 3 and 5 axes far exceeds BUC's — the
+    mechanism behind the paper's 7-axis DNFs."""
+
+    def prepared(n_axes):
+        return PreparedWorkload(
+            WorkloadConfig(
+                kind="treebank",
+                n_facts=150,
+                n_axes=n_axes,
+                density="dense",
+                coverage=False,
+                disjoint=True,
+            )
+        )
+
+    small, large = prepared(3), prepared(5)
+    td_growth = large.simulated("TD") / small.simulated("TD")
+    buc_growth = large.simulated("BUC") / small.simulated("BUC")
+    assert td_growth > 2 * buc_growth
+
+
+def test_fig6_counter_thrashes_at_high_axes():
+    workload = PreparedWorkload(
+        WorkloadConfig(
+            kind="treebank",
+            n_facts=300,
+            n_axes=5,
+            density="dense",
+            coverage=False,
+            disjoint=True,
+        )
+    )
+    assert workload.run("COUNTER").passes > 1

@@ -1,0 +1,31 @@
+"""Fig. 7 — sparse cubes, 10^5 trees, both summarizability properties
+hold: 'the bottom-up algorithms are good for sparse cubes', as in the
+relational case."""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+
+ALGORITHMS = ["COUNTER", "BUC", "BUCOPT", "TD", "TDOPTALL"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7_algorithm(benchmark, sparse_cov_disj, algorithm):
+    result = bench_once(benchmark, lambda: sparse_cov_disj.run(algorithm))
+    benchmark.extra_info["simulated_seconds"] = result.simulated_seconds
+    assert result.total_cells() > 0
+
+
+def test_fig7_shape(sparse_cov_disj):
+    sim = {name: sparse_cov_disj.simulated(name) for name in ALGORITHMS}
+    # Bottom-up wins on sparse cubes.
+    assert sim["BUCOPT"] <= sim["BUC"]
+    assert min(sim["BUC"], sim["BUCOPT"]) < sim["TD"]
+    assert min(sim["BUC"], sim["BUCOPT"]) < sim["COUNTER"]
+
+
+def test_fig7_all_correct(sparse_cov_disj):
+    """With both properties holding, every listed algorithm is correct."""
+    reference = sparse_cov_disj.run("COUNTER")
+    for name in ALGORITHMS:
+        assert sparse_cov_disj.run(name).same_contents(reference), name

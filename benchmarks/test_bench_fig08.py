@@ -1,0 +1,36 @@
+"""Fig. 8 — dense cubes, 10^5 trees, both properties hold: 'the top-down
+algorithms are good for the dense cubes'."""
+
+import pytest
+
+from benchmarks.conftest import bench_once
+
+ALGORITHMS = ["COUNTER", "BUC", "BUCOPT", "TD", "TDOPTALL"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8_algorithm(benchmark, dense_cov_disj, algorithm):
+    result = bench_once(benchmark, lambda: dense_cov_disj.run(algorithm))
+    benchmark.extra_info["simulated_seconds"] = result.simulated_seconds
+    assert result.total_cells() > 0
+
+
+def test_fig8_shape(dense_cov_disj):
+    sim = {name: dense_cov_disj.simulated(name) for name in ALGORITHMS}
+    # TDOPTALL shines on dense cubes with full summarizability.
+    assert sim["TDOPTALL"] < sim["BUC"]
+    assert sim["TDOPTALL"] < sim["TD"] / 5
+    # COUNTER is competitive while the (small, dense) cube fits memory.
+    assert sim["COUNTER"] < sim["TD"]
+
+
+def test_fig8_smaller_cube_than_fig6(dense_cov_disj, dense_nocov_disj):
+    """Sec. 4.2: 'the degree of relaxation in this setting is one step
+    less than the first setting, the average cube size is smaller, and
+    the computation is faster.'"""
+    lnd_lattice = dense_cov_disj.table.lattice.size()
+    pcad_lattice = dense_nocov_disj.table.lattice.size()
+    assert lnd_lattice < pcad_lattice
+    assert (
+        dense_cov_disj.simulated("TD") < dense_nocov_disj.simulated("TD")
+    )

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the substrates: parser, structural join, pattern
+matching (in-memory vs TimberDB), external sort."""
+
+import pytest
+
+from repro.datagen.publications import random_publications
+from repro.patterns.match import match_db, match_document
+from repro.patterns.parse import parse_pattern
+from repro.timber.database import TimberDB
+from repro.timber.external_sort import sorted_with_cost
+from repro.timber.stats import CostModel, MemoryBudget
+from repro.timber.structural_join import join_pairs
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def warehouse_doc():
+    return random_publications(400, seed=1)
+
+
+@pytest.fixture(scope="module")
+def warehouse_xml(warehouse_doc):
+    return serialize(warehouse_doc)
+
+
+@pytest.fixture(scope="module")
+def warehouse_db(warehouse_xml):
+    db = TimberDB()
+    db.load(warehouse_xml)
+    db.build_index()
+    return db
+
+
+def test_parser_throughput(benchmark, warehouse_xml):
+    doc = benchmark(parse, warehouse_xml)
+    assert doc.element_count() > 1000
+
+
+def test_serializer_throughput(benchmark, warehouse_doc):
+    text = benchmark(serialize, warehouse_doc)
+    assert text.startswith("<database>")
+
+
+def test_structural_join(benchmark, warehouse_db):
+    publications = warehouse_db.postings("publication")
+    names = warehouse_db.postings("name")
+
+    def run():
+        return join_pairs(publications, names, CostModel())
+
+    pairs = benchmark(run)
+    assert len(pairs) >= len(names)
+
+
+PATTERN = "//publication[/author/name=$n][/year=$y]"
+
+
+def test_pattern_match_memory(benchmark, warehouse_doc):
+    pattern = parse_pattern(PATTERN)
+    witnesses = benchmark(match_document, warehouse_doc, pattern)
+    assert witnesses
+
+
+def test_pattern_match_db(benchmark, warehouse_db):
+    pattern = parse_pattern(PATTERN)
+    witnesses = benchmark(match_db, warehouse_db, pattern)
+    assert witnesses
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_external_sort(benchmark, n):
+    data = list(range(n, 0, -1))
+
+    def run():
+        return sorted_with_cost(
+            data, CostModel(), budget=MemoryBudget(512, entries_per_page=64)
+        )
+
+    out = benchmark(run)
+    assert out[0] == 1
+
+
+def test_holistic_twig_join(benchmark, warehouse_db):
+    from repro.timber.twig_join import twig_join
+
+    pattern = parse_pattern("//publication[/author/name][/year]")
+    matches = benchmark(twig_join, warehouse_db, pattern)
+    assert matches

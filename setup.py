@@ -1,0 +1,5 @@
+"""Setuptools shim: lets `pip install -e .` work on minimal offline
+environments that lack the `wheel` package (PEP 660 fallback)."""
+from setuptools import setup
+
+setup()

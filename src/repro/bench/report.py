@@ -1,0 +1,73 @@
+"""ASCII rendering of figure results: the rows/series the paper plots."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.figures import FigureSpec, series_of
+from repro.bench.harness import AlgorithmRun
+
+
+def format_figure(spec: FigureSpec, runs: List[AlgorithmRun]) -> str:
+    """Render one figure's runs: a series table (axes sweep) or a bar
+    chart (single-point figures like Fig. 10)."""
+    lines = [
+        f"== {spec.figure_id}: {spec.title}",
+        f"   expected shape: {spec.expected_shape}",
+        "",
+    ]
+    series = series_of(runs)
+    axis_values = sorted({run.n_axes for run in runs})
+    if len(axis_values) > 1:
+        header = ["algorithm".ljust(10)] + [
+            f"{axis:>10}" for axis in axis_values
+        ]
+        lines.append("   sim-seconds by # of axes")
+        lines.append("   " + " ".join(header))
+        for algorithm in spec.algorithms:
+            cells = dict(series.get(algorithm, []))
+            row = [algorithm.ljust(10)] + [
+                f"{cells[axis]:>10.3f}" if axis in cells else " " * 10
+                for axis in axis_values
+            ]
+            lines.append("   " + " ".join(row))
+    else:
+        lines.append("   sim-seconds (bar chart)")
+        peak = max(run.simulated_seconds for run in runs) or 1.0
+        for run in runs:
+            bar = "#" * max(1, int(40 * run.simulated_seconds / peak))
+            flag = "" if run.correct in (None, True) else "  [INCORRECT]"
+            lines.append(
+                f"   {run.algorithm:<10} {run.simulated_seconds:>10.3f} "
+                f"{bar}{flag}"
+            )
+    wrong = [run for run in runs if run.correct is False]
+    if wrong and len(axis_values) > 1:
+        names = sorted({run.algorithm for run in wrong})
+        lines.append(
+            f"   note: incorrect results (as the paper expects here): "
+            f"{', '.join(names)}"
+        )
+    thrash = [run for run in runs if run.passes > 1]
+    if thrash:
+        worst = max(thrash, key=lambda run: run.passes)
+        lines.append(
+            f"   note: COUNTER multi-pass thrash up to {worst.passes} "
+            f"passes at {worst.n_axes} axes"
+        )
+    return "\n".join(lines)
+
+
+def format_runs_csv(runs: List[AlgorithmRun]) -> str:
+    """Machine-readable dump of all runs."""
+    header = (
+        "workload,algorithm,axes,facts,sim_seconds,wall_seconds,"
+        "cells,passes,correct,dnf"
+    )
+    lines = [header]
+    for run in runs:
+        row = run.as_row()
+        lines.append(
+            ",".join(str(row[column]) for column in header.split(","))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""The ``x3-bench`` command line interface.
+
+Examples::
+
+    x3-bench --figure fig5                 # one figure, default scale
+    x3-bench --all                         # every figure
+    x3-bench --figure fig6 --scale 2 --axes 2 3 4 5 6 7
+    x3-bench --figure fig10 --validate     # also check against NAIVE
+    x3-bench --all --csv results.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.harness import AlgorithmRun
+from repro.bench.report import format_figure, format_runs_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="x3-bench",
+        description=(
+            "Regenerate the evaluation figures of 'X^3: A Cube Operator"
+            " for XML OLAP' (ICDE 2007)."
+        ),
+    )
+    parser.add_argument(
+        "--figure",
+        choices=sorted(FIGURES),
+        help="run a single figure",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every figure"
+    )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the Sec. 4.4 scaling experiment",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="fact-count multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--axes",
+        type=int,
+        nargs="+",
+        help="restrict the axis sweep (e.g. --axes 2 3 4)",
+    )
+    parser.add_argument(
+        "--memory",
+        type=int,
+        default=None,
+        help="operator memory budget in entries (default: per figure)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every run against the NAIVE oracle",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", help="also dump all runs as CSV"
+    )
+    parser.add_argument(
+        "--dat",
+        metavar="DIR",
+        help="also write gnuplot-ready .dat series per figure",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.figure and not args.all and not args.scaling:
+        build_parser().print_help()
+        return 2
+    if args.scaling:
+        from repro.bench.scaling import format_scaling, run_scaling
+
+        print(format_scaling(run_scaling()))
+        print()
+        if not args.figure and not args.all:
+            return 0
+    figure_ids = sorted(FIGURES) if args.all else [args.figure]
+    all_runs: List[AlgorithmRun] = []
+    for figure_id in figure_ids:
+        spec, runs = run_figure(
+            figure_id,
+            scale=args.scale,
+            axes=args.axes,
+            memory_entries=args.memory,
+            validate=args.validate,
+        )
+        all_runs.extend(runs)
+        print(format_figure(spec, runs))
+        print()
+        if args.dat:
+            from repro.bench.plots import write_figure_dat
+
+            path = write_figure_dat(args.dat, spec, runs)
+            print(f"wrote {path}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(format_runs_csv(all_runs) + "\n")
+        print(f"wrote {len(all_runs)} runs to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""The Sec. 4.4 scaling experiment as a first-class driver.
+
+The paper scales the sparse coverage-fails/disjointness-holds setting
+from 10^4 to 10^5 input trees (Fig. 4 vs Fig. 5) and observes that (a)
+running time grows proportionately and (b) the optimized variants'
+benefit grows with scale, while (c) COUNTER starts thrashing at fewer
+axes as the input grows.  ``run_scaling`` sweeps the fact count at a
+fixed axis count and returns the series to check all three claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import AlgorithmRun, run_config
+from repro.datagen.workload import WorkloadConfig
+
+DEFAULT_SCALES: Tuple[int, ...] = (100, 200, 400, 800)
+SCALING_ALGORITHMS: Tuple[str, ...] = (
+    "COUNTER", "BUC", "BUCOPT", "TD", "TDOPT",
+)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """algorithm -> [(n_facts, simulated seconds)] plus pass counts."""
+
+    series: Dict[str, List[Tuple[int, float]]]
+    passes: Dict[str, List[Tuple[int, int]]]
+
+    def growth_factor(self, algorithm: str) -> float:
+        """time(largest scale) / time(smallest scale)."""
+        points = self.series[algorithm]
+        return points[-1][1] / points[0][1]
+
+    def optimization_gain(
+        self, safe: str, optimized: str
+    ) -> List[Tuple[int, float]]:
+        """Absolute (safe - optimized) saving per scale point."""
+        safe_by_n = dict(self.series[safe])
+        out = []
+        for n_facts, optimized_time in self.series[optimized]:
+            out.append((n_facts, safe_by_n[n_facts] - optimized_time))
+        return out
+
+
+def run_scaling(
+    scales: Sequence[int] = DEFAULT_SCALES,
+    n_axes: int = 4,
+    algorithms: Sequence[str] = SCALING_ALGORITHMS,
+    memory_entries: int = 4000,
+) -> ScalingResult:
+    """Sweep the fact count in the Fig. 4/5 setting."""
+    series: Dict[str, List[Tuple[int, float]]] = {
+        name: [] for name in algorithms
+    }
+    passes: Dict[str, List[Tuple[int, int]]] = {
+        name: [] for name in algorithms
+    }
+    for n_facts in scales:
+        config = WorkloadConfig(
+            kind="treebank",
+            n_facts=n_facts,
+            n_axes=n_axes,
+            density="sparse",
+            coverage=False,
+            disjoint=True,
+        )
+        for run in run_config(config, algorithms, memory_entries=memory_entries):
+            series[run.algorithm].append(
+                (n_facts, run.simulated_seconds)
+            )
+            passes[run.algorithm].append((n_facts, run.passes))
+    return ScalingResult(series=series, passes=passes)
+
+
+def format_scaling(result: ScalingResult) -> str:
+    """ASCII rendering of the scaling series."""
+    scales = [n for n, _ in next(iter(result.series.values()))]
+    lines = [
+        "== scaling (Sec. 4.4): sparse, coverage fails, disjointness holds",
+        "   sim-seconds by # of facts",
+        "   " + " ".join(
+            ["algorithm".ljust(10)] + [f"{n:>10}" for n in scales]
+        ),
+    ]
+    for name, points in result.series.items():
+        cells = dict(points)
+        lines.append(
+            "   " + " ".join(
+                [name.ljust(10)]
+                + [f"{cells[n]:>10.3f}" for n in scales]
+            )
+        )
+    thrash = {
+        name: [entry for entry in points if entry[1] > 1]
+        for name, points in result.passes.items()
+    }
+    for name, entries in thrash.items():
+        if entries:
+            first = entries[0]
+            lines.append(
+                f"   note: {name} goes multi-pass from {first[0]} facts "
+                f"({first[1]} passes)"
+            )
+    return "\n".join(lines)

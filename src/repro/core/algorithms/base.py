@@ -1,0 +1,133 @@
+"""Shared algorithm machinery: execution context and the base class.
+
+Every algorithm runs against an :class:`ExecutionContext` holding its own
+cost model and memory budget, and reads the materialized fact table (the
+paper's protocol: the witness file is read in, cubing performed, results
+written out).  Reading the base data charges page I/O proportional to the
+table's entry footprint; operator memory beyond the budget spills through
+:func:`repro.timber.external_sort.sorted_with_cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bindings import FactRow, FactTable
+from repro.core.groupby import Cuboid
+from repro.core.cube import CubeResult
+from repro.core.lattice import CubeLattice, LatticePoint
+from repro.core.properties import PropertyOracle
+from repro.timber.stats import CostModel, MemoryBudget
+
+DEFAULT_MEMORY_ENTRIES = 50_000
+ENTRIES_PER_PAGE = 128
+
+
+def row_entries(row: FactRow) -> int:
+    """Abstract storage footprint of one fact row (in budget entries)."""
+    return 1 + sum(len(axis_values) for axis_values in row.axes)
+
+
+def table_entries(table: FactTable) -> int:
+    return sum(row_entries(row) for row in table.rows)
+
+
+def table_pages(table: FactTable) -> int:
+    return max(1, -(-table_entries(table) // ENTRIES_PER_PAGE))
+
+
+class ExecutionContext:
+    """Per-run cost model, memory budget and property oracle."""
+
+    def __init__(
+        self,
+        table: FactTable,
+        oracle: Optional[PropertyOracle],
+        memory_entries: Optional[int],
+        min_support: float = 0.0,
+    ) -> None:
+        self.table = table
+        self.min_support = min_support
+        self.lattice: CubeLattice = table.lattice
+        self.cost = CostModel()
+        self.budget = MemoryBudget(
+            memory_entries or DEFAULT_MEMORY_ENTRIES,
+            entries_per_page=ENTRIES_PER_PAGE,
+        )
+        self.oracle = oracle or PropertyOracle.from_flags(
+            table.lattice, False, False
+        )
+        self._base_pages = table_pages(table)
+
+    def charge_base_scan(self) -> None:
+        """One sequential pass over the materialized fact table."""
+        self.cost.charge_read(self._base_pages)
+        self.cost.charge_cpu(len(self.table.rows))
+
+    def charge_spill(self, entries: int) -> None:
+        """Write + eventual re-read of spilled working data."""
+        pages = self.budget.pages(entries)
+        self.cost.charge_write(pages)
+        self.cost.charge_read(pages)
+
+    @property
+    def base_pages(self) -> int:
+        return self._base_pages
+
+
+class CubeAlgorithm:
+    """Base class: subclasses implement :meth:`_compute`."""
+
+    name = "?"
+
+    def run(
+        self,
+        table: FactTable,
+        oracle: Optional[PropertyOracle] = None,
+        memory_entries: Optional[int] = None,
+        points: Optional[Sequence[LatticePoint]] = None,
+        min_support: float = 0.0,
+    ) -> CubeResult:
+        if min_support > 0 and table.aggregate.function.upper() != "COUNT":
+            from repro.errors import CubeError
+
+            raise CubeError(
+                "iceberg (min_support) pruning is only sound for the "
+                "monotone COUNT aggregate"
+            )
+        context = ExecutionContext(
+            table, oracle, memory_entries, min_support=min_support
+        )
+        wanted: List[LatticePoint] = (
+            list(points) if points is not None else list(table.lattice.points())
+        )
+        cuboids, passes = self._compute(context, wanted)
+        if min_support > 0:
+            cuboids = {
+                point: {
+                    key: value
+                    for key, value in cuboid.items()
+                    if value >= min_support
+                }
+                for point, cuboid in cuboids.items()
+            }
+        return CubeResult(
+            lattice=table.lattice,
+            cuboids=cuboids,
+            algorithm=self.name,
+            cost=context.cost.snapshot(),
+            passes=passes,
+            aggregate=table.aggregate.function.upper(),
+        )
+
+    def _compute(
+        self, context: ExecutionContext, points: List[LatticePoint]
+    ):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CubeAlgorithm {self.name}>"
+
+
+def empty_cuboids(points: List[LatticePoint]) -> Dict[LatticePoint, Cuboid]:
+    return {point: {} for point in points}

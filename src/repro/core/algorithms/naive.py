@@ -1,0 +1,31 @@
+"""The NAIVE oracle: canonical per-cuboid grouping.
+
+Not in the paper's line-up — it exists as ground truth.  Every correct
+algorithm must produce exactly its cuboids; the optimized variants are
+*expected* to differ from it when their required property fails (and the
+tests assert both directions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.algorithms.base import CubeAlgorithm, ExecutionContext
+from repro.core.groupby import Cuboid, cuboid_from_rows
+from repro.core.lattice import LatticePoint
+
+
+class NaiveAlgorithm(CubeAlgorithm):
+    name = "NAIVE"
+
+    def _compute(
+        self, context: ExecutionContext, points: List[LatticePoint]
+    ) -> Tuple[Dict[LatticePoint, Cuboid], int]:
+        table = context.table
+        fn = table.aggregate.fn
+        cuboids: Dict[LatticePoint, Cuboid] = {}
+        for point in points:
+            context.charge_base_scan()
+            cuboids[point] = cuboid_from_rows(table, table.rows, point, fn)
+            context.cost.charge_cpu(len(cuboids[point]))
+        return cuboids, 1

@@ -1,0 +1,57 @@
+"""Algorithm registry: name -> singleton instance."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.algorithms.auto import AutoAlgorithm
+from repro.core.algorithms.base import CubeAlgorithm
+from repro.core.algorithms.buc import (
+    BucAlgorithm,
+    BucCustAlgorithm,
+    BucOptAlgorithm,
+)
+from repro.core.algorithms.counter import CounterAlgorithm
+from repro.core.algorithms.naive import NaiveAlgorithm
+from repro.core.algorithms.topdown import (
+    TdAlgorithm,
+    TdCustAlgorithm,
+    TdOptAlgorithm,
+    TdOptAllAlgorithm,
+)
+from repro.errors import CubeError
+
+_REGISTRY: Dict[str, CubeAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        AutoAlgorithm(),
+        NaiveAlgorithm(),
+        CounterAlgorithm(),
+        BucAlgorithm(),
+        BucOptAlgorithm(),
+        BucCustAlgorithm(),
+        TdAlgorithm(),
+        TdOptAlgorithm(),
+        TdOptAllAlgorithm(),
+        TdCustAlgorithm(),
+    )
+}
+
+ALWAYS_CORRECT = ("NAIVE", "COUNTER", "BUC", "TD", "BUCCUST", "TDCUST")
+META = ("AUTO",)  # delegates; correct iff its oracle is truthful
+NEEDS_DISJOINTNESS = ("BUCOPT", "TDOPT")
+NEEDS_BOTH = ("TDOPTALL",)
+
+
+def available() -> List[str]:
+    """Names of all registered algorithms."""
+    return list(_REGISTRY)
+
+
+def get_algorithm(name: str) -> CubeAlgorithm:
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise CubeError(
+            f"unknown algorithm {name!r}; available: {available()}"
+        ) from None

@@ -1,0 +1,360 @@
+"""Top-down cube computation: TD, TDOPT, TDOPTALL, TDCUST (Sec. 3.5).
+
+The family is XMLized from PartitionCube/MemoryCube [Ross & Srivastava]:
+cuboids are produced by sorting and scanning, and coarser cuboids are —
+when the summarizability properties allow — computed from finer *aggregate
+rows* instead of the base data.
+
+- ``TD`` (unoptimized, always correct): every cuboid is computed from the
+  base fact table — a full scan plus an (external, when the table exceeds
+  the memory budget) sort per lattice point, with identity tracking.  The
+  exponential number of sorts is its meltdown mode.
+- ``TDOPT`` (requires disjointness): cuboids with every axis kept are
+  computed from base; every other cuboid is rolled up from the smallest
+  already-computed finer cuboid by merging aggregate rows.  Coverage
+  violations are absorbed by carrying "null value" groups (Sec. 3.5) in
+  the intermediate cuboids, stripped at reporting time.  Non-disjoint
+  facts are double-counted by the roll-up, so TDOPT is wrong when
+  disjointness fails (Fig. 9).
+- ``TDOPTALL`` (requires disjointness *and* total coverage): assumes full
+  summarizability — only the all-rigid top cuboid touches the base;
+  structurally-relaxed points are assumed identical to their rigid
+  counterparts (relaxation adds nothing under total coverage of the rigid
+  pattern) and everything else is a pure aggregate roll-up with no null
+  bookkeeping.  Fastest of the family on dense cubes, and wrong when
+  either property fails.
+- ``TDCUST`` (Sec. 4.5, always correct): per lattice point, rolls up from
+  a finer cuboid only when the property oracle proves the source cuboid
+  disjoint; otherwise recomputes that point from base with the safe
+  (identity-tracking) path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.algorithms.base import CubeAlgorithm, ExecutionContext
+from repro.core.groupby import Cuboid, augmented_keys, strip_null_groups
+from repro.core.lattice import LatticePoint
+from repro.timber.external_sort import sorted_with_cost
+
+AugKey = Tuple[Optional[str], ...]
+AugCuboid = Dict[AugKey, object]  # key -> aggregate partial state
+
+
+class TdAlgorithm(CubeAlgorithm):
+    """TD: every cuboid from base, with identity tracking.  Always correct."""
+
+    name = "TD"
+
+    def _compute(
+        self, context: ExecutionContext, points: List[LatticePoint]
+    ) -> Tuple[Dict[LatticePoint, Cuboid], int]:
+        table = context.table
+        fn = table.aggregate.fn
+        cuboids: Dict[LatticePoint, Cuboid] = {}
+        for point in points:
+            context.charge_base_scan()
+            placements: List[Tuple[Tuple[str, ...], float]] = []
+            for row in table.rows:
+                for key in table.key_combinations(row, point):
+                    placements.append((key, row.measure))
+                    # Identity tracking: the safe algorithm keeps fact ids
+                    # alongside to guard against double counting.
+                    context.cost.charge_cpu(2)
+            placements = sorted_with_cost(
+                placements,
+                context.cost,
+                budget=context.budget,
+                key=lambda placement: placement[0],
+            )
+            cuboid: Cuboid = {}
+            current_key: Optional[Tuple[str, ...]] = None
+            state = fn.new()
+            for key, measure in placements:
+                if key != current_key:
+                    if current_key is not None:
+                        cuboid[current_key] = fn.finalize(state)
+                    current_key = key
+                    state = fn.new()
+                state = fn.add(state, measure)
+                context.cost.charge_cpu()
+            if current_key is not None:
+                cuboid[current_key] = fn.finalize(state)
+            cuboids[point] = cuboid
+        return cuboids, 1
+
+
+class TdOptAlgorithm(CubeAlgorithm):
+    """TDOPT: roll-up with null groups; needs disjointness."""
+
+    name = "TDOPT"
+
+    def _compute(
+        self, context: ExecutionContext, points: List[LatticePoint]
+    ) -> Tuple[Dict[LatticePoint, Cuboid], int]:
+        table = context.table
+        lattice = table.lattice
+        fn = table.aggregate.fn
+        wanted = set(points)
+        computed: Dict[LatticePoint, AugCuboid] = {}
+        cuboids: Dict[LatticePoint, Cuboid] = {}
+
+        for point in lattice.topo_finer_first():
+            kept = lattice.kept_axes(point)
+            if len(kept) == lattice.axis_count:
+                aug = self._from_base(context, point)
+            else:
+                source = _pick_source(lattice, computed, point)
+                assert source is not None, "all-kept points precede drops"
+                aug = _rollup(context, lattice, computed[source], source, point, fn)
+            computed[point] = aug
+            if point in wanted:
+                cuboids[point] = strip_null_groups(
+                    {key: fn.finalize(state) for key, state in aug.items()}
+                )
+                context.cost.charge_cpu(len(aug))
+        return {point: cuboids[point] for point in points}, 1
+
+    def _from_base(
+        self, context: ExecutionContext, point: LatticePoint
+    ) -> AugCuboid:
+        table = context.table
+        fn = table.aggregate.fn
+        context.charge_base_scan()
+        placements: List[Tuple[AugKey, float]] = []
+        for row in table.rows:
+            for key in augmented_keys(table, row, point):
+                placements.append((key, row.measure))
+                context.cost.charge_cpu()
+        placements = sorted_with_cost(
+            placements,
+            context.cost,
+            budget=context.budget,
+            key=lambda placement: _sortable(placement[0]),
+        )
+        aug: AugCuboid = {}
+        for key, measure in placements:
+            if key not in aug:
+                aug[key] = fn.new()
+            aug[key] = fn.add(aug[key], measure)
+            context.cost.charge_cpu()
+        return aug
+
+
+class TdOptAllAlgorithm(CubeAlgorithm):
+    """TDOPTALL: pure roll-up; needs disjointness *and* coverage."""
+
+    name = "TDOPTALL"
+
+    def _compute(
+        self, context: ExecutionContext, points: List[LatticePoint]
+    ) -> Tuple[Dict[LatticePoint, Cuboid], int]:
+        table = context.table
+        lattice = table.lattice
+        fn = table.aggregate.fn
+        computed: Dict[LatticePoint, AugCuboid] = {}
+        top = lattice.top
+
+        # One base pass for the all-rigid top cuboid (no null groups:
+        # total coverage is assumed, facts lacking an axis are dropped —
+        # the source of TDOPTALL's undercounting when coverage fails).
+        context.charge_base_scan()
+        placements: List[Tuple[Tuple[str, ...], float]] = []
+        for row in table.rows:
+            for key in table.key_combinations(row, top):
+                placements.append((key, row.measure))
+                context.cost.charge_cpu()
+        placements = sorted_with_cost(
+            placements,
+            context.cost,
+            budget=context.budget,
+            key=lambda placement: placement[0],
+        )
+        top_aug: AugCuboid = {}
+        for key, measure in placements:
+            if key not in top_aug:
+                top_aug[key] = fn.new()
+            top_aug[key] = fn.add(top_aug[key], measure)
+            context.cost.charge_cpu()
+        computed[top] = top_aug
+
+        for point in lattice.topo_finer_first():
+            if point in computed:
+                continue
+            rigid_twin = _rigid_twin(lattice, point)
+            if rigid_twin != point:
+                # Full summarizability assumed: a structurally relaxed
+                # point is taken to equal its rigid twin.
+                source_cuboid = computed[rigid_twin]
+                computed[point] = dict(source_cuboid)
+                context.cost.charge_cpu(len(source_cuboid))
+                continue
+            source = _pick_source(lattice, computed, point)
+            assert source is not None
+            computed[point] = _rollup(
+                context, lattice, computed[source], source, point, fn
+            )
+
+        cuboids: Dict[LatticePoint, Cuboid] = {}
+        for point in points:
+            aug = computed[point]
+            cuboids[point] = {
+                key: fn.finalize(state) for key, state in aug.items()
+            }
+            context.cost.charge_cpu(len(aug))
+        return cuboids, 1
+
+
+class TdCustAlgorithm(CubeAlgorithm):
+    """TDCUST: roll-up only where the oracle proves it safe.  Correct."""
+
+    name = "TDCUST"
+
+    def _compute(
+        self, context: ExecutionContext, points: List[LatticePoint]
+    ) -> Tuple[Dict[LatticePoint, Cuboid], int]:
+        table = context.table
+        lattice = table.lattice
+        fn = table.aggregate.fn
+        oracle = context.oracle
+        computed: Dict[LatticePoint, AugCuboid] = {}
+        cuboids: Dict[LatticePoint, Cuboid] = {}
+        wanted = set(points)
+
+        for point in lattice.topo_finer_first():
+            source = _pick_source(
+                lattice,
+                {
+                    candidate: aug
+                    for candidate, aug in computed.items()
+                    if oracle.disjoint(candidate)
+                },
+                point,
+            )
+            if source is not None:
+                aug = _rollup(
+                    context, lattice, computed[source], source, point, fn
+                )
+            else:
+                aug = self._safe_from_base(context, point)
+            computed[point] = aug
+            if point in wanted:
+                cuboids[point] = strip_null_groups(
+                    {key: fn.finalize(state) for key, state in aug.items()}
+                )
+                context.cost.charge_cpu(len(aug))
+        return {point: cuboids[point] for point in points}, 1
+
+    def _safe_from_base(
+        self, context: ExecutionContext, point: LatticePoint
+    ) -> AugCuboid:
+        table = context.table
+        fn = table.aggregate.fn
+        context.charge_base_scan()
+        placements: List[Tuple[AugKey, float]] = []
+        for row in table.rows:
+            for key in augmented_keys(table, row, point):
+                placements.append((key, row.measure))
+                # Safe path keeps identities, like TD.
+                context.cost.charge_cpu(2)
+        placements = sorted_with_cost(
+            placements,
+            context.cost,
+            budget=context.budget,
+            key=lambda placement: _sortable(placement[0]),
+        )
+        aug: AugCuboid = {}
+        for key, measure in placements:
+            if key not in aug:
+                aug[key] = fn.new()
+            aug[key] = fn.add(aug[key], measure)
+            context.cost.charge_cpu()
+        return aug
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+
+def _sortable(key: AugKey) -> Tuple[Tuple[int, str], ...]:
+    """Total order over keys containing None."""
+    return tuple((0, "") if part is None else (1, part) for part in key)
+
+
+def _rigid_twin(lattice, point: LatticePoint) -> LatticePoint:
+    """The point with every kept axis forced to the rigid state."""
+    twin = []
+    for states, index in zip(lattice.axis_states, point):
+        if states.is_dropped(index):
+            twin.append(index)
+        else:
+            twin.append(states.rigid_index)
+    return tuple(twin)
+
+
+def _pick_source(
+    lattice,
+    computed: Dict[LatticePoint, AugCuboid],
+    point: LatticePoint,
+) -> Optional[LatticePoint]:
+    """The smallest computed finer cuboid that derives ``point`` by
+    dropping axes (kept axes must agree exactly on their states)."""
+    best: Optional[LatticePoint] = None
+    best_size = -1
+    for candidate, aug in computed.items():
+        if candidate == point:
+            continue
+        ok = True
+        for position, states in enumerate(lattice.axis_states):
+            if point[position] == states.dropped_index:
+                continue
+            if candidate[position] != point[position]:
+                ok = False
+                break
+        if not ok:
+            continue
+        # The candidate must actually be finer: every axis dropped in the
+        # candidate must be dropped in the point too.
+        for position, states in enumerate(lattice.axis_states):
+            if candidate[position] == states.dropped_index and point[
+                position
+            ] != states.dropped_index:
+                ok = False
+                break
+        if ok and (best is None or len(aug) < best_size):
+            best = candidate
+            best_size = len(aug)
+    return best
+
+
+def _rollup(
+    context: ExecutionContext,
+    lattice,
+    source_aug: AugCuboid,
+    source: LatticePoint,
+    point: LatticePoint,
+    fn,
+) -> AugCuboid:
+    """Merge a finer cuboid's aggregate rows into a coarser cuboid."""
+    src_kept = lattice.kept_axes(source)
+    dst_kept = set(lattice.kept_axes(point))
+    keep_positions = [
+        index for index, axis in enumerate(src_kept) if axis in dst_kept
+    ]
+    rows = list(source_aug.items())
+    rows = sorted_with_cost(
+        rows,
+        context.cost,
+        budget=context.budget,
+        key=lambda item: _sortable(item[0]),
+    )
+    out: AugCuboid = {}
+    for key, state in rows:
+        new_key = tuple(key[index] for index in keep_positions)
+        if new_key in out:
+            out[new_key] = fn.merge(out[new_key], state)
+        else:
+            out[new_key] = state
+        context.cost.charge_cpu()
+    return out

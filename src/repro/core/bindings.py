@@ -1,0 +1,147 @@
+"""The annotated fact table: what one evaluation of the most relaxed
+fully instantiated pattern materializes (paper Sec. 3.4 / Sec. 4, "we
+pre-evaluated the query tree pattern, and materialized the results").
+
+Each :class:`FactRow` is one fact (one match of the fact binding) with,
+per axis, the list of :class:`AnnotatedValue`s: a grouping value plus a
+bitmask over the axis's structural states saying under which states the
+value binds.  All cube algorithms consume this table; none of them goes
+back to the raw documents (exactly the paper's measurement protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.lattice import CubeLattice, LatticePoint
+
+GroupKey = Tuple[Optional[str], ...]
+
+
+@dataclass(frozen=True)
+class AnnotatedValue:
+    """One axis binding of one fact.
+
+    Attributes:
+        value: the grouping value (element text or attribute value).
+        mask: bit ``i`` set iff the value binds under structural state
+            index ``i`` of the axis (monotone upward: a value matching a
+            state also matches every superset state).
+    """
+
+    value: str
+    mask: int
+
+    def matches(self, state_index: int) -> bool:
+        return bool(self.mask & (1 << state_index))
+
+
+@dataclass(frozen=True)
+class FactRow:
+    """One fact with annotated bindings for every axis."""
+
+    fact_id: Tuple[int, int]
+    measure: float
+    axes: Tuple[Tuple[AnnotatedValue, ...], ...]
+
+    def values_under(self, axis_position: int, state_index: int) -> List[str]:
+        """Distinct values the axis binds under the given structural state."""
+        seen = set()
+        out: List[str] = []
+        for annotated in self.axes[axis_position]:
+            if annotated.matches(state_index) and annotated.value not in seen:
+                seen.add(annotated.value)
+                out.append(annotated.value)
+        return out
+
+
+class FactTable:
+    """The materialized, annotated input of cube computation."""
+
+    def __init__(
+        self,
+        lattice: CubeLattice,
+        rows: Sequence[FactRow],
+        aggregate: Optional["AggregateSpec"] = None,
+    ) -> None:
+        from repro.core.aggregates import AggregateSpec
+
+        self.lattice = lattice
+        self.rows: List[FactRow] = list(rows)
+        self.aggregate: "AggregateSpec" = aggregate or AggregateSpec()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[FactRow]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # membership / keys at a lattice point
+    # ------------------------------------------------------------------
+    def key_combinations(
+        self, row: FactRow, point: LatticePoint
+    ) -> List[GroupKey]:
+        """All group keys the fact contributes to at a lattice point.
+
+        The key has one component per *kept* axis.  A fact with several
+        values on a kept axis contributes the cross product of values
+        (the paper's combinatorial incrementing, Sec. 3.3); a fact with
+        *no* value on a kept axis contributes nothing (the coverage gap).
+        """
+        per_axis: List[List[str]] = []
+        for position, states in enumerate(self.lattice.axis_states):
+            state = point[position]
+            if states.is_dropped(state):
+                continue
+            values = row.values_under(position, state)
+            if not values:
+                return []
+            per_axis.append(values)
+        if not per_axis:
+            return [()]
+        keys: List[GroupKey] = [()]
+        for values in per_axis:
+            keys = [key + (value,) for key in keys for value in values]
+        return keys
+
+    def participates(self, row: FactRow, point: LatticePoint) -> bool:
+        """Does the fact appear in any group of the cuboid at ``point``?"""
+        for position, states in enumerate(self.lattice.axis_states):
+            state = point[position]
+            if states.is_dropped(state):
+                continue
+            if not row.values_under(position, state):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # observed summarizability (ground truth for experiments and tests)
+    # ------------------------------------------------------------------
+    def observed_disjointness(self, point: LatticePoint) -> bool:
+        """True iff no fact lands in two groups of this cuboid."""
+        for row in self.rows:
+            if len(self.key_combinations(row, point)) > 1:
+                return False
+        return True
+
+    def observed_coverage(
+        self, finer: LatticePoint, coarser: LatticePoint
+    ) -> bool:
+        """True iff every fact of the coarser cuboid also appears in the
+        finer one (total coverage along the edge finer -> coarser)."""
+        for row in self.rows:
+            if self.participates(row, coarser) and not self.participates(
+                row, finer
+            ):
+                return False
+        return True
+
+    def axis_cardinality(self, axis_position: int, state_index: int) -> int:
+        """Distinct values of an axis under a structural state (cube
+        density estimation)."""
+        values = set()
+        for row in self.rows:
+            values.update(row.values_under(axis_position, state_index))
+        return len(values)

@@ -1,0 +1,128 @@
+"""Cube results and the top-level ``compute_cube`` entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.bindings import FactTable, GroupKey
+from repro.core.groupby import Cuboid
+from repro.core.lattice import CubeLattice, LatticePoint
+from repro.core.properties import PropertyOracle
+from repro.errors import CubeError
+
+
+@dataclass
+class CubeResult:
+    """The full cube: one cuboid per lattice point, plus run metadata.
+
+    Attributes:
+        lattice: the lattice the cube was computed over.
+        cuboids: point -> (group key -> aggregate value).
+        algorithm: name of the algorithm that produced it.
+        cost: cost-model snapshot taken right after the run.
+        passes: number of data passes (COUNTER reports thrashing here).
+    """
+
+    lattice: CubeLattice
+    cuboids: Dict[LatticePoint, Cuboid]
+    algorithm: str = ""
+    cost: Dict[str, float] = field(default_factory=dict)
+    passes: int = 1
+    aggregate: str = "COUNT"
+
+    # ------------------------------------------------------------------
+    def cuboid(self, point: LatticePoint) -> Cuboid:
+        try:
+            return self.cuboids[point]
+        except KeyError:
+            raise CubeError(
+                f"no cuboid at {self.lattice.describe(point)}"
+            ) from None
+
+    def cuboid_by_description(self, text: str) -> Cuboid:
+        return self.cuboid(self.lattice.point_by_description(text))
+
+    def cell(self, point: LatticePoint, key: GroupKey) -> Optional[float]:
+        return self.cuboids.get(point, {}).get(key)
+
+    def total_cells(self) -> int:
+        return sum(len(cuboid) for cuboid in self.cuboids.values())
+
+    @property
+    def simulated_seconds(self) -> float:
+        return float(self.cost.get("simulated_seconds", 0.0))
+
+    # ------------------------------------------------------------------
+    def same_contents(self, other: "CubeResult", tol: float = 1e-9) -> bool:
+        """Value equality of every cuboid (used to validate algorithms)."""
+        if set(self.cuboids) != set(other.cuboids):
+            return False
+        for point, cuboid in self.cuboids.items():
+            other_cuboid = other.cuboids[point]
+            if set(cuboid) != set(other_cuboid):
+                return False
+            for key, value in cuboid.items():
+                if abs(value - other_cuboid[key]) > tol:
+                    return False
+        return True
+
+    def diff(self, other: "CubeResult") -> List[str]:
+        """Human-readable differences (first few) for test messages."""
+        out: List[str] = []
+        for point in self.cuboids:
+            mine = self.cuboids.get(point, {})
+            theirs = other.cuboids.get(point, {})
+            for key in set(mine) | set(theirs):
+                left, right = mine.get(key), theirs.get(key)
+                if left != right:
+                    out.append(
+                        f"{self.lattice.describe(point)} {key}: "
+                        f"{left} != {right}"
+                    )
+                    if len(out) >= 10:
+                        return out
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}: {len(self.cuboids)} cuboids, "
+            f"{self.total_cells()} cells, "
+            f"{self.simulated_seconds:.3f} sim-s, passes={self.passes}"
+        )
+
+
+def compute_cube(
+    table: FactTable,
+    algorithm: str = "NAIVE",
+    oracle: Optional[PropertyOracle] = None,
+    memory_entries: Optional[int] = None,
+    points: Optional[Sequence[LatticePoint]] = None,
+    min_support: float = 0.0,
+) -> CubeResult:
+    """Compute the cube of an extracted fact table.
+
+    Args:
+        table: the annotated fact table (see
+            :func:`repro.core.extract.extract_fact_table`).
+        algorithm: one of the registered algorithm names
+            (see :func:`repro.core.algorithms.registry.available`).
+        oracle: property oracle for the optimized/customized variants;
+            defaults to the pessimistic oracle (no property assumed).
+        memory_entries: operator memory budget (entries); defaults to a
+            budget that comfortably fits small cubes.
+        points: restrict computation to these lattice points (default:
+            the whole lattice).
+        min_support: iceberg threshold — only groups with COUNT >= this
+            value are reported; BUC additionally prunes its recursion
+            (COUNT is monotone under refinement).  COUNT cubes only.
+    """
+    from repro.core.algorithms.registry import get_algorithm
+
+    return get_algorithm(algorithm).run(
+        table,
+        oracle=oracle,
+        memory_entries=memory_entries,
+        points=points,
+        min_support=min_support,
+    )

@@ -1,0 +1,294 @@
+"""Fact-table extraction: evaluate the most relaxed pattern once.
+
+This is the paper's measurement protocol (Sec. 4): "we pre-evaluated the
+query tree pattern, and materialized the results into a file.  The file
+was then read in and the cubing was performed."  Extraction finds every
+fact, and per axis evaluates the path of *every structural state* of that
+axis, recording for each value the mask of states under which it binds.
+The cube algorithms then only ever consume the resulting
+:class:`~repro.core.bindings.FactTable`.
+
+Two backends:
+
+- :func:`extract_from_documents` — in-memory :class:`Document` trees;
+- :func:`extract_from_db` — a :class:`~repro.timber.database.TimberDB`,
+  going through the tag index and node store so the work is charged to
+  the DB's cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.axes import AxisSpec, PathStep
+from repro.core.bindings import AnnotatedValue, FactRow, FactTable
+from repro.core.lattice import CubeLattice
+from repro.core.query import X3Query
+from repro.patterns.pattern import EdgeAxis
+from repro.timber.database import TimberDB
+from repro.timber.node_store import NodeRecord
+from repro.xmlmodel.nodes import Document, Element
+
+
+def extract_fact_table(
+    source: Union[TimberDB, Document, Sequence[Document]], query: X3Query
+) -> FactTable:
+    """Extract the annotated fact table from documents or a TimberDB."""
+    if isinstance(source, TimberDB):
+        return extract_from_db(source, query)
+    docs = [source] if isinstance(source, Document) else list(source)
+    return extract_from_documents(docs, query)
+
+
+# ----------------------------------------------------------------------
+# in-memory backend
+# ----------------------------------------------------------------------
+
+def extract_from_documents(
+    docs: Iterable[Document], query: X3Query
+) -> FactTable:
+    lattice = query.lattice()
+    rows: List[FactRow] = []
+    for doc_index, doc in enumerate(docs):
+        for fact in doc.find_all(query.fact_tag):
+            axes = tuple(
+                _annotate_axis_memory(fact, states.axis, len(states.states))
+                for states in lattice.axis_states
+            )
+            measure = _measure_memory(fact, query)
+            rows.append(
+                FactRow(
+                    fact_id=(doc_index, fact.node_id),
+                    measure=measure,
+                    axes=axes,
+                )
+            )
+    return FactTable(lattice, rows, aggregate=query.aggregate)
+
+
+def _annotate_axis_memory(
+    fact: Element, axis: AxisSpec, state_count: int
+) -> Tuple[AnnotatedValue, ...]:
+    masks: Dict[str, int] = {}
+    order: List[str] = []
+    from repro.core.states import AxisStates
+
+    states = AxisStates.for_axis(axis)
+    for index in range(state_count):
+        applied = states.structural_state(index)
+        binding, prefix = axis.steps_for_state(applied)
+        if prefix and not _eval_steps_memory(fact, prefix):
+            continue
+        for value in _eval_steps_memory(fact, binding):
+            if value not in masks:
+                masks[value] = 0
+                order.append(value)
+            masks[value] |= 1 << index
+    return tuple(AnnotatedValue(value, masks[value]) for value in order)
+
+
+def _eval_steps_memory(
+    context: Element, steps: Tuple[PathStep, ...]
+) -> List[str]:
+    """Values bound by a step sequence from an element (deduplicated,
+    document order)."""
+    frontier: List[Element] = [context]
+    for axis, test in steps[:-1]:
+        next_frontier: List[Element] = []
+        seen = set()
+        for node in frontier:
+            pool = (
+                node.children
+                if axis is EdgeAxis.CHILD
+                else list(node.iter_descendants())
+            )
+            for candidate in pool:
+                if test in ("*", candidate.tag) and id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+    last_axis, last_test = steps[-1]
+    values: List[str] = []
+    seen_values = set()
+    if last_test.startswith("@"):
+        name = last_test[1:]
+        for node in frontier:
+            owners = (
+                [node]
+                if last_axis is EdgeAxis.CHILD
+                else list(node.iter_descendants())
+            )
+            for owner in owners:
+                value = owner.attrs.get(name)
+                if value is not None and value not in seen_values:
+                    seen_values.add(value)
+                    values.append(value)
+        return values
+    for node in frontier:
+        pool = (
+            node.children
+            if last_axis is EdgeAxis.CHILD
+            else list(node.iter_descendants())
+        )
+        for candidate in pool:
+            if last_test in ("*", candidate.tag):
+                value = candidate.text
+                if value not in seen_values:
+                    seen_values.add(value)
+                    values.append(value)
+    return values
+
+
+def _measure_memory(fact: Element, query: X3Query) -> float:
+    if query.aggregate.function.upper() == "COUNT":
+        return 1.0
+    steps = AxisSpec.from_path("$m", query.aggregate.measure_path).steps
+    values = _eval_steps_memory(fact, steps)
+    total = 0.0
+    for value in values:
+        try:
+            total += float(value)
+        except ValueError:
+            continue
+    return total
+
+
+# ----------------------------------------------------------------------
+# TimberDB backend
+# ----------------------------------------------------------------------
+
+def extract_from_db(db: TimberDB, query: X3Query) -> FactTable:
+    lattice = query.lattice()
+    rows: List[FactRow] = []
+    for posting in db.postings(query.fact_tag):
+        subtree = list(db.store.subtree_of(posting.doc_id, posting.node_id))
+        db.cost.charge_cpu(len(subtree))
+        fact = subtree[0]
+        children_of: Dict[int, List[NodeRecord]] = {}
+        for record in subtree[1:]:
+            children_of.setdefault(record.parent_id, []).append(record)
+        axes = tuple(
+            _annotate_axis_db(fact, subtree, children_of, states.axis, db)
+            for states in lattice.axis_states
+        )
+        measure = _measure_db(fact, subtree, children_of, query, db)
+        rows.append(
+            FactRow(
+                fact_id=(posting.doc_id, posting.node_id),
+                measure=measure,
+                axes=axes,
+            )
+        )
+    return FactTable(lattice, rows, aggregate=query.aggregate)
+
+
+def _annotate_axis_db(
+    fact: NodeRecord,
+    subtree: List[NodeRecord],
+    children_of: Dict[int, List[NodeRecord]],
+    axis: AxisSpec,
+    db: TimberDB,
+) -> Tuple[AnnotatedValue, ...]:
+    from repro.core.states import AxisStates
+
+    states = AxisStates.for_axis(axis)
+    masks: Dict[str, int] = {}
+    order: List[str] = []
+    for index in range(len(states.states)):
+        applied = states.structural_state(index)
+        binding, prefix = axis.steps_for_state(applied)
+        if prefix and not _eval_steps_db(
+            fact, subtree, children_of, prefix, db
+        ):
+            continue
+        for value in _eval_steps_db(fact, subtree, children_of, binding, db):
+            if value not in masks:
+                masks[value] = 0
+                order.append(value)
+            masks[value] |= 1 << index
+    return tuple(AnnotatedValue(value, masks[value]) for value in order)
+
+
+def _descendants_db(
+    context: NodeRecord, subtree: List[NodeRecord]
+) -> List[NodeRecord]:
+    return [
+        record
+        for record in subtree
+        if context.start < record.start and record.end <= context.end
+    ]
+
+
+def _eval_steps_db(
+    fact: NodeRecord,
+    subtree: List[NodeRecord],
+    children_of: Dict[int, List[NodeRecord]],
+    steps: Tuple[PathStep, ...],
+    db: TimberDB,
+) -> List[str]:
+    frontier: List[NodeRecord] = [fact]
+    for axis, test in steps[:-1]:
+        next_frontier: List[NodeRecord] = []
+        seen = set()
+        for node in frontier:
+            if axis is EdgeAxis.CHILD:
+                pool = children_of.get(node.node_id, [])
+            else:
+                pool = _descendants_db(node, subtree)
+            db.cost.charge_cpu(len(pool))
+            for candidate in pool:
+                if test in ("*", candidate.tag) and candidate.node_id not in seen:
+                    seen.add(candidate.node_id)
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+    last_axis, last_test = steps[-1]
+    values: List[str] = []
+    seen_values = set()
+    if last_test.startswith("@"):
+        name = last_test[1:]
+        for node in frontier:
+            owners = (
+                [node]
+                if last_axis is EdgeAxis.CHILD
+                else _descendants_db(node, subtree)
+            )
+            db.cost.charge_cpu(len(owners))
+            for owner in owners:
+                value = owner.attr(name)
+                if value is not None and value not in seen_values:
+                    seen_values.add(value)
+                    values.append(value)
+        return values
+    for node in frontier:
+        if last_axis is EdgeAxis.CHILD:
+            pool = children_of.get(node.node_id, [])
+        else:
+            pool = _descendants_db(node, subtree)
+        db.cost.charge_cpu(len(pool))
+        for candidate in pool:
+            if last_test in ("*", candidate.tag):
+                value = candidate.text
+                if value not in seen_values:
+                    seen_values.add(value)
+                    values.append(value)
+    return values
+
+
+def _measure_db(
+    fact: NodeRecord,
+    subtree: List[NodeRecord],
+    children_of: Dict[int, List[NodeRecord]],
+    query: X3Query,
+    db: TimberDB,
+) -> float:
+    if query.aggregate.function.upper() == "COUNT":
+        return 1.0
+    steps = AxisSpec.from_path("$m", query.aggregate.measure_path).steps
+    values = _eval_steps_db(fact, subtree, children_of, steps, db)
+    total = 0.0
+    for value in values:
+        try:
+            total += float(value)
+        except ValueError:
+            continue
+    return total

@@ -1,0 +1,150 @@
+"""Incremental cube maintenance for distributive/algebraic aggregates.
+
+A warehouse keeps growing; recomputing the whole relaxed-cube lattice on
+every batch of new facts is wasteful.  Because every cell is a fold of
+per-fact contributions — and a fact's contribution to a cell does not
+depend on other facts — appending facts updates each affected cell by
+merging the delta's contribution, for *any* of our aggregate functions
+(COUNT/SUM are distributive; AVG/MIN/MAX keep partial states).
+
+Deletion is supported for the invertible aggregates (COUNT, SUM, AVG)
+by subtracting contributions; MIN/MAX would need recomputation and are
+rejected.
+
+Cells store ``(partial_state, support_count)`` and finalize on read, so
+algebraic aggregates stay exact and fully-retracted groups disappear.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.bindings import FactRow, FactTable, GroupKey
+from repro.core.cube import CubeResult
+from repro.core.groupby import Cuboid
+from repro.core.lattice import LatticePoint
+from repro.errors import CubeError
+
+_INVERTIBLE = {"COUNT", "SUM", "AVG"}
+
+
+class IncrementalCube:
+    """A full cube maintained under fact insertions (and deletions).
+
+    Args:
+        table: the (initially possibly empty) fact table; its lattice
+            and aggregate define the cube.
+    """
+
+    def __init__(self, table: FactTable) -> None:
+        self.table = table
+        self.lattice = table.lattice
+        self.fn: AggregateFunction = table.aggregate.fn
+        # point -> key -> (partial state, supporting fact count)
+        self._cells: Dict[LatticePoint, Dict[GroupKey, Tuple[Any, int]]] = {
+            point: {} for point in self.lattice.points()
+        }
+        self.applied_rows = 0
+        if table.rows:
+            self.insert(list(table.rows), _already_in_table=True)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert(
+        self, rows: Iterable[FactRow], _already_in_table: bool = False
+    ) -> int:
+        """Fold new facts into every affected cell.  Returns the number
+        of cell updates performed."""
+        rows = list(rows)
+        if not _already_in_table:
+            self.table.rows.extend(rows)
+        updates = 0
+        for row in rows:
+            for point in self.lattice.points():
+                cells = self._cells[point]
+                for key in self.table.key_combinations(row, point):
+                    state, support = cells.get(key, (self.fn.new(), 0))
+                    cells[key] = (
+                        self.fn.add(state, row.measure),
+                        support + 1,
+                    )
+                    updates += 1
+            self.applied_rows += 1
+        return updates
+
+    def delete(self, rows: Iterable[FactRow]) -> int:
+        """Retract facts (COUNT/SUM/AVG only)."""
+        name = self.table.aggregate.function.upper()
+        if name not in _INVERTIBLE:
+            raise CubeError(
+                f"{name} is not invertible; deletion requires recompute"
+            )
+        rows = list(rows)
+        removed_ids = {row.fact_id for row in rows}
+        before = len(self.table.rows)
+        self.table.rows = [
+            row for row in self.table.rows if row.fact_id not in removed_ids
+        ]
+        if before - len(self.table.rows) != len(rows):
+            raise CubeError("attempted to delete facts not in the table")
+        updates = 0
+        for row in rows:
+            for point in self.lattice.points():
+                cells = self._cells[point]
+                for key in self.table.key_combinations(row, point):
+                    if key not in cells:
+                        raise CubeError(
+                            "retracting from a non-existent cell"
+                        )
+                    state, support = cells[key]
+                    state = _subtract(name, state, row.measure)
+                    support -= 1
+                    if support <= 0:
+                        del cells[key]
+                    else:
+                        cells[key] = (state, support)
+                    updates += 1
+            self.applied_rows -= 1
+        return updates
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def cuboid(self, point: LatticePoint) -> Cuboid:
+        return {
+            key: self.fn.finalize(state)
+            for key, (state, _) in self._cells[point].items()
+        }
+
+    def as_result(self) -> CubeResult:
+        return CubeResult(
+            lattice=self.lattice,
+            cuboids={
+                point: self.cuboid(point) for point in self.lattice.points()
+            },
+            algorithm="INCREMENTAL",
+            aggregate=self.table.aggregate.function.upper(),
+        )
+
+    def cell(self, point: LatticePoint, key: GroupKey):
+        entry = self._cells[point].get(key)
+        return None if entry is None else self.fn.finalize(entry[0])
+
+
+def _subtract(name: str, state: Any, measure: float) -> Any:
+    if name == "COUNT":
+        return state - 1
+    if name == "SUM":
+        return state - measure
+    # AVG partial is (sum, count).
+    return (state[0] - measure, state[1] - 1)
+
+
+def split_rows(
+    table: FactTable, initial_fraction: float
+) -> Tuple[List[FactRow], List[FactRow]]:
+    """Test/benchmark helper: split a table's rows into (initial, delta)."""
+    cut = int(len(table.rows) * initial_fraction)
+    return table.rows[:cut], table.rows[cut:]

@@ -1,0 +1,94 @@
+"""Lattice visualization and graph-theoretic views (Fig. 3 as data).
+
+:func:`to_networkx` exposes the relaxed-cube lattice as a DAG (nodes:
+lattice points with their descriptions; edges: single relaxation steps
+labelled with the relaxation that produced them), which the tests use
+to validate lattice laws with an independent library.
+:func:`to_dot` emits GraphViz text so Fig. 3 can be redrawn for any
+query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.core.lattice import CubeLattice, LatticePoint
+
+
+def edge_label(
+    lattice: CubeLattice, finer: LatticePoint, coarser: LatticePoint
+) -> str:
+    """Which axis/relaxation one lattice edge applies."""
+    for position, states in enumerate(lattice.axis_states):
+        if finer[position] == coarser[position]:
+            continue
+        axis = states.axis.name
+        if coarser[position] == states.dropped_index:
+            return f"{axis}:LND"
+        before = states.states[finer[position]]
+        after = states.states[coarser[position]]
+        added = after - before
+        names = "+".join(sorted(r.value for r in added))
+        return f"{axis}:{names}"
+    return ""
+
+
+def to_networkx(lattice: CubeLattice) -> "nx.DiGraph":
+    """The lattice as a directed graph, finer -> coarser."""
+    graph = nx.DiGraph()
+    for point in lattice.points():
+        graph.add_node(
+            point,
+            label=lattice.describe(point),
+            kept=len(lattice.kept_axes(point)),
+        )
+    for point in lattice.points():
+        for successor in lattice.successors(point):
+            graph.add_edge(
+                point,
+                successor,
+                relaxation=edge_label(lattice, point, successor),
+            )
+    return graph
+
+
+def to_dot(lattice: CubeLattice, name: str = "x3_lattice") -> str:
+    """GraphViz source of the lattice (Fig. 3 for any query)."""
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=TB;",
+        '  node [shape=box, fontsize=10];',
+    ]
+    index: Dict[LatticePoint, str] = {}
+    for number, point in enumerate(lattice.topo_finer_first()):
+        node_id = f"p{number}"
+        index[point] = node_id
+        lines.append(
+            f'  {node_id} [label="{lattice.describe(point)}"];'
+        )
+    for point in lattice.points():
+        for successor in lattice.successors(point):
+            label = edge_label(lattice, point, successor)
+            lines.append(
+                f'  {index[point]} -> {index[successor]} '
+                f'[label="{label}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def level_census(lattice: CubeLattice) -> List[Tuple[int, int]]:
+    """(relaxation steps, point count) per lattice level — the row
+    widths of Fig. 3's drawing."""
+    census: Dict[int, int] = {}
+    for point in lattice.points():
+        steps = 0
+        for states, index in zip(lattice.axis_states, point):
+            if index == states.dropped_index:
+                steps += len(states.axis.structural) + 1
+            else:
+                steps += len(states.states[index])
+        census[steps] = census.get(steps, 0) + 1
+    return sorted(census.items())

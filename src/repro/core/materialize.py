@@ -1,0 +1,215 @@
+"""Cuboid materialization under a space budget (paper Sec. 3.6).
+
+"In many cases, we may be better off to materialize some intermediate
+cube results.  The incompleteness of coverage directly affects the
+computation from these intermediate results."  This module turns that
+discussion into an advisor + store:
+
+- :func:`select_views` — greedy benefit-per-space view selection in the
+  spirit of Harinarayan/Rajaraman/Ullman, *adapted to the XML lattice*:
+  a cuboid can only serve queries it can soundly derive (drop-only
+  moves, and only when the property oracle proves it disjoint and
+  covering — otherwise serving from it would need the fact items kept
+  around, which Sec. 3.6 notes defeats the purpose).
+- :class:`MaterializedCube` — holds the chosen cuboids and answers any
+  lattice point: directly when materialized, by safe roll-up when
+  derivable, or by recomputation from the fact table as the fallback.
+
+Costs are reported through the same deterministic cost model as the
+algorithms, so the ablation benchmark can quantify the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bindings import FactTable
+from repro.core.cube import CubeResult, compute_cube
+from repro.core.groupby import Cuboid, cuboid_from_rows
+from repro.core.lattice import CubeLattice, LatticePoint
+from repro.core.properties import PropertyOracle
+from repro.core.rollup import derivable, rollup
+from repro.errors import CubeError
+
+
+@dataclass(frozen=True)
+class ViewSelection:
+    """Outcome of the advisor."""
+
+    chosen: Tuple[LatticePoint, ...]
+    space_used: int
+    space_budget: int
+    # point -> cheapest sound source among the chosen views (or None
+    # when the point must be recomputed from base).
+    serving: Dict[LatticePoint, Optional[LatticePoint]] = field(
+        default_factory=dict
+    )
+
+    def coverage_ratio(self) -> float:
+        """Fraction of lattice points servable without touching base."""
+        served = sum(
+            1 for source in self.serving.values() if source is not None
+        )
+        return served / len(self.serving) if self.serving else 0.0
+
+
+def cuboid_sizes(
+    table: FactTable, lattice: CubeLattice
+) -> Dict[LatticePoint, int]:
+    """Exact cell counts per cuboid (the advisor's space estimates)."""
+    sizes: Dict[LatticePoint, int] = {}
+    for point in lattice.points():
+        keys = set()
+        for row in table.rows:
+            keys.update(table.key_combinations(row, point))
+        sizes[point] = len(keys)
+    return sizes
+
+
+def _service_cost(
+    sizes: Dict[LatticePoint, int],
+    base_cost: int,
+    chosen: Set[LatticePoint],
+    lattice: CubeLattice,
+    oracle: PropertyOracle,
+    point: LatticePoint,
+) -> int:
+    """Cost of answering ``point``: cheapest sound chosen source, else
+    a base recomputation."""
+    best = base_cost
+    for source in chosen:
+        ok, _ = derivable(lattice, source, point, oracle)
+        if ok:
+            best = min(best, sizes[source])
+    return best
+
+
+def select_views(
+    table: FactTable,
+    oracle: PropertyOracle,
+    space_budget: int,
+    always_include_top: bool = True,
+) -> ViewSelection:
+    """Greedy view selection: repeatedly materialize the cuboid with the
+    best total-service-cost reduction per cell of space, within budget.
+    """
+    lattice = table.lattice
+    sizes = cuboid_sizes(table, lattice)
+    base_cost = max(1, len(table.rows))
+    points = list(lattice.points())
+    chosen: Set[LatticePoint] = set()
+    space_used = 0
+
+    if always_include_top and sizes[lattice.top] <= space_budget:
+        chosen.add(lattice.top)
+        space_used += sizes[lattice.top]
+
+    def total_cost() -> int:
+        return sum(
+            _service_cost(sizes, base_cost, chosen, lattice, oracle, point)
+            for point in points
+        )
+
+    current = total_cost()
+    while True:
+        best_gain = 0.0
+        best_point: Optional[LatticePoint] = None
+        best_cost = current
+        for candidate in points:
+            if candidate in chosen:
+                continue
+            size = sizes[candidate]
+            if size == 0 or space_used + size > space_budget:
+                continue
+            chosen.add(candidate)
+            candidate_cost = total_cost()
+            chosen.discard(candidate)
+            gain = (current - candidate_cost) / size
+            if gain > best_gain:
+                best_gain = gain
+                best_point = candidate
+                best_cost = candidate_cost
+        if best_point is None:
+            break
+        chosen.add(best_point)
+        space_used += sizes[best_point]
+        current = best_cost
+
+    serving: Dict[LatticePoint, Optional[LatticePoint]] = {}
+    for point in points:
+        best_source: Optional[LatticePoint] = None
+        best_size = base_cost
+        for source in chosen:
+            ok, _ = derivable(lattice, source, point, oracle)
+            if ok and sizes[source] <= best_size:
+                best_source = source
+                best_size = sizes[source]
+        serving[point] = best_source
+    return ViewSelection(
+        chosen=tuple(sorted(chosen)),
+        space_used=space_used,
+        space_budget=space_budget,
+        serving=serving,
+    )
+
+
+class MaterializedCube:
+    """A partial cube: chosen cuboids materialized, the rest derived.
+
+    Args:
+        table: the fact table (fallback recomputation source).
+        selection: which cuboids to materialize.
+        oracle: property oracle used for sound derivation.
+        algorithm: algorithm used to materialize the chosen cuboids.
+    """
+
+    def __init__(
+        self,
+        table: FactTable,
+        selection: ViewSelection,
+        oracle: PropertyOracle,
+        algorithm: str = "BUC",
+    ) -> None:
+        self.table = table
+        self.selection = selection
+        self.oracle = oracle
+        self._result: CubeResult = compute_cube(
+            table,
+            algorithm,
+            oracle=oracle,
+            points=list(selection.chosen),
+        )
+        self.stats = {"direct": 0, "rolled_up": 0, "recomputed": 0}
+
+    # ------------------------------------------------------------------
+    def cuboid(self, point: LatticePoint) -> Cuboid:
+        """Answer one lattice point, preferring materialized views."""
+        if point in self._result.cuboids:
+            self.stats["direct"] += 1
+            return self._result.cuboids[point]
+        source = self.selection.serving.get(point)
+        if source is not None and self._result.aggregate in ("COUNT", "SUM"):
+            self.stats["rolled_up"] += 1
+            return rollup(self._result, source, point, self.oracle)
+        self.stats["recomputed"] += 1
+        return cuboid_from_rows(
+            self.table, self.table.rows, point, self.table.aggregate.fn
+        )
+
+    def cell(self, point: LatticePoint, key: Tuple[str, ...]):
+        return self.cuboid(point).get(key)
+
+    def materialized_points(self) -> List[LatticePoint]:
+        return list(self._result.cuboids)
+
+    def verify_against(self, reference: CubeResult) -> None:
+        """Check every lattice point against a full cube (test helper)."""
+        for point in self.table.lattice.points():
+            mine = self.cuboid(point)
+            theirs = reference.cuboids[point]
+            if mine != theirs:
+                raise CubeError(
+                    f"materialized answer differs at "
+                    f"{self.table.lattice.describe(point)}"
+                )

@@ -1,0 +1,175 @@
+"""Schema-driven lattice pruning (paper Sec. 3.7 + the stated future
+work: "Automated determination of lattice properties from available
+schemas that helps choosing and optimizing cube computation").
+
+Two lattice points can provably *coincide* — same groups, same
+aggregates — when the schema shows a relaxation adds nothing:
+
+- **PC-AD no-op**: if every declared path from the step's parent tag to
+  its child tag is a direct edge (the child never appears deeper), then
+  generalizing that edge cannot add matches.  E.g. the paper's
+  ``//publication/publisher`` vs ``//publication//publisher`` when
+  publisher only ever occurs as a direct child.
+- **SP no-op** (the paper's own example): "if the schema says that every
+  path from publication to name goes through author, then
+  //publication/author/name and //publication//name have the same
+  coverage" — the SP state coincides with the PC-AD state.
+
+:func:`prune_lattice` maps every lattice point to a canonical
+representative; :func:`compute_cube_pruned` computes only the canonical
+points and copies the rest, reporting how much work was saved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.axes import AxisSpec
+from repro.core.bindings import FactTable
+from repro.core.cube import CubeResult, compute_cube
+from repro.core.lattice import CubeLattice, LatticePoint
+from repro.core.properties import PropertyOracle
+from repro.core.states import AxisStates
+from repro.patterns.pattern import EdgeAxis
+from repro.patterns.relaxation import Relaxation
+from repro.schema.dtd import Dtd
+
+
+def _pc_ad_is_noop(dtd: Dtd, axis: AxisSpec, fact_tag: str) -> bool:
+    """PC-AD adds nothing when, for every child edge on the path, the
+    child tag is only ever reachable from the parent tag directly."""
+    parent = fact_tag
+    for edge, test in axis.steps:
+        if test.startswith("@"):
+            # Attribute edges are never PC-AD'ed.
+            parent = parent  # unchanged
+            continue
+        if edge is EdgeAxis.CHILD:
+            if not _only_direct(dtd, parent, test):
+                return False
+        parent = test
+    return True
+
+
+def _only_direct(dtd: Dtd, parent: str, child: str) -> bool:
+    """Is every declared path parent ->* child the single direct edge?"""
+    if dtd.get(parent) is None or not dtd.child_paths(parent, child):
+        return False
+    paths = dtd._tag_paths_between(parent, child, max_depth=16)
+    return len(paths) == 1 and paths[0] == (child,)
+
+
+def _sp_equals_pcad(dtd: Dtd, axis: AxisSpec, fact_tag: str) -> bool:
+    """SP coincides with PC-AD when the axis's intermediate chain is the
+    exact prefix of *every* declared path from the fact to the binding
+    tag (the paper's //publication//name example: every path from
+    publication to name goes through author — as a direct child).
+
+    The prefix must be exact because the SP state retains the rigid
+    prefix as an existence requirement: a schema where the chain can
+    appear deeper (e.g. under an ``authors`` wrapper) makes SP and PC-AD
+    genuinely different.
+    """
+    binding = axis.binding_test
+    if binding.startswith("@"):
+        return False
+    intermediates = tuple(
+        test for _, test in axis.steps[:-1] if not test.startswith("@")
+    )
+    if not intermediates:
+        return False
+    paths = dtd._tag_paths_between(fact_tag, binding, max_depth=16)
+    if not paths:
+        return False
+    return all(
+        path[: len(intermediates)] == intermediates for path in paths
+    )
+
+
+def axis_state_aliases(
+    dtd: Dtd, states: AxisStates, fact_tag: str
+) -> Dict[int, int]:
+    """Map each structural state index to its canonical equivalent."""
+    axis = states.axis
+    alias: Dict[int, int] = {}
+    pc_noop = (
+        Relaxation.PC_AD in axis.structural
+        and _pc_ad_is_noop(dtd, axis, fact_tag)
+    )
+    sp_like_pcad = (
+        Relaxation.SP in axis.structural
+        and _sp_equals_pcad(dtd, axis, fact_tag)
+    )
+    for index, state in enumerate(states.states):
+        canonical: FrozenSet[Relaxation] = state
+        if sp_like_pcad and Relaxation.SP in canonical:
+            canonical = (canonical - {Relaxation.SP}) | {Relaxation.PC_AD}
+        if pc_noop and Relaxation.PC_AD in canonical:
+            canonical = canonical - {Relaxation.PC_AD}
+        if canonical != state and frozenset(canonical) in states.states:
+            alias[index] = states.index_of(frozenset(canonical))
+        else:
+            alias[index] = index
+    # Resolve chains (SP -> PC-AD -> rigid).
+    for index in list(alias):
+        target = alias[index]
+        while alias[target] != target:
+            target = alias[target]
+        alias[index] = target
+    return alias
+
+
+def prune_lattice(
+    lattice: CubeLattice, dtd: Dtd, fact_tag: str
+) -> Dict[LatticePoint, LatticePoint]:
+    """point -> canonical point, per the schema's coincidence proofs."""
+    per_axis: List[Dict[int, int]] = []
+    for states in lattice.axis_states:
+        aliases = axis_state_aliases(dtd, states, fact_tag)
+        aliases[states.dropped_index] = states.dropped_index
+        per_axis.append(aliases)
+    mapping: Dict[LatticePoint, LatticePoint] = {}
+    for point in lattice.points():
+        canonical = tuple(
+            per_axis[position][state]
+            for position, state in enumerate(point)
+        )
+        mapping[point] = canonical
+    return mapping
+
+
+def compute_cube_pruned(
+    table: FactTable,
+    dtd: Dtd,
+    fact_tag: str,
+    algorithm: str = "BUC",
+    oracle: Optional[PropertyOracle] = None,
+    memory_entries: Optional[int] = None,
+) -> Tuple[CubeResult, int]:
+    """Compute only the canonical lattice points and copy the aliases.
+
+    Returns (full cube result, number of points saved).
+    """
+    lattice = table.lattice
+    mapping = prune_lattice(lattice, dtd, fact_tag)
+    canonical_points = sorted(set(mapping.values()))
+    saved = lattice.size() - len(canonical_points)
+    result = compute_cube(
+        table,
+        algorithm,
+        oracle=oracle,
+        memory_entries=memory_entries,
+        points=canonical_points,
+    )
+    cuboids = {
+        point: result.cuboids[mapping[point]] for point in lattice.points()
+    }
+    full = CubeResult(
+        lattice=lattice,
+        cuboids=cuboids,
+        algorithm=f"{result.algorithm}+PRUNE",
+        cost=result.cost,
+        passes=result.passes,
+        aggregate=result.aggregate,
+    )
+    return full, saved

@@ -1,0 +1,110 @@
+"""The X^3 query object: fact binding, axes, aggregate.
+
+An :class:`X3Query` is the structured form of the paper's augmented FLWOR
+expression (Query 1).  It knows how to render itself back to that syntax,
+how to build its cube lattice, and how to build the grouping tree pattern
+(rigid and most-relaxed) that Sec. 2 defines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.core.axes import AxisSpec
+from repro.core.aggregates import AggregateSpec
+from repro.core.lattice import CubeLattice
+from repro.errors import QueryError
+from repro.patterns.pattern import EdgeAxis, PatternNode, TreePattern
+from repro.patterns.relaxation import Relaxation, most_relaxed_pattern
+
+
+@dataclass(frozen=True)
+class X3Query:
+    """A full cube specification.
+
+    Attributes:
+        fact_tag: tag of the fact elements (e.g. ``publication``); facts
+            are matched anywhere in the documents (``//fact_tag``).
+        fact_id_path: path from the fact to its identifier, ``"@id"`` by
+            default; node identity is used when the path binds nothing.
+        axes: the grouping axes.
+        aggregate: the RETURN clause.
+        document: display name of the source (``doc("book.xml")``).
+    """
+
+    fact_tag: str
+    axes: Tuple[AxisSpec, ...]
+    aggregate: AggregateSpec = field(default_factory=AggregateSpec)
+    fact_id_path: str = "@id"
+    document: str = "book.xml"
+
+    def __post_init__(self) -> None:
+        if not self.fact_tag:
+            raise QueryError("fact tag must be non-empty")
+        if not self.axes:
+            raise QueryError("an X^3 query needs at least one axis")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate axis names in {names}")
+
+    # ------------------------------------------------------------------
+    def lattice(self) -> CubeLattice:
+        return CubeLattice(self.axes)
+
+    def relaxation_specs(self) -> Dict[str, Set[Relaxation]]:
+        return {axis.name: set(axis.relaxations) for axis in self.axes}
+
+    # ------------------------------------------------------------------
+    # tree patterns (Sec. 2)
+    # ------------------------------------------------------------------
+    def rigid_pattern(self) -> TreePattern:
+        """The grouping tree pattern of the query text (Fig. 3 (a))."""
+        root = PatternNode(self.fact_tag, label="$fact")
+        if self.fact_id_path:
+            root.add(PatternNode(f"@{self.fact_id_path.lstrip('@')}"))
+        for axis in self.axes:
+            cursor = root
+            for position, (edge, test) in enumerate(axis.steps):
+                is_binding = position == len(axis.steps) - 1
+                node = PatternNode(
+                    test,
+                    axis=edge,
+                    label=axis.name if is_binding else "",
+                )
+                cursor.add(node)
+                cursor = node
+        pattern = TreePattern(root, root_axis=EdgeAxis.DESCENDANT)
+        pattern.validate()
+        return pattern
+
+    def most_relaxed(self) -> TreePattern:
+        """The most relaxed fully instantiated pattern (Fig. 2)."""
+        return most_relaxed_pattern(
+            self.rigid_pattern(), self.relaxation_specs()
+        )
+
+    # ------------------------------------------------------------------
+    def to_flwor(self) -> str:
+        """Render back to the paper's augmented FLWOR syntax."""
+        lines = [f'for $b in doc("{self.document}")//{self.fact_tag},']
+        for position, axis in enumerate(self.axes):
+            comma = "," if position < len(self.axes) - 1 else ""
+            path = axis.path_text()
+            sep = "" if path.startswith("/") else "/"
+            lines.append(f"    {axis.name} in $b{sep}{path}{comma}")
+        id_expr = f"$b/{self.fact_id_path}" if self.fact_id_path else "$b"
+        for position, axis in enumerate(self.axes):
+            names = ", ".join(
+                sorted((r.value for r in axis.relaxations))
+            )
+            prefix = f"X^3 {id_expr} by " if position == 0 else "       "
+            comma = "," if position < len(self.axes) - 1 else ""
+            lines.append(f"{prefix}{axis.name} ({names}){comma}")
+        measure = self.aggregate.measure_path
+        inner = f"$b/{measure}" if measure else "$b"
+        lines.append(f"return {self.aggregate.function.upper()}({inner}).")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_flwor()

@@ -1,0 +1,182 @@
+"""Query-time roll-up, slicing and summarizability checking.
+
+The paper's central warning is that a coarser XML cuboid can NOT, in
+general, be derived from a finer one: coverage gaps lose facts and
+non-disjointness double-counts them.  This module gives downstream users
+a safe API over a computed :class:`~repro.core.cube.CubeResult`:
+
+- :func:`derivable` — is cuboid ``target`` derivable from cuboid
+  ``source`` by pure aggregation, given a property oracle?  (The Sec. 3
+  analysis as a decision procedure.)
+- :func:`rollup` — perform the aggregation when it is safe, raise
+  :class:`~repro.errors.CubeError` when it is not (opt-out with
+  ``unsafe=True`` to reproduce the paper's wrong numbers).
+- :func:`slice_cuboid` / :func:`dice_cuboid` — classic OLAP slice and
+  dice over one cuboid.
+- :func:`point_query` — fetch one cell from the best available cuboid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cube import CubeResult
+from repro.core.groupby import Cuboid
+from repro.core.lattice import CubeLattice, LatticePoint
+from repro.core.properties import PropertyOracle
+from repro.errors import CubeError
+
+
+def structural_drop_only(
+    lattice: CubeLattice, source: LatticePoint, target: LatticePoint
+) -> bool:
+    """True when ``target`` is obtained from ``source`` purely by
+    dropping axes (every kept axis keeps the same structural state).
+
+    This is the only lattice direction roll-up can ever take: adding a
+    structural relaxation introduces *new* matches that the source
+    cuboid has never seen.
+    """
+    for position, states in enumerate(lattice.axis_states):
+        if target[position] == states.dropped_index:
+            if source[position] == states.dropped_index:
+                continue
+            # Fine: the axis is aggregated away.
+            continue
+        if source[position] != target[position]:
+            return False
+    return True
+
+
+def derivable(
+    lattice: CubeLattice,
+    source: LatticePoint,
+    target: LatticePoint,
+    oracle: PropertyOracle,
+) -> Tuple[bool, str]:
+    """Can ``target`` be computed from ``source`` by aggregation alone?
+
+    Returns (answer, reason).  Requirements:
+
+    1. the move is drop-only (no new structural relaxations);
+    2. the source cuboid is pairwise disjoint (otherwise facts in
+       several source groups are double-counted);
+    3. the source has total coverage on the axes being dropped... more
+       precisely, every fact of the target participates in the source —
+       guaranteed when the source's kept axes are all covered.
+    """
+    if source == target:
+        return True, "identical points"
+    if not structural_drop_only(lattice, source, target):
+        return False, (
+            "target relaxes structure; its groups contain matches the "
+            "source cuboid never saw"
+        )
+    if not oracle.disjoint(source):
+        return False, (
+            "source cuboid is not pairwise disjoint; adding up its "
+            "groups double-counts repeated sub-elements"
+        )
+    if not oracle.covered(source):
+        return False, (
+            "source cuboid lacks total coverage; facts with missing "
+            "sub-elements never reached it"
+        )
+    return True, "drop-only move from a disjoint, covering cuboid"
+
+
+def rollup(
+    cube: CubeResult,
+    source: LatticePoint,
+    target: LatticePoint,
+    oracle: PropertyOracle,
+    unsafe: bool = False,
+) -> Cuboid:
+    """Aggregate the source cuboid down to the target point.
+
+    Raises :class:`CubeError` when the derivation is unsound, unless
+    ``unsafe=True`` (useful to demonstrate the paper's wrong answers).
+    """
+    if cube.aggregate not in ("COUNT", "SUM"):
+        raise CubeError(
+            f"roll-up over finalized cells needs a distributive "
+            f"aggregate; {cube.aggregate} requires partial states "
+            "(recompute from the fact table instead)"
+        )
+    ok, reason = derivable(cube.lattice, source, target, oracle)
+    if not ok and not unsafe:
+        raise CubeError(
+            f"cannot roll up {cube.lattice.describe(source)} -> "
+            f"{cube.lattice.describe(target)}: {reason}"
+        )
+    source_kept = cube.lattice.kept_axes(source)
+    target_kept = set(cube.lattice.kept_axes(target))
+    keep = [
+        index
+        for index, axis in enumerate(source_kept)
+        if axis in target_kept
+    ]
+    out_states: Dict[Tuple, float] = {}
+    for key, value in cube.cuboid(source).items():
+        new_key = tuple(key[index] for index in keep)
+        out_states[new_key] = out_states.get(new_key, 0.0) + value
+    return dict(out_states)
+
+
+def slice_cuboid(
+    cuboid: Cuboid, axis_index: int, value: str
+) -> Cuboid:
+    """Fix one key component to a value and drop it from the keys."""
+    out: Cuboid = {}
+    for key, cell in cuboid.items():
+        if axis_index >= len(key):
+            raise CubeError(
+                f"slice index {axis_index} out of range for key {key}"
+            )
+        if key[axis_index] == value:
+            out[key[:axis_index] + key[axis_index + 1 :]] = cell
+    return out
+
+
+def dice_cuboid(
+    cuboid: Cuboid, predicates: Dict[int, Sequence[str]]
+) -> Cuboid:
+    """Keep only cells whose key components fall in the given sets."""
+    allowed = {index: set(values) for index, values in predicates.items()}
+    out: Cuboid = {}
+    for key, cell in cuboid.items():
+        if all(
+            index < len(key) and key[index] in values
+            for index, values in allowed.items()
+        ):
+            out[key] = cell
+    return out
+
+
+def point_query(
+    cube: CubeResult,
+    point: LatticePoint,
+    key: Tuple[str, ...],
+) -> Optional[float]:
+    """Cell lookup at a lattice point (None when the cell is empty)."""
+    return cube.cell(point, key)
+
+
+def best_source_for(
+    cube: CubeResult,
+    target: LatticePoint,
+    oracle: PropertyOracle,
+) -> Optional[LatticePoint]:
+    """Among the cube's *computed* cuboids, the smallest one that can
+    soundly derive ``target`` (used by the materialization layer)."""
+    best: Optional[LatticePoint] = None
+    best_size = -1
+    for candidate in cube.cuboids:
+        ok, _ = derivable(cube.lattice, candidate, target, oracle)
+        if not ok:
+            continue
+        size = len(cube.cuboids[candidate])
+        if best is None or size < best_size:
+            best = candidate
+            best_size = size
+    return best

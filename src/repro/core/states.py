@@ -1,0 +1,119 @@
+"""Per-axis relaxation-state posets.
+
+For an axis permitting structural relaxations ``R`` (a subset of
+``{SP, PC-AD}``), the states are all subsets of ``R`` ordered by
+inclusion, plus a top element ``DROPPED`` reached by LND.  The cube
+lattice (Fig. 3) is the product of these per-axis posets.
+
+States are represented by their index into :attr:`AxisStates.states`;
+structural states come first (sorted by subset size, then by name for
+determinism) and ``DROPPED`` is always the last index.  Annotated fact
+values carry a bitmask over the *structural* state indices saying under
+which states the value binds (monotone upward by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, List, Tuple
+
+from repro.core.axes import AxisSpec
+from repro.patterns.relaxation import Relaxation
+
+StructuralState = FrozenSet[Relaxation]
+
+
+@dataclass(frozen=True)
+class AxisStates:
+    """The ordered states of one axis.
+
+    Attributes:
+        axis: the axis spec.
+        states: structural states (frozensets of relaxations) in canonical
+            order; index ``len(states)`` denotes DROPPED.
+    """
+
+    axis: AxisSpec
+    states: Tuple[StructuralState, ...]
+
+    @staticmethod
+    def for_axis(axis: AxisSpec) -> "AxisStates":
+        structural = sorted(axis.structural, key=lambda r: r.value)
+        subsets: List[StructuralState] = []
+        for size in range(len(structural) + 1):
+            for combo in combinations(structural, size):
+                subsets.append(frozenset(combo))
+        return AxisStates(axis, tuple(subsets))
+
+    # ------------------------------------------------------------------
+    @property
+    def dropped_index(self) -> int:
+        return len(self.states)
+
+    @property
+    def state_count(self) -> int:
+        """Total states including DROPPED."""
+        return len(self.states) + 1
+
+    def is_dropped(self, index: int) -> bool:
+        return index == self.dropped_index
+
+    def structural_state(self, index: int) -> StructuralState:
+        return self.states[index]
+
+    def index_of(self, state: StructuralState) -> int:
+        return self.states.index(frozenset(state))
+
+    @property
+    def rigid_index(self) -> int:
+        return self.index_of(frozenset())
+
+    # ------------------------------------------------------------------
+    def leq(self, first: int, second: int) -> bool:
+        """Is state ``first`` less-or-equally relaxed than ``second``?
+
+        DROPPED is above every state; structural states order by subset
+        inclusion.
+        """
+        if second == self.dropped_index:
+            return True
+        if first == self.dropped_index:
+            return False
+        return self.states[first] <= self.states[second]
+
+    def successors(self, index: int) -> List[int]:
+        """One-step relaxations from a state: add one permitted structural
+        relaxation, or apply LND (go to DROPPED)."""
+        if index == self.dropped_index:
+            return []
+        out: List[int] = []
+        current = self.states[index]
+        for relaxation in self.axis.structural:
+            if relaxation not in current:
+                out.append(self.index_of(current | {relaxation}))
+        out.append(self.dropped_index)
+        return out
+
+    def mask_of(self, index: int) -> int:
+        """Bit for a structural state index (DROPPED has no mask)."""
+        if index == self.dropped_index:
+            raise ValueError("DROPPED has no structural mask")
+        return 1 << index
+
+    def upward_mask(self, index: int) -> int:
+        """Mask of the state and every structural superset state."""
+        base = self.states[index]
+        mask = 0
+        for position, state in enumerate(self.states):
+            if base <= state:
+                mask |= 1 << position
+        return mask
+
+    def describe(self, index: int) -> str:
+        if index == self.dropped_index:
+            return "LND"
+        state = self.states[index]
+        if not state:
+            return "rigid"
+        return "+".join(sorted(r.value for r in state))

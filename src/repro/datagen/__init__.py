@@ -1,0 +1,31 @@
+"""Synthetic data generators.
+
+- :mod:`repro.datagen.publications` — the paper's Figure 1 publication
+  database (the running example), plus a scalable randomized variant;
+- :mod:`repro.datagen.treebank` — a Treebank-style recursive,
+  heterogeneous generator with knobs for the summarizability regime and
+  cube density (the paper's controlled Treebank workloads, Sec. 4);
+- :mod:`repro.datagen.dblp` — DBLP-shaped articles following the real
+  DBLP DTD cardinalities (Sec. 4.5);
+- :mod:`repro.datagen.workload` — named experiment configurations tying
+  generators, queries and property regimes together for the benchmarks.
+"""
+
+from repro.datagen.catalog import CatalogConfig, generate_catalog
+from repro.datagen.publications import figure1_document, random_publications
+from repro.datagen.treebank import TreebankConfig, generate_treebank
+from repro.datagen.dblp import DblpConfig, generate_dblp
+from repro.datagen.workload import WorkloadConfig, build_workload
+
+__all__ = [
+    "CatalogConfig",
+    "generate_catalog",
+    "figure1_document",
+    "random_publications",
+    "TreebankConfig",
+    "generate_treebank",
+    "DblpConfig",
+    "generate_dblp",
+    "WorkloadConfig",
+    "build_workload",
+]

@@ -1,0 +1,100 @@
+"""Electronic-catalog generator: the intro's third motivating domain.
+
+"This sort of heterogeneity is common in XML, and is to be expected not
+just in the context of books, but also in other contexts, such as
+warehouses of information based on electronic catalogs, or records of
+insurance claims."
+
+Catalog feeds are the canonical mess: every vendor ships a different
+shape.  The generator produces products where
+
+- the *category* may be a direct child, or nested under a ``taxonomy``
+  chain (PC-AD territory), or repeated (multi-category products);
+- the *brand* may hide under ``details/manufacturer`` for one vendor
+  and sit top-level for another (SP territory);
+- the *price* may be missing (request-for-quote items) and carries a
+  numeric value usable as a SUM/AVG measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.axes import AxisSpec
+from repro.core.query import X3Query
+from repro.patterns.relaxation import Relaxation
+from repro.xmlmodel.nodes import Document, Element
+
+CATEGORIES = [
+    "audio", "video", "computing", "gaming", "home", "wearables",
+]
+BRANDS = ["acme", "globex", "initech", "umbrella", "tyrell", "wayne"]
+
+
+@dataclass(frozen=True)
+class CatalogConfig:
+    """Knobs of the catalog workload."""
+
+    n_products: int = 500
+    seed: int = 33
+    p_nested_category: float = 0.2
+    p_second_category: float = 0.15
+    p_vendor_b_shape: float = 0.3     # brand under details/manufacturer
+    p_missing_price: float = 0.1
+
+
+def generate_catalog(config: CatalogConfig) -> Document:
+    rng = random.Random(config.seed)
+    root = Element("catalog")
+    for number in range(config.n_products):
+        product = root.make_child(
+            "product", attrs={"sku": f"sku{number:05d}"}
+        )
+        # Category, possibly nested and/or repeated.
+        holder = product
+        if rng.random() < config.p_nested_category:
+            holder = product.make_child("taxonomy").make_child("node")
+        holder.make_child("category", text=rng.choice(CATEGORIES))
+        if rng.random() < config.p_second_category:
+            product.make_child("category", text=rng.choice(CATEGORIES))
+        # Brand: vendor A ships it top-level, vendor B nests it.
+        brand = rng.choice(BRANDS)
+        if rng.random() < config.p_vendor_b_shape:
+            product.make_child("details").make_child(
+                "manufacturer"
+            ).make_child("brand", text=brand)
+        else:
+            product.make_child("brand", text=brand)
+        # Price: numeric measure, sometimes missing.
+        if rng.random() >= config.p_missing_price:
+            product.make_child(
+                "price", text=str(rng.randrange(10, 2000))
+            )
+    return Document(root, name="catalog")
+
+
+def catalog_query(aggregate: str = "COUNT") -> X3Query:
+    """Cube products by category and brand.
+
+    The category axis permits PC-AD (nested taxonomies), the brand axis
+    PC-AD too (vendor B's nesting); prices feed SUM/AVG when requested.
+    """
+    spec = (
+        AggregateSpec("COUNT")
+        if aggregate.upper() == "COUNT"
+        else AggregateSpec(aggregate, "price")
+    )
+    pcad = frozenset({Relaxation.LND, Relaxation.PC_AD})
+    return X3Query(
+        fact_tag="product",
+        axes=(
+            AxisSpec.from_path("$c", "category", pcad),
+            AxisSpec.from_path("$b", "brand", pcad),
+        ),
+        aggregate=spec,
+        fact_id_path="@sku",
+        document="catalog.xml",
+    )

@@ -1,0 +1,154 @@
+"""The paper's Figure 1 publication database, and a scalable variant.
+
+The four publications reproduce every phenomenon the paper's motivation
+walks through:
+
+1. ``@id=1`` — two authors (John, Jane), publisher ``p1``, year 2003:
+   *non-disjointness* (member of both (John, p1, 2003) and
+   (Jane, p1, 2003));
+2. ``@id=2`` — two editions, i.e. two ``year`` values (2004, 2005):
+   non-disjointness on the year axis;
+3. ``@id=3`` — an online article: **no publisher** (coverage failure) and
+   its author nested under an ``authors`` wrapper (rigid
+   ``publication/author`` fails; PC-AD ``publication//author`` matches);
+4. ``@id=4`` — ``publisher`` and ``year`` tucked under ``pubData``
+   (rigid fails; sub-tree promotion / PC-AD recover them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.axes import AxisSpec
+from repro.core.query import X3Query
+from repro.patterns.relaxation import Relaxation
+from repro.xmlmodel.nodes import Document, Element
+
+QUERY1_TEXT = """
+for $b in doc("book.xml")//publication,
+    $n in $b/author/name,
+    $p in $b//publisher/@id,
+    $y in $b/year
+X^3 $b/@id by $n (LND, SP, PC-AD),
+            $p (LND, PC-AD),
+            $y (LND)
+return COUNT($b).
+"""
+
+
+def figure1_document() -> Document:
+    """Build the Figure 1 publication database."""
+    database = Element("database")
+
+    pub1 = database.make_child("publication", attrs={"id": "1"})
+    pub1.make_child("author", attrs={"id": "a1"}).make_child(
+        "name", text="John"
+    )
+    pub1.make_child("author", attrs={"id": "a2"}).make_child(
+        "name", text="Jane"
+    )
+    pub1.make_child("publisher", attrs={"id": "p1"})
+    pub1.make_child("year", text="2003")
+
+    pub2 = database.make_child("publication", attrs={"id": "2"})
+    pub2.make_child("author", attrs={"id": "a1"}).make_child(
+        "name", text="John"
+    )
+    pub2.make_child("publisher", attrs={"id": "p2"})
+    pub2.make_child("year", text="2004")
+    pub2.make_child("year", text="2005")
+
+    pub3 = database.make_child("publication", attrs={"id": "3"})
+    authors = pub3.make_child("authors")
+    authors.make_child("author", attrs={"id": "a3"}).make_child(
+        "name", text="Smith"
+    )
+    pub3.make_child("year", text="2003")
+
+    pub4 = database.make_child("publication", attrs={"id": "4"})
+    pub4.make_child("author", attrs={"id": "a4"}).make_child(
+        "name", text="Anna"
+    )
+    pub_data = pub4.make_child("pubData")
+    pub_data.make_child("publisher", attrs={"id": "p3"})
+    pub_data.make_child("year", text="2006")
+
+    return Document(database, name="figure1")
+
+
+def query1() -> X3Query:
+    """The paper's Query 1 as a structured object."""
+    return X3Query(
+        fact_tag="publication",
+        axes=(
+            AxisSpec.from_path(
+                "$n",
+                "author/name",
+                frozenset({Relaxation.LND, Relaxation.SP, Relaxation.PC_AD}),
+            ),
+            AxisSpec.from_path(
+                "$p",
+                "//publisher/@id",
+                frozenset({Relaxation.LND, Relaxation.PC_AD}),
+            ),
+            AxisSpec.from_path("$y", "year", frozenset({Relaxation.LND})),
+        ),
+        aggregate=AggregateSpec("COUNT"),
+        fact_id_path="@id",
+        document="book.xml",
+    )
+
+
+FIRST_NAMES = [
+    "John", "Jane", "Smith", "Anna", "Wei", "Divesh", "Laks", "Nuwee",
+    "Maria", "Ivan", "Kofi", "Yuki", "Elena", "Ada", "Alan", "Grace",
+]
+PUBLISHERS = [f"p{number}" for number in range(1, 21)]
+
+
+def random_publications(
+    n_publications: int,
+    seed: int = 7,
+    p_missing_publisher: float = 0.2,
+    p_extra_author: float = 0.3,
+    p_nested_author: float = 0.15,
+    p_pubdata: float = 0.1,
+    p_second_year: float = 0.1,
+    years: Optional[List[str]] = None,
+) -> Document:
+    """A scalable publication warehouse with Figure-1-style heterogeneity.
+
+    Every probability knob controls one flavour of flexibility; setting
+    them all to zero produces perfectly regular (relational-like) data.
+    """
+    rng = random.Random(seed)
+    year_pool = years or [str(year) for year in range(2000, 2008)]
+    database = Element("database")
+    for number in range(1, n_publications + 1):
+        pub = database.make_child("publication", attrs={"id": str(number)})
+        author_names = [rng.choice(FIRST_NAMES)]
+        if rng.random() < p_extra_author:
+            author_names.append(rng.choice(FIRST_NAMES))
+        if rng.random() < p_nested_author:
+            wrapper = pub.make_child("authors")
+            for name in author_names:
+                wrapper.make_child(
+                    "author", attrs={"id": f"a{number}"}
+                ).make_child("name", text=name)
+        else:
+            for name in author_names:
+                pub.make_child(
+                    "author", attrs={"id": f"a{number}"}
+                ).make_child("name", text=name)
+        use_pubdata = rng.random() < p_pubdata
+        holder = pub.make_child("pubData") if use_pubdata else pub
+        if rng.random() >= p_missing_publisher:
+            holder.make_child(
+                "publisher", attrs={"id": rng.choice(PUBLISHERS)}
+            )
+        holder.make_child("year", text=rng.choice(year_pool))
+        if rng.random() < p_second_year:
+            holder.make_child("year", text=rng.choice(year_pool))
+    return Document(database, name="random-publications")

@@ -1,0 +1,108 @@
+"""Named workload configurations used by the benchmark harness.
+
+A :class:`WorkloadConfig` identifies a complete experiment input: the
+generator, its knobs, and the declared summarizability regime.  The
+regime feeds :class:`~repro.core.properties.PropertyOracle` the same way
+the paper's controlled Treebank queries declared theirs, while the DBLP
+workload carries a DTD so the oracle is schema-derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.bindings import FactTable
+from repro.core.extract import extract_fact_table
+from repro.core.properties import PropertyOracle
+from repro.core.query import X3Query
+from repro.datagen.dblp import DblpConfig, dblp_dtd, dblp_query, generate_dblp
+from repro.datagen.treebank import (
+    TreebankConfig,
+    generate_treebank,
+    treebank_query,
+)
+from repro.schema.dtd import Dtd
+from repro.xmlmodel.nodes import Document
+
+
+@dataclass
+class Workload:
+    """A ready-to-run experiment input."""
+
+    name: str
+    documents: List[Document]
+    query: X3Query
+    oracle_disjoint: Optional[bool] = None
+    oracle_covered: Optional[bool] = None
+    dtd: Optional[Dtd] = None
+
+    def fact_table(self) -> FactTable:
+        return extract_fact_table(self.documents, self.query)
+
+    def oracle(self, table: FactTable) -> PropertyOracle:
+        """The property oracle this workload ships with.
+
+        Treebank workloads declare the regime globally (as the paper's
+        controlled queries did); DBLP derives it from the DTD (Sec. 3.7).
+        """
+        if self.dtd is not None:
+            return PropertyOracle.from_schema(
+                table.lattice, self.dtd, self.query.fact_tag
+            )
+        return PropertyOracle.from_flags(
+            table.lattice,
+            bool(self.oracle_disjoint),
+            bool(self.oracle_covered),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Declarative description of a workload."""
+
+    kind: str  # "treebank" | "dblp"
+    n_facts: int = 1000
+    n_axes: int = 3
+    density: str = "sparse"
+    coverage: bool = True
+    disjoint: bool = True
+    seed: int = 42
+
+    @property
+    def name(self) -> str:
+        cov = "cov" if self.coverage else "nocov"
+        dis = "disj" if self.disjoint else "nodisj"
+        return (
+            f"{self.kind}-{self.density}-{cov}-{dis}-"
+            f"k{self.n_axes}-n{self.n_facts}"
+        )
+
+
+def build_workload(config: WorkloadConfig) -> Workload:
+    """Materialize a workload from its configuration."""
+    if config.kind == "treebank":
+        tb = TreebankConfig(
+            n_facts=config.n_facts,
+            n_axes=config.n_axes,
+            density=config.density,
+            coverage=config.coverage,
+            disjoint=config.disjoint,
+            seed=config.seed,
+        )
+        return Workload(
+            name=config.name,
+            documents=[generate_treebank(tb)],
+            query=treebank_query(tb),
+            oracle_disjoint=config.disjoint,
+            oracle_covered=config.coverage,
+        )
+    if config.kind == "dblp":
+        dblp = DblpConfig(n_articles=config.n_facts, seed=config.seed)
+        return Workload(
+            name=config.name,
+            documents=[generate_dblp(dblp)],
+            query=dblp_query(),
+            dtd=dblp_dtd(),
+        )
+    raise ValueError(f"unknown workload kind {config.kind!r}")

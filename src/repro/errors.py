@@ -1,0 +1,90 @@
+"""Exception hierarchy for the X3 reproduction library.
+
+Every error raised by this package derives from :class:`X3Error`, so callers
+can catch one base class.  Sub-hierarchies mirror the subsystems: XML
+parsing, schema handling, storage, pattern matching, and cube computation.
+"""
+
+from __future__ import annotations
+
+
+class X3Error(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlError(X3Error):
+    """Base class for XML data-model errors."""
+
+
+class XmlParseError(XmlError):
+    """Raised when an XML document cannot be parsed.
+
+    Attributes:
+        line: 1-based line of the offending input position.
+        column: 1-based column of the offending input position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XmlStructureError(XmlError):
+    """Raised when a document tree is manipulated inconsistently."""
+
+
+class SchemaError(X3Error):
+    """Base class for DTD/schema errors."""
+
+
+class DtdParseError(SchemaError):
+    """Raised when a DTD text cannot be parsed."""
+
+
+class StorageError(X3Error):
+    """Base class for the simulated storage layer."""
+
+
+class PageError(StorageError):
+    """Raised on invalid page access (bad id, overflow)."""
+
+
+class BufferPoolError(StorageError):
+    """Raised when the buffer pool cannot satisfy a request."""
+
+
+class PatternError(X3Error):
+    """Base class for tree-pattern errors."""
+
+
+class PatternParseError(PatternError):
+    """Raised when a textual tree-pattern cannot be parsed."""
+
+
+class RelaxationError(PatternError):
+    """Raised when a relaxation is not applicable to a pattern node."""
+
+
+class QueryError(X3Error):
+    """Base class for X3 query specification errors."""
+
+
+class QueryParseError(QueryError):
+    """Raised when an X^3 FLWOR text cannot be parsed."""
+
+
+class CubeError(X3Error):
+    """Base class for cube-computation errors."""
+
+
+class AlgorithmPreconditionError(CubeError):
+    """Raised when an optimized algorithm is run in ``strict`` mode on an
+    input that violates the summarizability property it requires."""
+
+
+class MemoryBudgetExceeded(CubeError):
+    """Raised when an algorithm configured with ``fail_on_overflow`` exceeds
+    its memory budget instead of spilling to multi-pass execution."""

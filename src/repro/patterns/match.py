@@ -1,0 +1,376 @@
+"""Witness-tree enumeration: match a tree pattern against data.
+
+Two backends with identical semantics:
+
+- :func:`match_document` — in-memory, walking :class:`Element` trees;
+- :func:`match_db` — against a :class:`~repro.timber.database.TimberDB`,
+  finding candidate elements through the tag index with region-interval
+  lookups (the per-edge work a structural join performs), charging the
+  DB's cost model.
+
+Semantics:
+
+- a non-optional pattern node must bind to exactly one element (attribute
+  nodes bind to an attribute *value*); witnesses enumerate every
+  combination of bindings (the second publication of Fig. 1, with two
+  ``year`` children, yields two witnesses);
+- an *optional* node (LND applied, Fig. 2's ``*`` edges) binds ``None``
+  when nothing matches — a left outer join — and every node beneath an
+  unmatched optional node is ``None`` too.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.patterns.pattern import EdgeAxis, PatternNode, TreePattern
+from repro.timber.database import TimberDB
+from repro.timber.node_store import NodeRecord
+from repro.timber.tag_index import Posting
+from repro.xmlmodel.nodes import Document, Element
+
+Binding = Union[Element, NodeRecord, str, None]
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One witness tree: bindings aligned with ``pattern.nodes()`` order.
+
+    ``by_label`` gives the labelled sub-bindings queries care about.
+    """
+
+    bindings: Tuple[Binding, ...]
+    labels: Tuple[str, ...]
+
+    def by_label(self, label: str) -> Binding:
+        try:
+            return self.bindings[self.labels.index(label)]
+        except ValueError:
+            raise KeyError(label) from None
+
+    def value_of(self, label: str) -> Optional[str]:
+        """Grouping value of a labelled binding (text / attr / None)."""
+        binding = self.by_label(label)
+        return binding_value(binding)
+
+    @property
+    def root_binding(self) -> Binding:
+        return self.bindings[0]
+
+
+def binding_value(binding: Binding) -> Optional[str]:
+    """Grouping value of a binding: attribute string, element text, None."""
+    if binding is None:
+        return None
+    if isinstance(binding, str):
+        return binding
+    if isinstance(binding, Element):
+        return binding.text
+    return binding.text  # NodeRecord
+
+
+# ----------------------------------------------------------------------
+# in-memory matcher
+# ----------------------------------------------------------------------
+
+def match_document(doc: Document, pattern: TreePattern) -> List[Witness]:
+    """All witnesses of ``pattern`` in one document."""
+    nodes = pattern.nodes()
+    labels = tuple(node.label for node in nodes)
+    order = {id(node): position for position, node in enumerate(nodes)}
+    out: List[Witness] = []
+
+    if pattern.root_axis is EdgeAxis.DESCENDANT:
+        candidates = [
+            node
+            for node in doc.root.iter_subtree()
+            if pattern.root.test in ("*", node.tag)
+        ]
+    else:
+        candidates = (
+            [doc.root] if pattern.root.test in ("*", doc.root.tag) else []
+        )
+    if pattern.root.value_test is not None:
+        candidates = [
+            node
+            for node in candidates
+            if node.text == pattern.root.value_test
+        ]
+
+    for candidate in candidates:
+        for partial in _bind_subtree(pattern.root, candidate):
+            bindings: List[Binding] = [None] * len(nodes)
+            for pattern_node, binding in partial.items():
+                bindings[order[pattern_node]] = binding
+            out.append(Witness(tuple(bindings), labels))
+    return out
+
+
+def _element_candidates(context: Element, node: PatternNode) -> List[Element]:
+    if node.axis is EdgeAxis.CHILD:
+        pool: Sequence[Element] = context.children
+    else:
+        pool = list(context.iter_descendants())
+    out = [
+        element
+        for element in pool
+        if node.test in ("*", element.tag)
+    ]
+    if node.value_test is not None:
+        out = [element for element in out if element.text == node.value_test]
+    return out
+
+
+def _attribute_candidates(context: Element, node: PatternNode) -> List[str]:
+    name = node.attribute_name
+    if node.axis is EdgeAxis.CHILD:
+        value = context.attrs.get(name)
+        out = [value] if value is not None else []
+    else:
+        out = []
+        for descendant in context.iter_descendants():
+            value = descendant.attrs.get(name)
+            if value is not None:
+                out.append(value)
+    if node.value_test is not None:
+        out = [value for value in out if value == node.value_test]
+    return out
+
+
+def _bind_subtree(
+    node: PatternNode, element: Element
+) -> Iterator[Dict[int, Binding]]:
+    """Enumerate bindings of the subtree rooted at ``node`` given that
+    ``node`` itself is bound to ``element``.  Keys are ``id(pattern_node)``."""
+    base: Dict[int, Binding] = {id(node): element}
+    yield from _extend_with_children(node, element, base, 0)
+
+
+def _extend_with_children(
+    node: PatternNode,
+    element: Element,
+    acc: Dict[int, Binding],
+    child_index: int,
+) -> Iterator[Dict[int, Binding]]:
+    if child_index >= len(node.children):
+        yield dict(acc)
+        return
+    child = node.children[child_index]
+    matched_any = False
+    if child.is_attribute:
+        for value in _attribute_candidates(element, child):
+            matched_any = True
+            acc[id(child)] = value
+            yield from _extend_with_children(node, element, acc, child_index + 1)
+            del acc[id(child)]
+    else:
+        for candidate in _element_candidates(element, child):
+            for sub in _bind_subtree(child, candidate):
+                matched_any = True
+                acc.update(sub)
+                yield from _extend_with_children(
+                    node, element, acc, child_index + 1
+                )
+                for key in sub:
+                    del acc[key]
+    if not matched_any:
+        if not child.optional:
+            return
+        # Left outer join: the whole child subtree binds None.
+        nulls = {id(desc): None for desc in child.iter_subtree()}
+        acc.update(nulls)
+        yield from _extend_with_children(node, element, acc, child_index + 1)
+        for key in nulls:
+            del acc[key]
+
+
+# ----------------------------------------------------------------------
+# database matcher
+# ----------------------------------------------------------------------
+
+class _PostingsView:
+    """Sorted postings of one tag with region-interval lookup."""
+
+    def __init__(self, postings: List[Posting]) -> None:
+        self.postings = postings
+        self.keys = [posting.sort_key for posting in postings]
+
+    def within(self, anc: Posting) -> List[Posting]:
+        """Postings strictly inside the ancestor's region."""
+        lo = bisect_right(self.keys, (anc.doc_id, anc.start))
+        hi = bisect_left(self.keys, (anc.doc_id, anc.end))
+        return [
+            posting
+            for posting in self.postings[lo:hi]
+            if posting.end <= anc.end
+        ]
+
+
+def match_db(db: TimberDB, pattern: TreePattern) -> List[Witness]:
+    """All witnesses of ``pattern`` across every document in the DB.
+
+    Uses the tag index to stream candidates per pattern node (charged to
+    the DB cost model) and region-encoding interval lookups per edge.
+    """
+    nodes = pattern.nodes()
+    labels = tuple(node.label for node in nodes)
+    order = {id(node): position for position, node in enumerate(nodes)}
+    views: Dict[int, _PostingsView] = {}
+    value_indexed: set = set()
+    for node in nodes:
+        if node.is_attribute or node.test == "*":
+            continue
+        if node.value_test is not None:
+            # Value-index lookup: only postings with the wanted text.
+            views[id(node)] = _PostingsView(
+                db.postings_with_value(node.test, node.value_test)
+            )
+            value_indexed.add(id(node))
+        else:
+            views[id(node)] = _PostingsView(db.postings(node.test))
+
+    if pattern.root.test == "*":
+        root_candidates = [
+            posting for tag in db.tags() for posting in db.postings(tag)
+        ]
+        root_candidates.sort(key=lambda posting: posting.sort_key)
+    else:
+        root_candidates = views[id(pattern.root)].postings
+    if pattern.root_axis is EdgeAxis.CHILD:
+        root_candidates = [
+            posting for posting in root_candidates if posting.level == 0
+        ]
+    if (
+        pattern.root.value_test is not None
+        and id(pattern.root) not in value_indexed
+    ):
+        root_candidates = [
+            posting
+            for posting in root_candidates
+            if db.record_of(posting).text == pattern.root.value_test
+        ]
+
+    out: List[Witness] = []
+    for candidate in root_candidates:
+        db.cost.charge_cpu()
+        for partial in _db_bind_subtree(
+            db, views, pattern.root, candidate, value_indexed
+        ):
+            bindings: List[Binding] = [None] * len(nodes)
+            for node_key, binding in partial.items():
+                bindings[order[node_key]] = binding
+            out.append(Witness(tuple(bindings), labels))
+    return out
+
+
+def _db_candidates(
+    db: TimberDB,
+    views: Dict[int, _PostingsView],
+    context: Posting,
+    node: PatternNode,
+    value_indexed: set,
+) -> List[Posting]:
+    if node.test == "*":
+        raise NotImplementedError("wildcard inner nodes are not indexed")
+    view = views[id(node)]
+    inside = view.within(context)
+    db.cost.charge_cpu(len(inside) + 1)
+    if node.axis is EdgeAxis.CHILD:
+        inside = [
+            posting
+            for posting in inside
+            if posting.level == context.level + 1
+        ]
+    # Nodes served by the value index are already filtered; anything
+    # else with a predicate is checked against the stored record.
+    if node.value_test is not None and id(node) not in value_indexed:
+        inside = [
+            posting
+            for posting in inside
+            if db.record_of(posting).text == node.value_test
+        ]
+    return inside
+
+
+def _db_attribute_candidates(
+    db: TimberDB, context: Posting, node: PatternNode
+) -> List[str]:
+    name = node.attribute_name
+    if node.axis is EdgeAxis.CHILD:
+        record = db.record_of(context)
+        value = record.attr(name)
+        out = [value] if value is not None else []
+    else:
+        out = []
+        for record in db.store.subtree_of(context.doc_id, context.node_id):
+            if record.node_id == context.node_id:
+                continue
+            value = record.attr(name)
+            if value is not None:
+                out.append(value)
+    if node.value_test is not None:
+        out = [value for value in out if value == node.value_test]
+    return out
+
+
+def _db_bind_subtree(
+    db: TimberDB,
+    views: Dict[int, _PostingsView],
+    node: PatternNode,
+    posting: Posting,
+    value_indexed: set,
+) -> Iterator[Dict[int, Binding]]:
+    base: Dict[int, Binding] = {id(node): db.record_of(posting)}
+    yield from _db_extend(db, views, node, posting, base, 0, value_indexed)
+
+
+def _db_extend(
+    db: TimberDB,
+    views: Dict[int, _PostingsView],
+    node: PatternNode,
+    posting: Posting,
+    acc: Dict[int, Binding],
+    child_index: int,
+    value_indexed: set,
+) -> Iterator[Dict[int, Binding]]:
+    if child_index >= len(node.children):
+        yield dict(acc)
+        return
+    child = node.children[child_index]
+    matched_any = False
+    if child.is_attribute:
+        for value in _db_attribute_candidates(db, posting, child):
+            matched_any = True
+            acc[id(child)] = value
+            yield from _db_extend(
+                db, views, node, posting, acc, child_index + 1,
+                value_indexed,
+            )
+            del acc[id(child)]
+    else:
+        for candidate in _db_candidates(
+            db, views, posting, child, value_indexed
+        ):
+            for sub in _db_bind_subtree(
+                db, views, child, candidate, value_indexed
+            ):
+                matched_any = True
+                acc.update(sub)
+                yield from _db_extend(
+                    db, views, node, posting, acc, child_index + 1,
+                    value_indexed,
+                )
+                for key in sub:
+                    del acc[key]
+    if not matched_any:
+        if not child.optional:
+            return
+        nulls = {id(desc): None for desc in child.iter_subtree()}
+        acc.update(nulls)
+        yield from _db_extend(
+            db, views, node, posting, acc, child_index + 1, value_indexed
+        )
+        for key in nulls:
+            del acc[key]

@@ -1,0 +1,159 @@
+"""Textual syntax for tree patterns.
+
+Grammar (an XPath-like twig syntax)::
+
+    pattern   := rootaxis? step
+    rootaxis  := '/' | '//'
+    step      := test flags? (label | valuetest)? predicate* tail?
+    test      := NAME | '*' | '@' NAME
+    flags     := '?'                     # optional node (LND applied)
+    label     := '=' '$'? NAME           # bind a variable label
+    valuetest := '=' '"' TEXT '"'        # selection predicate on the value
+    predicate := '[' relstep ']'         # a branch
+    relstep   := axis? step
+    axis      := '/' | '//' | './' | './/'
+    tail      := axis step               # continue the spine
+
+Examples::
+
+    //publication[/author/name=$n][//publisher/@id=$p][/year=$y]
+    publication[./author][.//name]
+    //publication/year?
+
+The leading ``./`` form inside predicates mirrors the paper's notation
+(``publication[./author][.//name]``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import PatternParseError
+from repro.patterns.pattern import EdgeAxis, PatternNode, TreePattern
+
+
+class _Scanner:
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def take(self, token: str) -> bool:
+        if self.startswith(token):
+            self.pos += len(token)
+            return True
+        return False
+
+    def fail(self, message: str) -> None:
+        raise PatternParseError(f"{message} at position {self.pos} in {self.text!r}")
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse pattern text into a :class:`TreePattern`."""
+    scanner = _Scanner(text.strip())
+    root_axis = EdgeAxis.DESCENDANT if scanner.take("//") else EdgeAxis.CHILD
+    if not scanner.take("/") and root_axis is EdgeAxis.CHILD:
+        pass  # bare name: child-of-virtual-root, i.e. document root test
+    root = _parse_step(scanner, axis=EdgeAxis.CHILD)
+    if not scanner.eof():
+        scanner.fail("trailing characters")
+    pattern = TreePattern(root, root_axis=root_axis)
+    pattern.validate()
+    return pattern
+
+
+def _parse_axis(scanner: _Scanner) -> Optional[EdgeAxis]:
+    """Parse an axis token if present (handles the ``./`` forms)."""
+    if scanner.take(".//"):
+        return EdgeAxis.DESCENDANT
+    if scanner.take("./"):
+        return EdgeAxis.CHILD
+    if scanner.take("//"):
+        return EdgeAxis.DESCENDANT
+    if scanner.take("/"):
+        return EdgeAxis.CHILD
+    return None
+
+
+def _parse_name(scanner: _Scanner) -> str:
+    if scanner.take("*"):
+        return "*"
+    at = "@" if scanner.take("@") else ""
+    begin = scanner.pos
+    while not scanner.eof() and (
+        scanner.peek().isalnum() or scanner.peek() in "_:.-"
+    ):
+        # '.' only allowed mid-name if not starting a './' axis; names in
+        # our datasets never contain '.', keep it simple and exclude it.
+        if scanner.peek() == ".":
+            break
+        scanner.pos += 1
+    name = scanner.text[begin : scanner.pos]
+    if not name:
+        scanner.fail("expected a name")
+    return at + name
+
+
+def _parse_step(scanner: _Scanner, axis: EdgeAxis) -> PatternNode:
+    test = _parse_name(scanner)
+    optional = scanner.take("?")
+    label = ""
+    value_test = None
+    if scanner.take("="):
+        if scanner.take('"'):
+            begin = scanner.pos
+            while not scanner.eof() and scanner.peek() != '"':
+                scanner.pos += 1
+            if not scanner.take('"'):
+                scanner.fail("unterminated value predicate")
+            value_test = scanner.text[begin : scanner.pos - 1]
+        else:
+            scanner.take("$")
+            label = _parse_name(scanner)
+            label = f"${label}"
+    node = PatternNode(
+        test, axis=axis, optional=optional, label=label,
+        value_test=value_test,
+    )
+    # Predicates.
+    while scanner.take("["):
+        child_axis = _parse_axis(scanner) or EdgeAxis.CHILD
+        child = _parse_step(scanner, axis=child_axis)
+        if not scanner.take("]"):
+            scanner.fail("expected ']'")
+        node.add(child)
+    # Spine continuation.
+    spine_axis = _parse_axis(scanner)
+    if spine_axis is not None:
+        node.add(_parse_step(scanner, axis=spine_axis))
+    return node
+
+
+def parse_steps(path: str) -> List[Tuple[EdgeAxis, str]]:
+    """Parse a linear path like ``author/name`` or ``//publisher/@id``
+    into (axis, test) tuples.  Used by the axis-spec layer."""
+    scanner = _Scanner(path.strip())
+    steps: List[Tuple[EdgeAxis, str]] = []
+    first_axis = _parse_axis(scanner) or EdgeAxis.CHILD
+    steps.append((first_axis, _parse_name(scanner)))
+    while not scanner.eof():
+        axis = _parse_axis(scanner)
+        if axis is None:
+            scanner.fail("expected '/' or '//'")
+        steps.append((axis, _parse_name(scanner)))
+    for position, (_, test) in enumerate(steps):
+        if test.startswith("@") and position != len(steps) - 1:
+            raise PatternParseError(
+                f"attribute step must be last in {path!r}"
+            )
+    return steps

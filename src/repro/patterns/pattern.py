@@ -1,0 +1,202 @@
+"""Tree pattern model.
+
+A :class:`TreePattern` is a rooted tree of :class:`PatternNode`s.  Each
+non-root node is connected to its parent by an edge whose axis is either
+parent-child (``/``) or ancestor-descendant (``//``).  A node tests an
+element tag (or ``*``), or — as a leaf — an attribute ``@name``.  Nodes may
+be *optional* (LND applied: the pattern matches even when the node has no
+binding; the binding is then null).  Nodes carry a ``label`` so queries can
+refer to them (the ``$n``/``$p``/``$y`` variables of Query 1).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import PatternError
+
+
+class EdgeAxis(Enum):
+    """Axis of the edge from a pattern node to its parent."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class PatternNode:
+    """One node of a tree pattern.
+
+    Attributes:
+        test: element tag, ``*``, or ``@name`` for an attribute leaf.
+        axis: edge axis to the parent (ignored on the root).
+        optional: whether the node may be unmatched (LND applied).
+        label: variable label (e.g. ``$n``) or empty.
+        value_test: when set, the node only matches elements whose text
+            (or the attribute's value) equals this string — the
+            selection predicate of Sec. 2.1's "grouping a marked-up
+            element by the value of the marked-up text".
+        children: child pattern nodes, in order.
+    """
+
+    __slots__ = (
+        "test", "axis", "optional", "label", "value_test", "children",
+        "parent",
+    )
+
+    def __init__(
+        self,
+        test: str,
+        axis: EdgeAxis = EdgeAxis.CHILD,
+        optional: bool = False,
+        label: str = "",
+        value_test: Optional[str] = None,
+    ) -> None:
+        if not test:
+            raise PatternError("pattern node test must be non-empty")
+        self.test = test
+        self.axis = axis
+        self.optional = optional
+        self.label = label
+        self.value_test = value_test
+        self.children: List["PatternNode"] = []
+        self.parent: Optional["PatternNode"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_attribute(self) -> bool:
+        return self.test.startswith("@")
+
+    @property
+    def attribute_name(self) -> str:
+        return self.test[1:]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add(self, child: "PatternNode") -> "PatternNode":
+        if child.parent is not None:
+            raise PatternError("pattern node already attached")
+        if self.is_attribute:
+            raise PatternError("attribute nodes cannot have children")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def detach(self) -> "PatternNode":
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["PatternNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def clone(self) -> "PatternNode":
+        """Deep copy of this subtree (detached)."""
+        copy = PatternNode(
+            self.test,
+            axis=self.axis,
+            optional=self.optional,
+            label=self.label,
+            value_test=self.value_test,
+        )
+        for child in self.children:
+            copy.add(child.clone())
+        return copy
+
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """Canonical text of this subtree (used for equality/caching)."""
+        flags = "?" if self.optional else ""
+        label = f"={self.label}" if self.label else ""
+        value = f'="{self.value_test}"' if self.value_test is not None else ""
+        if not self.children:
+            return f"{self.test}{flags}{label}{value}"
+        inner = "".join(
+            f"[{child.axis}{child.signature()}]" for child in self.children
+        )
+        return f"{self.test}{flags}{label}{value}{inner}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PatternNode {self.signature()}>"
+
+
+class TreePattern:
+    """A rooted tree pattern with labelled nodes.
+
+    The root's axis is interpreted against the database: ``CHILD`` anchors
+    at document roots, ``DESCENDANT`` (the common case, ``//publication``)
+    matches anywhere.
+    """
+
+    def __init__(self, root: PatternNode, root_axis: EdgeAxis = EdgeAxis.DESCENDANT) -> None:
+        self.root = root
+        self.root_axis = root_axis
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[PatternNode]:
+        return list(self.root.iter_subtree())
+
+    def labelled(self) -> Dict[str, PatternNode]:
+        """label -> node for every labelled node (labels must be unique)."""
+        out: Dict[str, PatternNode] = {}
+        for node in self.root.iter_subtree():
+            if node.label:
+                if node.label in out:
+                    raise PatternError(f"duplicate label {node.label!r}")
+                out[node.label] = node
+        return out
+
+    def find(self, predicate: Callable[[PatternNode], bool]) -> List[PatternNode]:
+        return [node for node in self.root.iter_subtree() if predicate(node)]
+
+    def by_label(self, label: str) -> PatternNode:
+        nodes = self.labelled()
+        if label not in nodes:
+            raise PatternError(f"no pattern node labelled {label!r}")
+        return nodes[label]
+
+    def clone(self) -> "TreePattern":
+        return TreePattern(self.root.clone(), root_axis=self.root_axis)
+
+    def signature(self) -> str:
+        return f"{self.root_axis}{self.root.signature()}"
+
+    def size(self) -> int:
+        return sum(1 for _ in self.root.iter_subtree())
+
+    def depth(self) -> int:
+        def walk(node: PatternNode) -> int:
+            if not node.children:
+                return 1
+            return 1 + max(walk(child) for child in node.children)
+
+        return walk(self.root)
+
+    def validate(self) -> None:
+        """Sanity checks: attribute nodes are leaves; labels unique."""
+        self.labelled()
+        for node in self.root.iter_subtree():
+            if node.is_attribute and node.children:
+                raise PatternError(
+                    f"attribute node {node.test!r} must be a leaf"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TreePattern {self.signature()}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreePattern):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())

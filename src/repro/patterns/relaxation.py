@@ -1,0 +1,218 @@
+"""The three tree-pattern relaxations and the most relaxed pattern.
+
+Operators (paper Sec. 2.2), each returning a *new* pattern:
+
+- :func:`apply_pc_ad` — generalize a parent-child edge to
+  ancestor-descendant (``publication/author`` → ``publication//author``);
+- :func:`apply_sp` — sub-tree promotion: move the subtree rooted at a node
+  to be a descendant-edge child of its grandparent
+  (``publication[./author/name]`` → ``publication[./author][.//name]``);
+- :func:`apply_lnd` — leaf node deletion: drop a leaf (classic cube
+  roll-up), or with ``keep_optional=True`` mark it optional, which is the
+  left-outer-join interpretation used by the most relaxed fully
+  instantiated pattern of Fig. 2.
+
+:func:`most_relaxed_pattern` applies every *permitted* structural
+relaxation and marks every LND-permitted node optional; matching it once
+yields a superset of the matches of every lattice point (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Set
+
+from repro.errors import RelaxationError
+from repro.patterns.pattern import EdgeAxis, PatternNode, TreePattern
+
+
+class Relaxation(Enum):
+    """The relaxation kinds of the X^3 clause."""
+
+    LND = "LND"
+    SP = "SP"
+    PC_AD = "PC-AD"
+
+    @staticmethod
+    def from_text(text: str) -> "Relaxation":
+        normalized = text.strip().upper().replace("_", "-")
+        for member in Relaxation:
+            if member.value == normalized:
+                return member
+        raise RelaxationError(f"unknown relaxation {text!r}")
+
+
+STRUCTURAL_RELAXATIONS = (Relaxation.SP, Relaxation.PC_AD)
+"""Relaxations that widen coverage without dropping the dimension."""
+
+
+def _locate(pattern: TreePattern, label: str) -> PatternNode:
+    return pattern.by_label(label)
+
+
+def apply_pc_ad(pattern: TreePattern, label: str) -> TreePattern:
+    """Generalize the edge above the labelled node to ancestor-descendant."""
+    out = pattern.clone()
+    node = _locate(out, label)
+    if node.parent is None:
+        raise RelaxationError("cannot PC-AD the pattern root")
+    if node.is_attribute:
+        raise RelaxationError(
+            "PC-AD relaxes edges between elements, not attribute edges"
+        )
+    if node.axis is EdgeAxis.DESCENDANT:
+        raise RelaxationError(
+            f"edge above {label!r} is already ancestor-descendant"
+        )
+    node.axis = EdgeAxis.DESCENDANT
+    return out
+
+
+def apply_sp(pattern: TreePattern, label: str) -> TreePattern:
+    """Promote the subtree rooted at the labelled node to its grandparent."""
+    out = pattern.clone()
+    node = _locate(out, label)
+    parent = node.parent
+    if parent is None or parent.parent is None:
+        raise RelaxationError(
+            f"node {label!r} has no grandparent to promote to"
+        )
+    grandparent = parent.parent
+    node.detach()
+    node.axis = EdgeAxis.DESCENDANT
+    grandparent.add(node)
+    return out
+
+
+def apply_lnd(
+    pattern: TreePattern, label: str, keep_optional: bool = False
+) -> TreePattern:
+    """Delete (or make optional) the labelled leaf node.
+
+    The classic-cube reading deletes the leaf; ``keep_optional`` instead
+    marks it optional, which is how the most relaxed fully instantiated
+    pattern retains the node for grouping while still matching facts that
+    lack it (the ``*`` left-outer-join edges in Fig. 2).
+
+    Deleting a non-leaf is not permitted (LND is *leaf* node deletion);
+    note an attribute leaf's parent may become a leaf afterwards, enabling
+    cascading deletions as in Fig. 3 (j) -> (n) -> (o).
+    """
+    out = pattern.clone()
+    node = _locate(out, label)
+    if node.parent is None:
+        raise RelaxationError("cannot LND the pattern root")
+    if keep_optional:
+        node.optional = True
+        return out
+    if not node.is_leaf:
+        raise RelaxationError(f"node {label!r} is not a leaf")
+    node.detach()
+    return out
+
+
+def applicable_relaxations(
+    pattern: TreePattern, label: str, permitted: Iterable[Relaxation]
+) -> Set[Relaxation]:
+    """Which of the permitted relaxations actually apply to the node in
+    its current position (Sec. 2.3: not all relaxations suit every
+    pattern)."""
+    node = pattern.by_label(label)
+    result: Set[Relaxation] = set()
+    for relaxation in permitted:
+        if relaxation is Relaxation.LND:
+            if node.parent is not None:
+                result.add(relaxation)
+        elif relaxation is Relaxation.PC_AD:
+            if (
+                node.parent is not None
+                and node.axis is EdgeAxis.CHILD
+                and not node.is_attribute
+            ):
+                result.add(relaxation)
+        elif relaxation is Relaxation.SP:
+            if node.parent is not None and node.parent.parent is not None:
+                result.add(relaxation)
+    return result
+
+
+@dataclass(frozen=True)
+class RelaxationSpec:
+    """Permitted relaxations for one labelled node (an X^3 clause entry)."""
+
+    label: str
+    permitted: frozenset
+
+    @staticmethod
+    def of(label: str, *relaxations: Relaxation) -> "RelaxationSpec":
+        return RelaxationSpec(label, frozenset(relaxations))
+
+
+def most_relaxed_pattern(
+    pattern: TreePattern, specs: Dict[str, Set[Relaxation]]
+) -> TreePattern:
+    """Build the most relaxed fully instantiated pattern (Fig. 2).
+
+    All permitted SP promotions are applied first (changing shape), then
+    all permitted PC-AD generalizations, then every LND-permitted node is
+    marked optional.  The result matches a superset of every lattice
+    point's matches, so one evaluation feeds the whole cube (Sec. 3.4).
+    """
+    out = pattern.clone()
+    # LND first: mark the binding AND the intermediate nodes of its path
+    # optional (Fig. 2 puts the left-outer-join '*' edges on the whole
+    # branch, so a fact lacking any part of it still matches).  Marking
+    # precedes SP so that an SP-leftover prefix keeps its '*' edge.
+    for label, permitted in specs.items():
+        if Relaxation.LND in permitted:
+            out = apply_lnd(out, label, keep_optional=True)
+            node = out.by_label(label).parent
+            while node is not None and node.parent is not None:
+                node.optional = True
+                node = node.parent
+    for label, permitted in specs.items():
+        if Relaxation.SP in permitted:
+            node = out.by_label(label)
+            if node.parent is not None and node.parent.parent is not None:
+                out = apply_sp(out, label)
+    for label, permitted in specs.items():
+        if Relaxation.PC_AD in permitted:
+            node = out.by_label(label)
+            if (
+                node.parent is not None
+                and node.axis is EdgeAxis.CHILD
+                and not node.is_attribute
+            ):
+                out = apply_pc_ad(out, label)
+    return out
+
+
+def relaxation_chain(
+    pattern: TreePattern, label: str, permitted: Iterable[Relaxation]
+) -> List[TreePattern]:
+    """All patterns reachable by relaxing one node zero or more steps.
+
+    Used by tests to enumerate a single axis's sub-lattice (Fig. 3's rows).
+    """
+    seen = {pattern.signature()}
+    frontier = [pattern]
+    out = [pattern]
+    while frontier:
+        current = frontier.pop()
+        for relaxation in applicable_relaxations(current, label, permitted):
+            if relaxation is Relaxation.LND:
+                node = current.by_label(label)
+                if not node.is_leaf:
+                    continue
+                candidate = apply_lnd(current, label, keep_optional=True)
+            elif relaxation is Relaxation.PC_AD:
+                candidate = apply_pc_ad(current, label)
+            else:
+                candidate = apply_sp(current, label)
+            signature = candidate.signature()
+            if signature not in seen:
+                seen.add(signature)
+                out.append(candidate)
+                frontier.append(candidate)
+    return out

@@ -1,0 +1,206 @@
+"""Parser for a practical DTD subset.
+
+Supported declarations::
+
+    <!ELEMENT tag (child1, child2?, child3*, child4+)>
+    <!ELEMENT tag (a | b | c)*>
+    <!ELEMENT tag (#PCDATA)>
+    <!ELEMENT tag (#PCDATA | em)*>
+    <!ELEMENT tag EMPTY>
+    <!ELEMENT tag ANY>
+    <!ATTLIST tag attr CDATA #REQUIRED>
+    <!ATTLIST tag attr CDATA #IMPLIED>
+
+Nested groups are flattened: the model only tracks per-child-type
+cardinality (see :mod:`repro.schema.dtd`), so ``(a, (b | c)*)`` records
+``a -> ONE``, ``b -> STAR``, ``c -> STAR``.  Children inside a choice group
+are at least OPTIONAL (a conforming instance may pick the other branch).
+Comments are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import DtdParseError
+from repro.schema.dtd import AttributeDecl, Cardinality, Dtd, ElementDecl
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w:.-]+)\s+(.*?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+([\w:.-]+)\s+(.*?)>", re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_ATTDEF_RE = re.compile(
+    r"([\w:.-]+)\s+(?:CDATA|ID|IDREF|IDREFS|NMTOKEN|NMTOKENS|\([^)]*\))\s+"
+    r"(#REQUIRED|#IMPLIED|#FIXED\s+\"[^\"]*\"|\"[^\"]*\"|'[^']*')"
+)
+
+
+def parse_dtd(text: str, root: str = "") -> Dtd:
+    """Parse DTD text into a :class:`Dtd`.
+
+    Args:
+        text: the DTD source (element/attlist declarations).
+        root: optional explicit root tag; defaults to the first declared
+            element.
+    """
+    cleaned = _COMMENT_RE.sub("", text)
+    dtd = Dtd(root=root or None)
+    matched_any = False
+    for match in _ELEMENT_RE.finditer(cleaned):
+        matched_any = True
+        tag, content = match.group(1), match.group(2).strip()
+        decl = ElementDecl(tag)
+        _parse_content_model(content, decl)
+        dtd.declare(decl)
+    for match in _ATTLIST_RE.finditer(cleaned):
+        matched_any = True
+        tag, body = match.group(1), match.group(2)
+        decl = dtd.get(tag)
+        if decl is None:
+            decl = dtd.declare(ElementDecl(tag))
+        for attr_match in _ATTDEF_RE.finditer(body):
+            name, default = attr_match.group(1), attr_match.group(2)
+            decl.attributes[name] = AttributeDecl(
+                name, required=default == "#REQUIRED"
+            )
+    if not matched_any and cleaned.strip():
+        raise DtdParseError("no ELEMENT or ATTLIST declarations found")
+    return dtd
+
+
+def _parse_content_model(content: str, decl: ElementDecl) -> None:
+    """Fill ``decl.children`` / ``decl.has_text`` from a content model."""
+    content = content.strip()
+    if content == "EMPTY":
+        return
+    if content == "ANY":
+        decl.has_text = True
+        return
+    if not content.startswith("("):
+        raise DtdParseError(
+            f"bad content model for <!ELEMENT {decl.tag}>: {content!r}"
+        )
+    children, has_text = _parse_group(content, decl.tag)
+    decl.has_text = has_text
+    for tag, card in children:
+        existing = decl.children.get(tag)
+        if existing is None:
+            decl.children[tag] = card
+        else:
+            # Same tag in several places: it may repeat.
+            joined = Cardinality.join(existing, card)
+            decl.children[tag] = Cardinality.join(joined, Cardinality.PLUS)
+
+
+def _parse_group(
+    content: str, owner: str
+) -> Tuple[List[Tuple[str, Cardinality]], bool]:
+    """Parse a parenthesized content group (recursively)."""
+    tokens = _tokenize(content, owner)
+    items, has_text, index = _parse_tokens(tokens, 0, owner)
+    if index != len(tokens):
+        raise DtdParseError(
+            f"trailing tokens in content model of <!ELEMENT {owner}>"
+        )
+    return items, has_text
+
+
+def _tokenize(content: str, owner: str) -> List[str]:
+    tokens: List[str] = []
+    index = 0
+    while index < len(content):
+        char = content[index]
+        if char.isspace():
+            index += 1
+        elif char in "(),|?*+":
+            tokens.append(char)
+            index += 1
+        elif char == "#":
+            match = re.match(r"#\w+", content[index:])
+            if not match:
+                raise DtdParseError(f"bad token in content model of {owner}")
+            tokens.append(match.group(0))
+            index += len(match.group(0))
+        else:
+            match = re.match(r"[\w:.-]+", content[index:])
+            if not match:
+                raise DtdParseError(
+                    f"unexpected character {char!r} in content model of {owner}"
+                )
+            tokens.append(match.group(0))
+            index += len(match.group(0))
+    return tokens
+
+
+def _parse_tokens(
+    tokens: List[str], index: int, owner: str
+) -> Tuple[List[Tuple[str, Cardinality]], bool, int]:
+    """Parse one parenthesized group starting at ``tokens[index] == '('``.
+
+    Returns (children-with-cardinality, has_text, next index).
+    """
+    if index >= len(tokens) or tokens[index] != "(":
+        raise DtdParseError(f"expected '(' in content model of {owner}")
+    index += 1
+    items: List[Tuple[str, Cardinality]] = []
+    has_text = False
+    is_choice = False
+    branch_count = 1
+    while index < len(tokens):
+        token = tokens[index]
+        if token == "(":
+            inner, inner_text, index = _parse_tokens(tokens, index, owner)
+            indicator, index = _take_indicator(tokens, index)
+            items.extend(
+                (tag, _apply_indicator(card, indicator)) for tag, card in inner
+            )
+            has_text = has_text or inner_text
+        elif token == "#PCDATA":
+            has_text = True
+            index += 1
+        elif token == ",":
+            index += 1
+        elif token == "|":
+            is_choice = True
+            branch_count += 1
+            index += 1
+        elif token == ")":
+            index += 1
+            indicator, index = _take_indicator(tokens, index)
+            result = [
+                (tag, _apply_indicator(card, indicator)) for tag, card in items
+            ]
+            if is_choice and branch_count > 1:
+                # A choice with several branches makes each branch optional.
+                result = [
+                    (tag, Cardinality.join(card, Cardinality.OPTIONAL))
+                    for tag, card in result
+                ]
+            return result, has_text, index
+        else:
+            tag = token
+            index += 1
+            indicator, index = _take_indicator(tokens, index)
+            items.append((tag, Cardinality.from_indicator(indicator)))
+    raise DtdParseError(f"unterminated group in content model of {owner}")
+
+
+def _take_indicator(tokens: List[str], index: int) -> Tuple[str, int]:
+    if index < len(tokens) and tokens[index] in "?*+":
+        return tokens[index], index + 1
+    return "", index
+
+
+def _apply_indicator(card: Cardinality, indicator: str) -> Cardinality:
+    if not indicator:
+        return card
+    outer = Cardinality.from_indicator(indicator)
+    absent = card.may_be_absent or outer.may_be_absent
+    repeat = card.may_repeat or outer.may_repeat
+    if absent and repeat:
+        return Cardinality.STAR
+    if absent:
+        return Cardinality.OPTIONAL
+    if repeat:
+        return Cardinality.PLUS
+    return Cardinality.ONE

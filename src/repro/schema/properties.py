@@ -1,0 +1,129 @@
+"""Schema-based summarizability reasoning (paper Sec. 3.7).
+
+Given a DTD and an axis *path* (the relative path from the fact element to
+the grouping value, already rewritten for the lattice point's relaxation
+state), decide:
+
+- **disjointness**: can the path ever bind more than one value for a single
+  fact?  If not, every cuboid grouping on this axis keeps facts in a single
+  group per axis (pairwise-disjoint partition w.r.t. this axis).
+- **coverage**: can the path ever bind *no* value for a fact?  If not,
+  total coverage holds between a cuboid keeping this axis and its
+  LND-parent.
+
+Both answers are conservative: ``UNKNOWN`` is returned when a tag on the
+path is undeclared, and the customized algorithms treat ``UNKNOWN`` as
+"property may fail".
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.schema.dtd import Cardinality, Dtd
+from repro.xmlmodel.navigation import Step, StepAxis
+
+
+class PropertyVerdict(Enum):
+    """Three-valued verdict of schema reasoning."""
+
+    HOLDS = "holds"
+    FAILS = "may-fail"
+    UNKNOWN = "unknown"
+
+    @property
+    def guaranteed(self) -> bool:
+        return self is PropertyVerdict.HOLDS
+
+
+def path_cardinality(
+    dtd: Dtd, fact_tag: str, steps: Sequence[Step]
+) -> Optional[Cardinality]:
+    """Cardinality of the whole path from a single fact element.
+
+    Returns None when some tag is not declared (schema cannot help).
+    Attribute final steps contribute OPTIONAL/ONE from the attribute
+    declaration.
+    """
+    current = fact_tag
+    product = Cardinality.ONE
+    for step in steps:
+        if step.is_attribute:
+            decl = dtd.get(current)
+            if decl is None:
+                return None
+            attr = decl.attributes.get(step.attribute_name)
+            if attr is None:
+                # Undeclared attribute: may be absent, never repeats.
+                contribution = Cardinality.OPTIONAL
+            else:
+                contribution = (
+                    Cardinality.ONE if attr.required else Cardinality.OPTIONAL
+                )
+            if step.axis is StepAxis.DESCENDANT:
+                # @attr reachable anywhere below: conservatively repeatable.
+                contribution = Cardinality.STAR
+            return _product(product, contribution)
+        if step.test == "*":
+            return None
+        if step.axis is StepAxis.CHILD:
+            decl = dtd.get(current)
+            if decl is None:
+                return None
+            contribution = decl.child_cardinality(step.test)
+            if contribution is None:
+                # Declared parent never has this child: the path is dead;
+                # it binds nothing, i.e. absent and non-repeating.
+                return Cardinality.OPTIONAL
+        else:
+            contribution = dtd.descendant_step_cardinality(current, step.test)
+            if contribution is None:
+                return Cardinality.OPTIONAL
+        product = _product(product, contribution)
+        current = step.test
+    return product
+
+
+def axis_disjointness(
+    dtd: Dtd, fact_tag: str, steps: Sequence[Step]
+) -> PropertyVerdict:
+    """Does the schema guarantee <= 1 binding per fact on this path?"""
+    card = path_cardinality(dtd, fact_tag, steps)
+    if card is None:
+        return PropertyVerdict.UNKNOWN
+    return PropertyVerdict.HOLDS if not card.may_repeat else PropertyVerdict.FAILS
+
+
+def axis_coverage(
+    dtd: Dtd, fact_tag: str, steps: Sequence[Step]
+) -> PropertyVerdict:
+    """Does the schema guarantee >= 1 binding per fact on this path?"""
+    card = path_cardinality(dtd, fact_tag, steps)
+    if card is None:
+        return PropertyVerdict.UNKNOWN
+    return PropertyVerdict.HOLDS if not card.may_be_absent else PropertyVerdict.FAILS
+
+
+def sp_equivalent(dtd: Dtd, fact_tag: str, via: str, target: str) -> bool:
+    """Sec. 3.7's third observation: if every declared path from the fact
+    tag to ``target`` goes through ``via``, then the SP-relaxed pattern
+    (``fact[.//target]``) has exactly the same coverage as the rigid one
+    (``fact/via/target``) and the two lattice points coincide.
+    """
+    paths = dtd._tag_paths_between(fact_tag, target, max_depth=16)
+    if not paths:
+        return False
+    return all(via in path for path in paths)
+
+
+def _product(outer: Cardinality, inner: Cardinality) -> Cardinality:
+    absent = outer.may_be_absent or inner.may_be_absent
+    repeat = outer.may_repeat or inner.may_repeat
+    if absent and repeat:
+        return Cardinality.STAR
+    if absent:
+        return Cardinality.OPTIONAL
+    if repeat:
+        return Cardinality.PLUS
+    return Cardinality.ONE

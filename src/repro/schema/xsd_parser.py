@@ -1,0 +1,158 @@
+"""Parser for an XML Schema (XSD) subset, mapped onto the DTD model.
+
+Sec. 3.7: "In many cases, XML data comes with a schema (DTD or XML
+Schema).  The lattice properties are thus inferrable from the knowledge
+of schema that is available."  The property reasoning only needs child
+cardinalities and attribute requiredness, so an XSD is reduced to the
+same :class:`~repro.schema.dtd.Dtd` model the DTD parser produces.
+
+Supported subset::
+
+    <xs:schema xmlns:xs="...">
+      <xs:element name="publication">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element ref="author" minOccurs="0" maxOccurs="unbounded"/>
+            <xs:element name="year" type="xs:string"/>
+            <xs:choice> ... </xs:choice>
+          </xs:sequence>
+          <xs:attribute name="id" use="required"/>
+        </xs:complexType>
+      </xs:element>
+      ...
+    </xs:schema>
+
+Cardinalities come from ``minOccurs``/``maxOccurs`` (defaults 1/1);
+members of an ``xs:choice`` are at least optional; nested element
+declarations are registered globally (the property reasoning keys on
+tag names, like the DTD model).  Simple-typed elements
+(``type="xs:..."`` or an ``xs:simpleType`` child) are marked as text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.schema.dtd import AttributeDecl, Cardinality, Dtd, ElementDecl
+from repro.xmlmodel.nodes import Document, Element
+from repro.xmlmodel.parser import parse
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit(":", 1)[-1]
+
+
+def _cardinality(min_occurs: str, max_occurs: str) -> Cardinality:
+    try:
+        minimum = int(min_occurs)
+    except ValueError as error:
+        raise SchemaError(f"bad minOccurs {min_occurs!r}") from error
+    if max_occurs == "unbounded":
+        maximum = None
+    else:
+        try:
+            maximum = int(max_occurs)
+        except ValueError as error:
+            raise SchemaError(f"bad maxOccurs {max_occurs!r}") from error
+    absent = minimum == 0
+    repeat = maximum is None or maximum > 1
+    if absent and repeat:
+        return Cardinality.STAR
+    if absent:
+        return Cardinality.OPTIONAL
+    if repeat:
+        return Cardinality.PLUS
+    return Cardinality.ONE
+
+
+def parse_xsd(text: str, root: str = "") -> Dtd:
+    """Parse XSD text into a :class:`Dtd`."""
+    doc: Document = parse(text)
+    if _local(doc.root.tag) != "schema":
+        raise SchemaError("not an XML Schema document (no xs:schema root)")
+    dtd = Dtd(root=root or None)
+    top_level: Optional[str] = None
+    for child in doc.root.children:
+        if _local(child.tag) == "element":
+            name = _register_element(dtd, child)
+            if top_level is None:
+                top_level = name
+    if not dtd.tags:
+        raise SchemaError("the schema declares no elements")
+    # Nested declarations register before their parents; the schema's
+    # root is the first *top-level* element unless overridden.
+    dtd.root = root or top_level
+    return dtd
+
+
+def _register_element(dtd: Dtd, element_el: Element) -> str:
+    """Register one xs:element (returns the tag name)."""
+    name = element_el.attrs.get("name") or element_el.attrs.get("ref")
+    if not name:
+        raise SchemaError("xs:element needs a name or ref")
+    name = _local(name)
+    if "ref" in element_el.attrs and "name" not in element_el.attrs:
+        return name  # reference only; declaration lives elsewhere
+    decl = dtd.get(name) or ElementDecl(name)
+    type_attr = element_el.attrs.get("type", "")
+    if type_attr.startswith("xs:") or type_attr.startswith("xsd:"):
+        decl.has_text = True
+    for child in element_el.children:
+        local = _local(child.tag)
+        if local == "complexType":
+            _walk_complex_type(dtd, decl, child, in_choice=False)
+        elif local == "simpleType":
+            decl.has_text = True
+    dtd.declare(decl)
+    return name
+
+
+def _walk_complex_type(
+    dtd: Dtd, decl: ElementDecl, node: Element, in_choice: bool
+) -> None:
+    for child in node.children:
+        local = _local(child.tag)
+        if local in ("sequence", "all"):
+            _walk_complex_type(dtd, decl, child, in_choice)
+        elif local == "choice":
+            group_card = _cardinality(
+                child.attrs.get("minOccurs", "1"),
+                child.attrs.get("maxOccurs", "1"),
+            )
+            _walk_complex_type(
+                dtd, decl, child, in_choice=True
+            )
+            if group_card.may_repeat:
+                # A repeated choice lets every member repeat.
+                for tag in list(decl.children):
+                    decl.children[tag] = Cardinality.join(
+                        decl.children[tag], Cardinality.STAR
+                    )
+        elif local == "element":
+            tag = _register_element(dtd, child)
+            card = _cardinality(
+                child.attrs.get("minOccurs", "1"),
+                child.attrs.get("maxOccurs", "1"),
+            )
+            if in_choice:
+                card = Cardinality.join(card, Cardinality.OPTIONAL)
+            existing = decl.children.get(tag)
+            if existing is None:
+                decl.children[tag] = card
+            else:
+                decl.children[tag] = Cardinality.join(
+                    Cardinality.join(existing, card), Cardinality.PLUS
+                )
+        elif local == "attribute":
+            attr_name = child.attrs.get("name")
+            if attr_name:
+                decl.attributes[attr_name] = AttributeDecl(
+                    attr_name,
+                    required=child.attrs.get("use") == "required",
+                )
+        elif local == "simpleContent":
+            decl.has_text = True
+            _walk_complex_type(dtd, decl, child, in_choice)
+        elif local == "extension":
+            _walk_complex_type(dtd, decl, child, in_choice)

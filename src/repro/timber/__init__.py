@@ -1,0 +1,27 @@
+"""A miniature native XML database in the spirit of TIMBER.
+
+The paper ran its cube algorithms inside TIMBER (C++): documents stored as
+node records on disk pages behind a buffer pool, per-tag indexes sorted in
+document order, and stack-based structural joins for tree-pattern
+evaluation.  This subpackage reproduces that substrate in pure Python:
+
+- :mod:`repro.timber.pages` / :mod:`repro.timber.buffer_pool` — a simulated
+  paged disk and an LRU buffer pool with I/O statistics;
+- :mod:`repro.timber.node_store` — documents serialized to fixed-size node
+  records on pages;
+- :mod:`repro.timber.tag_index` — tag -> postings (``(start, end, level)``)
+  sorted by ``start``;
+- :mod:`repro.timber.structural_join` — stack-tree ancestor-descendant and
+  parent-child joins;
+- :mod:`repro.timber.external_sort` — in-memory quicksort + k-way external
+  merge sort, both charging the cost model;
+- :mod:`repro.timber.stats` — the deterministic cost model used to report
+  *simulated seconds* (wall-clock depends on the host; operation and I/O
+  counts do not);
+- :mod:`repro.timber.database` — the :class:`TimberDB` facade.
+"""
+
+from repro.timber.database import TimberDB
+from repro.timber.stats import CostModel, IOStats, MemoryBudget
+
+__all__ = ["TimberDB", "CostModel", "IOStats", "MemoryBudget"]

@@ -1,0 +1,89 @@
+"""An LRU buffer pool over the simulated disk.
+
+Every page access goes through :meth:`BufferPool.fetch`.  A miss charges a
+page read against the cost model; an eviction of a dirty page charges a
+page write.  The pool size is what makes the paper's cold-cache behaviour
+reproducible: algorithms that stream sequentially stay cheap, algorithms
+that revisit pages beyond the pool size (COUNTER thrashing, repeated
+external sorts in TD) pay for it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.errors import BufferPoolError
+from repro.timber.pages import Disk, Page
+from repro.timber.stats import CostModel
+
+
+class BufferPool:
+    """LRU cache of pages with I/O accounting.
+
+    Args:
+        disk: the simulated device.
+        cost: the cost model charged for misses and dirty evictions.
+        capacity_pages: number of frames; the paper used a 512 MB pool of
+            8 KB pages (65536 frames) against ~1 GB of data, i.e. roughly
+            half the working set fits.
+    """
+
+    def __init__(self, disk: Disk, cost: CostModel, capacity_pages: int = 1024) -> None:
+        if capacity_pages <= 0:
+            raise BufferPoolError("buffer pool capacity must be positive")
+        self.disk = disk
+        self.cost = cost
+        self.capacity_pages = capacity_pages
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, charging a read on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.cost.io.buffer_hits += 1
+            return frame
+        self.cost.io.buffer_misses += 1
+        self.cost.charge_read()
+        page = self.disk.page(page_id)
+        self._admit(page)
+        return page
+
+    def admit_new(self, page: Page) -> None:
+        """Admit a freshly allocated page without charging a read."""
+        self._admit(page)
+
+    def _admit(self, page: Page) -> None:
+        self._frames[page.page_id] = page
+        self._frames.move_to_end(page.page_id)
+        while len(self._frames) > self.capacity_pages:
+            victim_id, victim = next(iter(self._frames.items()))
+            del self._frames[victim_id]
+            self.cost.io.evictions += 1
+            if victim.dirty:
+                self.cost.charge_write()
+                victim.dirty = False
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back every dirty cached page (end-of-operation flush)."""
+        for page in self._frames.values():
+            if page.dirty:
+                self.cost.charge_write()
+                page.dirty = False
+
+    def drop_all(self) -> None:
+        """Empty the pool (simulate a cold cache), flushing dirty pages."""
+        self.flush()
+        self._frames.clear()
+
+    def cached_ids(self) -> Iterator[int]:
+        return iter(self._frames.keys())
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,79 @@
+"""Simulated disk pages.
+
+A :class:`Disk` is an append-able array of :class:`Page` objects.  Pages
+hold a bounded number of record *slots* (we simulate an 8 KB page holding
+``capacity`` fixed-size records rather than managing bytes).  All access
+goes through the buffer pool, which is where I/O is charged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import PageError
+
+DEFAULT_PAGE_CAPACITY = 128
+"""Records per page: 8 KB page / 64-byte node record, as in the paper's
+TIMBER configuration."""
+
+
+class Page:
+    """A fixed-capacity array of record slots."""
+
+    __slots__ = ("page_id", "capacity", "records", "dirty")
+
+    def __init__(self, page_id: int, capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise PageError("page capacity must be positive")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.records: List[Any] = []
+        self.dirty = False
+
+    @property
+    def full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    def append(self, record: Any) -> int:
+        """Append a record; return its slot index."""
+        if self.full:
+            raise PageError(f"page {self.page_id} is full")
+        self.records.append(record)
+        self.dirty = True
+        return len(self.records) - 1
+
+    def get(self, slot: int) -> Any:
+        try:
+            return self.records[slot]
+        except IndexError:
+            raise PageError(
+                f"page {self.page_id} has no slot {slot}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Disk:
+    """An append-only collection of pages (the simulated device)."""
+
+    def __init__(self, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self.page_capacity = page_capacity
+        self._pages: List[Page] = []
+
+    def allocate(self) -> Page:
+        """Allocate a fresh page at the end of the device."""
+        page = Page(len(self._pages), capacity=self.page_capacity)
+        self._pages.append(page)
+        return page
+
+    def page(self, page_id: int) -> Page:
+        if 0 <= page_id < len(self._pages):
+            return self._pages[page_id]
+        raise PageError(f"no page with id {page_id}")
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def last_page(self) -> Optional[Page]:
+        return self._pages[-1] if self._pages else None

@@ -1,0 +1,148 @@
+"""I/O statistics, memory accounting and the deterministic cost model.
+
+The paper reports cold-cache wall-clock seconds on a 2007 laptop; absolute
+numbers are not reproducible, but the *shape* of every figure is driven by
+two quantities that are: the number of page I/Os and the number of CPU
+operations (comparisons, hash probes, counter updates).  The
+:class:`CostModel` charges both and converts them into *simulated seconds*
+with constants calibrated so that one random 8 KB page I/O costs about four
+orders of magnitude more than one in-memory operation — the same regime as
+the paper's disk-resident TIMBER installation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import MemoryBudgetExceeded
+
+
+@dataclass
+class IOStats:
+    """Counters for the simulated storage layer."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    evictions: int = 0
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "buffer_hits": self.buffer_hits,
+            "buffer_misses": self.buffer_misses,
+            "evictions": self.evictions,
+        }
+
+    @property
+    def total_io(self) -> int:
+        return self.page_reads + self.page_writes
+
+
+@dataclass
+class CostModel:
+    """Deterministic cost accounting: CPU operations + page I/O.
+
+    Attributes:
+        cpu_op_cost: simulated seconds per elementary CPU operation.
+        page_io_cost: simulated seconds per page read or write.
+        cpu_ops: operations charged so far.
+        io: the I/O statistics fed by the storage layer.
+    """
+
+    cpu_op_cost: float = 2e-7
+    page_io_cost: float = 2e-3
+    cpu_ops: int = 0
+    io: IOStats = field(default_factory=IOStats)
+
+    def charge_cpu(self, ops: int = 1) -> None:
+        """Charge elementary CPU operations (comparisons, probes...)."""
+        self.cpu_ops += ops
+
+    def charge_read(self, pages: int = 1) -> None:
+        self.io.page_reads += pages
+
+    def charge_write(self, pages: int = 1) -> None:
+        self.io.page_writes += pages
+
+    def simulated_seconds(self) -> float:
+        """Convert charged work into simulated wall-clock seconds."""
+        return self.cpu_ops * self.cpu_op_cost + self.io.total_io * self.page_io_cost
+
+    def reset(self) -> None:
+        self.cpu_ops = 0
+        self.io.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"cpu_ops": float(self.cpu_ops)}
+        out.update({k: float(v) for k, v in self.io.snapshot().items()})
+        out["simulated_seconds"] = self.simulated_seconds()
+        return out
+
+
+class MemoryBudget:
+    """Tracks in-memory working-set size against a budget.
+
+    The unit is an abstract *entry* (a counter cell, a fact row held in
+    memory, a sort buffer slot); page-sized structures should convert via
+    ``entries_per_page``.  When ``fail_on_overflow`` is set, exceeding the
+    budget raises :class:`MemoryBudgetExceeded`; otherwise callers consult
+    :meth:`would_overflow` and spill.
+    """
+
+    def __init__(
+        self,
+        capacity_entries: int,
+        fail_on_overflow: bool = False,
+        entries_per_page: int = 128,
+    ) -> None:
+        if capacity_entries <= 0:
+            raise ValueError("memory budget must be positive")
+        self.capacity_entries = capacity_entries
+        self.fail_on_overflow = fail_on_overflow
+        self.entries_per_page = entries_per_page
+        self.used_entries = 0
+        self.high_water = 0
+
+    def acquire(self, entries: int) -> None:
+        self.used_entries += entries
+        self.high_water = max(self.high_water, self.used_entries)
+        if self.fail_on_overflow and self.used_entries > self.capacity_entries:
+            raise MemoryBudgetExceeded(
+                f"memory budget exceeded: {self.used_entries} > "
+                f"{self.capacity_entries} entries"
+            )
+
+    def release(self, entries: int) -> None:
+        self.used_entries = max(0, self.used_entries - entries)
+
+    def release_all(self) -> None:
+        self.used_entries = 0
+
+    def would_overflow(self, extra_entries: int) -> bool:
+        return self.used_entries + extra_entries > self.capacity_entries
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.capacity_entries - self.used_entries)
+
+    def pages(self, entries: Optional[int] = None) -> int:
+        """How many pages the given entry count occupies (ceil)."""
+        count = self.used_entries if entries is None else entries
+        return -(-count // self.entries_per_page)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemoryBudget {self.used_entries}/{self.capacity_entries} "
+            f"high={self.high_water}>"
+        )

@@ -1,0 +1,120 @@
+"""Per-tag postings index.
+
+For structural joins we need, per element tag, the list of occurrences in
+global document order — each posting carrying the region encoding.  The
+index itself is paged (postings live on index pages read through the
+buffer pool) so index scans are charged like the paper's element-index
+scans in TIMBER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.timber.buffer_pool import BufferPool
+from repro.timber.node_store import NodeRecord, NodeStore
+from repro.timber.pages import Disk
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One element occurrence in the index.
+
+    Sort key is (doc_id, start): global document order.
+    """
+
+    doc_id: int
+    node_id: int
+    start: int
+    end: int
+    level: int
+    parent_id: int
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.doc_id, self.start)
+
+    def contains(self, other: "Posting") -> bool:
+        """Ancestor test via region encoding (same document required)."""
+        return (
+            self.doc_id == other.doc_id
+            and self.start < other.start
+            and other.end <= self.end
+        )
+
+    def is_parent_of(self, other: "Posting") -> bool:
+        return self.contains(other) and other.level == self.level + 1
+
+
+class TagIndex:
+    """tag -> postings sorted by (doc_id, start), stored on index pages."""
+
+    def __init__(self, disk: Disk, pool: BufferPool) -> None:
+        self._disk = disk
+        self._pool = pool
+        # tag -> list of (page_id, slot) addresses in sorted order.
+        self._addresses: Dict[str, List[Tuple[int, int]]] = {}
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, store: NodeStore) -> None:
+        """(Re-)build the index from the node store."""
+        buckets: Dict[str, List[Posting]] = {}
+        for record in store.scan_all():
+            posting = _posting_from(record)
+            buckets.setdefault(record.tag, []).append(posting)
+        self._addresses.clear()
+        self._counts.clear()
+        for tag in sorted(buckets):
+            postings = sorted(buckets[tag], key=lambda p: p.sort_key)
+            addresses: List[Tuple[int, int]] = []
+            page = None
+            for posting in postings:
+                if page is None or page.full:
+                    page = self._disk.allocate()
+                    self._pool.admit_new(page)
+                    self._pool.cost.charge_write()
+                slot = page.append(posting)
+                addresses.append((page.page_id, slot))
+            self._addresses[tag] = addresses
+            self._counts[tag] = len(addresses)
+        self._pool.flush()
+
+    # ------------------------------------------------------------------
+    def tags(self) -> List[str]:
+        return list(self._addresses)
+
+    def cardinality(self, tag: str) -> int:
+        return self._counts.get(tag, 0)
+
+    def scan(self, tag: str) -> Iterator[Posting]:
+        """Stream the tag's postings in global document order."""
+        for page_id, slot in self._addresses.get(tag, ()):
+            page = self._pool.fetch(page_id)
+            self._pool.cost.charge_cpu()
+            yield page.get(slot)
+
+    def scan_list(self, tag: str) -> List[Posting]:
+        return list(self.scan(tag))
+
+    def scan_many(self, tags: List[str]) -> Iterator[Posting]:
+        """Merged stream over several tags, in global document order."""
+        streams = [self.scan_list(tag) for tag in tags]
+        merged = sorted(
+            (posting for stream in streams for posting in stream),
+            key=lambda p: p.sort_key,
+        )
+        self._pool.cost.charge_cpu(len(merged))
+        return iter(merged)
+
+
+def _posting_from(record: NodeRecord) -> Posting:
+    return Posting(
+        doc_id=record.doc_id,
+        node_id=record.node_id,
+        start=record.start,
+        end=record.end,
+        level=record.level,
+        parent_id=record.parent_id,
+    )

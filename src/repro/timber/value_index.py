@@ -1,0 +1,83 @@
+"""A (tag, value) -> postings index.
+
+The paper's Treebank queries group "a marked-up element by the value of
+the marked-up text under it"; selection predicates on those values
+(``//sentence[/m1="v3"]``) scan far fewer postings when the store keeps
+a value index next to the tag index — the equivalent of TIMBER's
+value/term indexes.
+
+The index is paged like everything else: postings live on index pages
+read through the buffer pool, so lookups are charged I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.timber.buffer_pool import BufferPool
+from repro.timber.node_store import NodeStore
+from repro.timber.pages import Disk
+from repro.timber.tag_index import Posting, _posting_from
+
+
+class ValueIndex:
+    """(tag, direct text value) -> postings sorted in document order."""
+
+    def __init__(self, disk: Disk, pool: BufferPool) -> None:
+        self._disk = disk
+        self._pool = pool
+        self._addresses: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, store: NodeStore) -> None:
+        """(Re-)build from the node store; empty-text elements are not
+        indexed (they are reachable via the tag index)."""
+        buckets: Dict[Tuple[str, str], List[Posting]] = {}
+        for record in store.scan_all():
+            if not record.text:
+                continue
+            buckets.setdefault((record.tag, record.text), []).append(
+                _posting_from(record)
+            )
+        self._addresses.clear()
+        page = None
+        for key in sorted(buckets):
+            postings = sorted(buckets[key], key=lambda p: p.sort_key)
+            addresses: List[Tuple[int, int]] = []
+            for posting in postings:
+                if page is None or page.full:
+                    page = self._disk.allocate()
+                    self._pool.admit_new(page)
+                    self._pool.cost.charge_write()
+                slot = page.append(posting)
+                addresses.append((page.page_id, slot))
+            self._addresses[key] = addresses
+        self._pool.flush()
+
+    # ------------------------------------------------------------------
+    def lookup(self, tag: str, value: str) -> List[Posting]:
+        """Postings of elements with the tag and exact text value."""
+        out: List[Posting] = []
+        for page_id, slot in self._addresses.get((tag, value), ()):
+            page = self._pool.fetch(page_id)
+            self._pool.cost.charge_cpu()
+            out.append(page.get(slot))
+        return out
+
+    def cardinality(self, tag: str, value: str) -> int:
+        return len(self._addresses.get((tag, value), ()))
+
+    def values_of(self, tag: str) -> List[str]:
+        """Distinct indexed values of one tag (sorted)."""
+        return sorted(
+            value for (key_tag, value) in self._addresses if key_tag == tag
+        )
+
+    def keys(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._addresses)
+
+    def selectivity(self, tag: str, value: str, tag_total: int) -> float:
+        """Fraction of the tag's elements carrying this value."""
+        if tag_total <= 0:
+            return 0.0
+        return self.cardinality(tag, value) / tag_total

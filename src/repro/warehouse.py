@@ -1,0 +1,143 @@
+"""A user-facing warehouse facade tying the pieces together.
+
+:class:`XmlWarehouse` is the "just let me cube my XML" entry point a
+downstream user starts with:
+
+    warehouse = XmlWarehouse()
+    warehouse.add(open("claims.xml").read())
+    session = warehouse.query(QUERY_TEXT)
+    cube = session.compute()                    # advisor-chosen algorithm
+    session.cuboid("$r:rigid, $p:LND")
+
+It wires together document loading, DTD inference, property oracles,
+the Sec. 4.6 algorithm advisor, and cube computation; every component
+remains usable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.advisor import Recommendation, choose_algorithm, recommend_for_table
+from repro.core.bindings import FactTable
+from repro.core.cube import CubeResult, compute_cube
+from repro.core.extract import extract_from_documents
+from repro.core.groupby import Cuboid
+from repro.core.properties import PropertyOracle
+from repro.core.query import X3Query
+from repro.core.xq_parser import parse_x3_query
+from repro.errors import QueryError
+from repro.schema.dtd import Dtd
+from repro.schema.inference import infer_dtd
+from repro.xmlmodel.nodes import Document
+from repro.xmlmodel.parser import parse
+
+
+class CubeSession:
+    """One query against a warehouse: extraction + computation + reads."""
+
+    def __init__(
+        self,
+        query: X3Query,
+        table: FactTable,
+        oracle: PropertyOracle,
+        memory_entries: int,
+    ) -> None:
+        self.query = query
+        self.table = table
+        self.oracle = oracle
+        self.memory_entries = memory_entries
+        self._result: Optional[CubeResult] = None
+
+    # ------------------------------------------------------------------
+    def recommend(self) -> Recommendation:
+        """Sec. 4.6 advice for this query's data."""
+        return recommend_for_table(
+            self.table, self.oracle, self.memory_entries
+        )
+
+    def compute(self, algorithm: Optional[str] = None, **kwargs) -> CubeResult:
+        """Compute (and cache) the cube; advisor picks the algorithm by
+        default."""
+        name = algorithm or self.recommend().algorithm
+        self._result = compute_cube(
+            self.table,
+            name,
+            oracle=self.oracle,
+            memory_entries=self.memory_entries,
+            **kwargs,
+        )
+        return self._result
+
+    @property
+    def result(self) -> CubeResult:
+        if self._result is None:
+            return self.compute()
+        return self._result
+
+    def cuboid(self, description: str) -> Cuboid:
+        return self.result.cuboid_by_description(description)
+
+    def properties_report(self) -> Dict[str, Tuple[bool, bool]]:
+        """Axis name -> (disjoint, covered) at the rigid state."""
+        out: Dict[str, Tuple[bool, bool]] = {}
+        for position, states in enumerate(self.table.lattice.axis_states):
+            out[states.axis.name] = (
+                self.oracle.axis_disjoint(position, states.rigid_index),
+                self.oracle.axis_covered(position, states.rigid_index),
+            )
+        return out
+
+
+class XmlWarehouse:
+    """Documents + (optional) schema + query sessions.
+
+    Args:
+        dtd: a known schema; when omitted, one is inferred from the
+            loaded documents the first time a query needs it (the
+            customized algorithms then use inferred cardinalities).
+        memory_entries: operator budget handed to every session.
+    """
+
+    def __init__(
+        self, dtd: Optional[Dtd] = None, memory_entries: int = 50_000
+    ) -> None:
+        self.documents: List[Document] = []
+        self._declared_dtd = dtd
+        self._inferred_dtd: Optional[Dtd] = None
+        self.memory_entries = memory_entries
+
+    # ------------------------------------------------------------------
+    def add(self, source: Union[str, Document], name: str = "") -> Document:
+        doc = source if isinstance(source, Document) else parse(source, name)
+        self.documents.append(doc)
+        self._inferred_dtd = None  # stale
+        return doc
+
+    @property
+    def dtd(self) -> Dtd:
+        if self._declared_dtd is not None:
+            return self._declared_dtd
+        if self._inferred_dtd is None:
+            if not self.documents:
+                raise QueryError("the warehouse has no documents")
+            self._inferred_dtd = infer_dtd(self.documents)
+        return self._inferred_dtd
+
+    def query(self, query: Union[str, X3Query]) -> CubeSession:
+        """Start a cube session for a query (text or structured)."""
+        if not self.documents:
+            raise QueryError("the warehouse has no documents")
+        structured = (
+            query if isinstance(query, X3Query) else parse_x3_query(query)
+        )
+        table = extract_from_documents(self.documents, structured)
+        oracle = PropertyOracle.from_schema(
+            table.lattice, self.dtd, structured.fact_tag
+        )
+        return CubeSession(
+            structured, table, oracle, self.memory_entries
+        )
+
+    def fact_count(self, fact_tag: str) -> int:
+        return sum(len(doc.find_all(fact_tag)) for doc in self.documents)

@@ -1,0 +1,95 @@
+"""Streaming (SAX-style) XML events on top of the recursive parser's
+tokenizer.
+
+Warehouse loaders often want events rather than a materialized tree —
+to infer schemas, count tags, or filter subtrees from inputs too large
+to hold.  :func:`iter_events` yields
+
+- ``("start", tag, attrs)``
+- ``("text", data)``         (non-whitespace character data)
+- ``("end", tag)``
+
+in document order, with the same strictness and entity handling as
+:func:`repro.xmlmodel.parser.parse` (it is implemented by a parse whose
+builder emits events, so the two can never disagree — a property the
+tests exploit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.xmlmodel.nodes import Document, Element
+from repro.xmlmodel.parser import parse
+
+StartEvent = Tuple[str, str, Dict[str, str]]
+TextEvent = Tuple[str, str]
+EndEvent = Tuple[str, str]
+Event = Union[StartEvent, TextEvent, EndEvent]
+
+
+def iter_events(text: str) -> Iterator[Event]:
+    """Yield SAX-style events for an XML document string."""
+    doc = parse(text)
+    yield from tree_events(doc)
+
+
+def tree_events(source: Union[Document, Element]) -> Iterator[Event]:
+    """Events of an already-built tree (document order)."""
+    root = source.root if isinstance(source, Document) else source
+
+    def walk(element: Element) -> Iterator[Event]:
+        yield ("start", element.tag, dict(element.attrs))
+        for chunk in element.text_chunks:
+            if chunk.strip():
+                yield ("text", chunk)
+        for child in element.children:
+            yield from walk(child)
+        yield ("end", element.tag)
+
+    yield from walk(root)
+
+
+def count_tags(text: str) -> Dict[str, int]:
+    """Tag frequencies from the event stream (no tree retained by the
+    caller)."""
+    counts: Dict[str, int] = {}
+    for event in iter_events(text):
+        if event[0] == "start":
+            counts[event[1]] = counts.get(event[1], 0) + 1
+    return counts
+
+
+def build_from_events(events: Iterator[Event]) -> Document:
+    """Reassemble a document from an event stream (inverse of
+    :func:`tree_events`)."""
+    from repro.errors import XmlParseError
+
+    stack: List[Element] = []
+    root: Element = None  # type: ignore[assignment]
+    for event in events:
+        kind = event[0]
+        if kind == "start":
+            element = Element(event[1], attrs=event[2])
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                pass
+            else:
+                raise XmlParseError("multiple roots in event stream")
+            if root is None and not stack:
+                root = element
+            stack.append(element)
+        elif kind == "text":
+            if not stack:
+                raise XmlParseError("text outside any element")
+            stack[-1].append_text(event[1])
+        elif kind == "end":
+            if not stack or stack[-1].tag != event[1]:
+                raise XmlParseError(f"mismatched end event {event[1]!r}")
+            stack.pop()
+        else:
+            raise XmlParseError(f"unknown event kind {kind!r}")
+    if root is None or stack:
+        raise XmlParseError("incomplete event stream")
+    return Document(root)

@@ -1,0 +1,50 @@
+"""Unit tests for the per-figure experiment definitions."""
+
+from repro.bench.figures import FIGURES, run_figure, series_of
+
+
+class TestSpecs:
+    def test_all_seven_figures_defined(self):
+        assert set(FIGURES) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        }
+
+    def test_settings_match_paper(self):
+        assert FIGURES["fig4"].density == "sparse"
+        assert not FIGURES["fig4"].coverage and FIGURES["fig4"].disjoint
+        assert FIGURES["fig6"].density == "dense"
+        assert FIGURES["fig7"].coverage and FIGURES["fig7"].disjoint
+        assert not FIGURES["fig9"].coverage and not FIGURES["fig9"].disjoint
+        assert FIGURES["fig10"].kind == "dblp"
+
+    def test_fig5_scales_fig4(self):
+        assert FIGURES["fig5"].base_facts > FIGURES["fig4"].base_facts
+
+    def test_algorithm_lineups(self):
+        assert "TDOPT" in FIGURES["fig4"].algorithms
+        assert "TDOPTALL" in FIGURES["fig7"].algorithms
+        assert "TDOPT" not in FIGURES["fig7"].algorithms
+        assert set(FIGURES["fig10"].algorithms) >= {"BUCCUST", "TDCUST"}
+
+    def test_configs_scale_knob(self):
+        spec = FIGURES["fig4"]
+        small = spec.configs(scale=0.5)
+        big = spec.configs(scale=2.0)
+        assert big[0].n_facts == 4 * small[0].n_facts
+
+    def test_dblp_single_config(self):
+        assert len(FIGURES["fig10"].configs()) == 1
+
+
+class TestRunFigure:
+    def test_axes_restriction(self):
+        spec, runs = run_figure("fig4", scale=0.3, axes=[2, 3])
+        assert {run.n_axes for run in runs} == {2, 3}
+        assert spec.figure_id == "fig4"
+
+    def test_series_pivot(self):
+        _, runs = run_figure("fig4", scale=0.3, axes=[2, 3])
+        series = series_of(runs)
+        assert set(series) == set(FIGURES["fig4"].algorithms)
+        for points in series.values():
+            assert [x for x, _ in points] == [2, 3]

@@ -1,0 +1,61 @@
+"""Unit tests for the x3-bench CLI."""
+
+from repro.bench.runner import build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["--figure", "fig4"])
+        assert args.figure == "fig4"
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--all"])
+        assert args.scale == 1.0
+        assert args.memory is None
+        assert not args.validate
+
+
+class TestMain:
+    def test_no_selection_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_single_figure_runs(self, capsys):
+        code = main(["--figure", "fig4", "--scale", "0.25", "--axes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "BUC" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "runs.csv"
+        code = main(
+            [
+                "--figure", "fig4", "--scale", "0.25", "--axes", "2",
+                "--csv", str(target),
+            ]
+        )
+        assert code == 0
+        content = target.read_text()
+        assert content.startswith("workload,algorithm")
+        assert "BUC" in content
+
+
+class TestScalingFlag:
+    def test_scaling_runs(self, capsys, monkeypatch):
+        from repro.bench import scaling as scaling_module
+
+        original = scaling_module.run_scaling
+
+        def tiny_scaling(**kwargs):
+            return original(
+                scales=(40, 80), n_axes=2,
+                algorithms=("BUC",), memory_entries=2000,
+            )
+
+        monkeypatch.setattr(scaling_module, "run_scaling", tiny_scaling)
+        assert main(["--scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling" in out
+        assert "BUC" in out

@@ -1,0 +1,47 @@
+"""Unit tests for the Sec. 4.4 scaling driver."""
+
+import pytest
+
+from repro.bench.scaling import (
+    ScalingResult,
+    format_scaling,
+    run_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def result() -> ScalingResult:
+    return run_scaling(
+        scales=(60, 240), n_axes=3,
+        algorithms=("COUNTER", "BUC", "TD", "TDOPT"),
+        memory_entries=1500,
+    )
+
+
+class TestScaling:
+    def test_times_grow_with_scale(self, result):
+        for algorithm, points in result.series.items():
+            assert points[-1][1] > points[0][1], algorithm
+
+    def test_optimized_gain_grows_with_scale(self, result):
+        gains = result.optimization_gain("TD", "TDOPT")
+        assert gains[-1][1] > gains[0][1]
+
+    def test_growth_factor(self, result):
+        assert result.growth_factor("BUC") > 1.0
+
+    def test_counter_thrash_onset(self):
+        """COUNTER begins multi-pass at a smaller axis count when the
+        input grows (Sec. 4.4's last observation)."""
+        result = run_scaling(
+            scales=(60, 600), n_axes=4,
+            algorithms=("COUNTER",), memory_entries=1500,
+        )
+        passes = dict(result.passes["COUNTER"])
+        assert passes[600] > passes[60]
+
+    def test_format(self, result):
+        text = format_scaling(result)
+        assert "scaling" in text
+        assert "BUC" in text
+        assert "60" in text and "240" in text

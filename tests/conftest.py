@@ -1,0 +1,50 @@
+"""Shared fixtures: the running example and small controlled workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extract import extract_fact_table
+from repro.datagen.publications import figure1_document, query1
+from repro.datagen.workload import WorkloadConfig, build_workload
+
+
+@pytest.fixture()
+def fig1_doc():
+    return figure1_document()
+
+
+@pytest.fixture()
+def q1():
+    return query1()
+
+
+@pytest.fixture()
+def fig1_table(fig1_doc, q1):
+    return extract_fact_table(fig1_doc, q1)
+
+
+def small_workload(**overrides):
+    """A fast controlled Treebank workload for algorithm tests."""
+    defaults = dict(
+        kind="treebank",
+        n_facts=80,
+        n_axes=3,
+        density="dense",
+        coverage=True,
+        disjoint=True,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return build_workload(WorkloadConfig(**defaults))
+
+
+@pytest.fixture()
+def regular_workload():
+    return small_workload()
+
+
+@pytest.fixture()
+def messy_workload():
+    """Neither summarizability property holds."""
+    return small_workload(coverage=False, disjoint=False, seed=9)

@@ -1,0 +1,80 @@
+"""Unit tests for the shared algorithm machinery."""
+
+import pytest
+
+from repro.core.algorithms.base import (
+    DEFAULT_MEMORY_ENTRIES,
+    ENTRIES_PER_PAGE,
+    ExecutionContext,
+    row_entries,
+    table_entries,
+    table_pages,
+)
+from repro.core.bindings import AnnotatedValue, FactRow, FactTable
+from repro.core.properties import PropertyOracle
+from repro.datagen.publications import query1
+
+
+def tiny_table(n_rows=3, values_per_axis=2):
+    lattice = query1().lattice()
+    rows = []
+    for number in range(n_rows):
+        axes = tuple(
+            tuple(
+                AnnotatedValue(f"v{index}", 1)
+                for index in range(values_per_axis)
+            )
+            for _ in range(lattice.axis_count)
+        )
+        rows.append(FactRow((0, number), 1.0, axes))
+    return FactTable(lattice, rows)
+
+
+class TestFootprints:
+    def test_row_entries(self):
+        table = tiny_table(n_rows=1, values_per_axis=2)
+        # 1 + 3 axes x 2 values.
+        assert row_entries(table.rows[0]) == 7
+
+    def test_table_entries_sums_rows(self):
+        table = tiny_table(n_rows=4)
+        assert table_entries(table) == 4 * row_entries(table.rows[0])
+
+    def test_table_pages_rounds_up(self):
+        table = tiny_table(n_rows=1)
+        assert table_pages(table) == 1
+        big = tiny_table(n_rows=ENTRIES_PER_PAGE)
+        assert table_pages(big) > 1
+
+    def test_empty_table_one_page(self):
+        lattice = query1().lattice()
+        assert table_pages(FactTable(lattice, [])) == 1
+
+
+class TestExecutionContext:
+    def test_defaults(self):
+        table = tiny_table()
+        context = ExecutionContext(table, None, None)
+        assert context.budget.capacity_entries == DEFAULT_MEMORY_ENTRIES
+        assert not context.oracle.disjoint(table.lattice.top)
+        assert context.min_support == 0.0
+
+    def test_charge_base_scan(self):
+        table = tiny_table()
+        context = ExecutionContext(table, None, None)
+        context.charge_base_scan()
+        assert context.cost.io.page_reads == context.base_pages
+        assert context.cost.cpu_ops == len(table.rows)
+
+    def test_charge_spill(self):
+        table = tiny_table()
+        context = ExecutionContext(table, None, 100)
+        context.charge_spill(ENTRIES_PER_PAGE * 3)
+        assert context.cost.io.page_writes == 3
+        assert context.cost.io.page_reads == 3
+
+    def test_oracle_passed_through(self):
+        table = tiny_table()
+        oracle = PropertyOracle.from_flags(table.lattice, True, True)
+        context = ExecutionContext(table, oracle, None)
+        assert context.oracle.disjoint(table.lattice.top)

@@ -1,0 +1,80 @@
+"""Unit tests for the top-down family's internal helpers."""
+
+from repro.core.algorithms.topdown import (
+    _pick_source,
+    _rigid_twin,
+    _sortable,
+)
+from repro.datagen.publications import query1
+
+
+def lattice():
+    return query1().lattice()
+
+
+class TestSortable:
+    def test_orders_none_first(self):
+        keys = [("b", None), (None, "a"), ("a", "a"), (None, None)]
+        ordered = sorted(keys, key=_sortable)
+        assert ordered[0] == (None, None)
+        assert ordered[-1] == ("b", None)
+
+    def test_total_order_on_mixed(self):
+        keys = [("x",), (None,), ("a",)]
+        assert sorted(keys, key=_sortable) == [(None,), ("a",), ("x",)]
+
+
+class TestRigidTwin:
+    def test_identity_for_rigid_points(self):
+        lat = lattice()
+        assert _rigid_twin(lat, lat.top) == lat.top
+        assert _rigid_twin(lat, lat.bottom) == lat.bottom
+
+    def test_structural_states_collapse(self):
+        lat = lattice()
+        point = lat.point_by_description("$n:PC-AD+SP, $p:PC-AD, $y:rigid")
+        twin = _rigid_twin(lat, point)
+        assert twin == lat.top
+
+    def test_drops_preserved(self):
+        lat = lattice()
+        point = lat.point_by_description("$n:PC-AD, $p:LND, $y:rigid")
+        twin = _rigid_twin(lat, point)
+        assert twin == lat.point_by_description(
+            "$n:rigid, $p:LND, $y:rigid"
+        )
+
+
+class TestPickSource:
+    def test_requires_matching_states(self):
+        lat = lattice()
+        target = lat.point_by_description("$n:PC-AD, $p:LND, $y:LND")
+        wrong_state = lat.point_by_description(
+            "$n:rigid, $p:rigid, $y:rigid"
+        )
+        computed = {wrong_state: {("a", "b", "c"): object()}}
+        assert _pick_source(lat, computed, target) is None
+
+    def test_prefers_smaller_cuboid(self):
+        lat = lattice()
+        target = lat.point_by_description("$n:LND, $p:LND, $y:rigid")
+        big = lat.point_by_description("$n:rigid, $p:rigid, $y:rigid")
+        small = lat.point_by_description("$n:LND, $p:rigid, $y:rigid")
+        computed = {
+            big: {(f"k{i}", "p", "y"): object() for i in range(10)},
+            small: {("p", "y"): object()},
+        }
+        assert _pick_source(lat, computed, target) == small
+
+    def test_candidate_must_be_finer(self):
+        lat = lattice()
+        target = lat.point_by_description("$n:rigid, $p:LND, $y:rigid")
+        coarser = lat.point_by_description("$n:rigid, $p:LND, $y:LND")
+        computed = {coarser: {("n",): object()}}
+        assert _pick_source(lat, computed, target) is None
+
+    def test_self_excluded(self):
+        lat = lattice()
+        point = lat.top
+        computed = {point: {}}
+        assert _pick_source(lat, computed, point) is None

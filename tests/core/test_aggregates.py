@@ -1,0 +1,102 @@
+"""Unit tests for aggregate functions (distributive/algebraic protocol)."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec, get_function
+from repro.errors import QueryError
+
+
+class TestCount:
+    def test_basic(self):
+        fn = get_function("COUNT")
+        state = fn.new()
+        for measure in (5.0, 7.0, 9.0):
+            state = fn.add(state, measure)
+        assert fn.finalize(state) == 3.0
+
+    def test_merge(self):
+        fn = get_function("count")
+        left = fn.add(fn.new(), 1.0)
+        right = fn.add(fn.add(fn.new(), 1.0), 1.0)
+        assert fn.finalize(fn.merge(left, right)) == 3.0
+
+
+class TestSum:
+    def test_basic_and_merge(self):
+        fn = get_function("SUM")
+        left = fn.add(fn.new(), 2.5)
+        right = fn.add(fn.new(), 1.5)
+        assert fn.finalize(fn.merge(left, right)) == 4.0
+
+
+class TestMinMax:
+    def test_min(self):
+        fn = get_function("MIN")
+        state = fn.add(fn.add(fn.new(), 5.0), 2.0)
+        assert fn.finalize(state) == 2.0
+
+    def test_max_merge_with_empty(self):
+        fn = get_function("MAX")
+        assert fn.finalize(fn.merge(fn.new(), fn.add(fn.new(), 3.0))) == 3.0
+
+    def test_empty_group_raises(self):
+        for name in ("MIN", "MAX"):
+            fn = get_function(name)
+            with pytest.raises(QueryError):
+                fn.finalize(fn.new())
+
+
+class TestAvg:
+    def test_algebraic_merge(self):
+        fn = get_function("AVG")
+        left = fn.add(fn.add(fn.new(), 1.0), 2.0)   # avg 1.5 of 2
+        right = fn.add(fn.new(), 6.0)               # avg 6 of 1
+        merged = fn.merge(left, right)
+        assert fn.finalize(merged) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        fn = get_function("AVG")
+        with pytest.raises(QueryError):
+            fn.finalize(fn.new())
+
+
+class TestMergeEqualsSequential:
+    """Distributivity: merging partials == folding everything at once."""
+
+    @pytest.mark.parametrize("name", ["COUNT", "SUM", "MIN", "MAX", "AVG"])
+    def test_split_points(self, name):
+        fn = get_function(name)
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        whole = fn.new()
+        for value in data:
+            whole = fn.add(whole, value)
+        for split in range(1, len(data)):
+            left = fn.new()
+            for value in data[:split]:
+                left = fn.add(left, value)
+            right = fn.new()
+            for value in data[split:]:
+                right = fn.add(right, value)
+            assert fn.finalize(fn.merge(left, right)) == pytest.approx(
+                fn.finalize(whole)
+            )
+
+
+class TestAggregateSpec:
+    def test_count_default(self):
+        spec = AggregateSpec()
+        assert spec.function == "COUNT"
+        assert str(spec) == "COUNT($fact)"
+
+    def test_sum_needs_measure(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("SUM")
+
+    def test_sum_with_measure(self):
+        spec = AggregateSpec("SUM", "@price")
+        assert str(spec) == "SUM(@price)"
+        assert spec.fn.name == "SUM"
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("MEDIAN", "x")

@@ -1,0 +1,125 @@
+"""Unit tests for the annotated fact table."""
+
+from repro.core.axes import AxisSpec
+from repro.core.bindings import AnnotatedValue, FactRow, FactTable
+from repro.core.lattice import CubeLattice
+from repro.patterns.relaxation import Relaxation
+
+
+def lattice_2axes():
+    return CubeLattice(
+        [
+            AxisSpec.from_path(
+                "$a", "a", frozenset({Relaxation.LND, Relaxation.PC_AD})
+            ),
+            AxisSpec.from_path("$b", "b", frozenset({Relaxation.LND})),
+        ]
+    )
+
+
+def row(fact, a_values, b_values, measure=1.0):
+    return FactRow(
+        fact_id=(0, fact),
+        measure=measure,
+        axes=(tuple(a_values), tuple(b_values)),
+    )
+
+
+# Masks: axis $a has states [rigid, {PC-AD}]: rigid bit 1, pcad bit 2.
+RIGID_AND_PCAD = 0b11
+PCAD_ONLY = 0b10
+
+
+class TestAnnotatedValue:
+    def test_matches(self):
+        value = AnnotatedValue("x", PCAD_ONLY)
+        assert not value.matches(0)
+        assert value.matches(1)
+
+
+class TestKeyCombinations:
+    def test_single_values(self):
+        lattice = lattice_2axes()
+        table = FactTable(lattice, [])
+        r = row(1, [AnnotatedValue("x", RIGID_AND_PCAD)],
+                [AnnotatedValue("u", 1)])
+        assert table.key_combinations(r, lattice.top) == [("x", "u")]
+
+    def test_cross_product(self):
+        lattice = lattice_2axes()
+        table = FactTable(lattice, [])
+        r = row(
+            1,
+            [AnnotatedValue("x", 0b11), AnnotatedValue("y", 0b11)],
+            [AnnotatedValue("u", 1), AnnotatedValue("v", 1)],
+        )
+        keys = table.key_combinations(r, lattice.top)
+        assert sorted(keys) == [
+            ("x", "u"), ("x", "v"), ("y", "u"), ("y", "v"),
+        ]
+
+    def test_dropped_axis_excluded_from_key(self):
+        lattice = lattice_2axes()
+        table = FactTable(lattice, [])
+        r = row(1, [AnnotatedValue("x", 0b11)], [AnnotatedValue("u", 1)])
+        point = (lattice.axis_states[0].dropped_index, 0)
+        assert table.key_combinations(r, point) == [("u",)]
+
+    def test_bottom_single_group(self):
+        lattice = lattice_2axes()
+        table = FactTable(lattice, [])
+        r = row(1, [], [])
+        assert table.key_combinations(r, lattice.bottom) == [()]
+
+    def test_missing_value_excludes_fact(self):
+        lattice = lattice_2axes()
+        table = FactTable(lattice, [])
+        r = row(1, [], [AnnotatedValue("u", 1)])
+        assert table.key_combinations(r, lattice.top) == []
+        assert not table.participates(r, lattice.top)
+
+    def test_state_gated_value(self):
+        lattice = lattice_2axes()
+        table = FactTable(lattice, [])
+        r = row(1, [AnnotatedValue("x", PCAD_ONLY)],
+                [AnnotatedValue("u", 1)])
+        assert table.key_combinations(r, lattice.top) == []
+        pcad_point = (1, 0)
+        assert table.key_combinations(r, pcad_point) == [("x", "u")]
+
+
+class TestObservedProperties:
+    def test_disjointness(self):
+        lattice = lattice_2axes()
+        single = row(1, [AnnotatedValue("x", 0b11)], [AnnotatedValue("u", 1)])
+        multi = row(
+            2,
+            [AnnotatedValue("x", 0b11), AnnotatedValue("y", 0b11)],
+            [AnnotatedValue("u", 1)],
+        )
+        assert FactTable(lattice, [single]).observed_disjointness(
+            lattice.top
+        )
+        assert not FactTable(lattice, [multi]).observed_disjointness(
+            lattice.top
+        )
+
+    def test_coverage_edge(self):
+        lattice = lattice_2axes()
+        gap = row(1, [], [AnnotatedValue("u", 1)])
+        table = FactTable(lattice, [gap])
+        finer = lattice.top
+        coarser = (lattice.axis_states[0].dropped_index, 0)
+        assert not table.observed_coverage(finer, coarser)
+        full = row(2, [AnnotatedValue("x", 0b11)], [AnnotatedValue("u", 1)])
+        assert FactTable(lattice, [full]).observed_coverage(finer, coarser)
+
+    def test_axis_cardinality(self):
+        lattice = lattice_2axes()
+        rows = [
+            row(1, [AnnotatedValue("x", 0b11)], []),
+            row(2, [AnnotatedValue("y", PCAD_ONLY)], []),
+        ]
+        table = FactTable(lattice, rows)
+        assert table.axis_cardinality(0, 0) == 1   # rigid sees only x
+        assert table.axis_cardinality(0, 1) == 2   # PC-AD sees both

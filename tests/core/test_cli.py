@@ -1,0 +1,113 @@
+"""Unit tests for the x3-cube CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.publications import QUERY1_TEXT, figure1_document
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture()
+def inputs(tmp_path):
+    query_path = tmp_path / "query.xq"
+    query_path.write_text(QUERY1_TEXT)
+    data_path = tmp_path / "data.xml"
+    data_path.write_text(serialize(figure1_document()))
+    return str(query_path), str(data_path)
+
+
+class TestHappyPath:
+    def test_default_output(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data]) == 0
+        out = capsys.readouterr().out
+        assert "4 facts, 30 cuboids" in out
+        assert "$n:rigid, $p:rigid, $y:rigid" in out
+        assert "$n:LND, $p:LND, $y:LND" in out
+
+    def test_specific_cuboid(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "--query", query, data,
+                "--cuboid", "$n:LND, $p:LND, $y:rigid",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(2003): 2" in out
+
+    def test_list_cuboids(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data, "--list-cuboids"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("groups") == 30
+
+    def test_properties_report(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data, "--properties"]) == 0
+        out = capsys.readouterr().out
+        assert "disjoint=False" in out
+
+    def test_min_support(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "--query", query, data, "--min-support", "2",
+                "--cuboid", "$n:LND, $p:LND, $y:rigid",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(2003): 2" in out
+        assert "(2004)" not in out  # below support, pruned
+
+    def test_multiple_files(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data, data]) == 0
+        assert "8 facts" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_query_file(self, inputs, capsys):
+        _, data = inputs
+        assert main(["--query", "/nope/query.xq", data]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_query_text(self, tmp_path, inputs, capsys):
+        _, data = inputs
+        bad = tmp_path / "bad.xq"
+        bad.write_text("this is not a query")
+        assert main(["--query", str(bad), data]) == 1
+
+    def test_bad_xml(self, tmp_path, inputs, capsys):
+        query, _ = inputs
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<a><b></a>")
+        assert main(["--query", query, str(broken)]) == 1
+
+    def test_unknown_algorithm(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data, "--algorithm", "WARP"]) == 1
+
+    def test_unknown_cuboid(self, inputs, capsys):
+        query, data = inputs
+        assert (
+            main(["--query", query, data, "--cuboid", "$n:warp"]) == 1
+        )
+
+
+class TestExport:
+    def test_export_round_trips(self, inputs, tmp_path, capsys):
+        from repro.core.export import cube_from_xml
+        from repro.datagen.publications import query1
+
+        query, data = inputs
+        target = tmp_path / "cube.xml"
+        assert main(["--query", query, data, "--export", str(target)]) == 0
+        text = target.read_text()
+        lattice = query1().lattice()
+        cube = cube_from_xml(text, lattice)
+        assert cube.total_cells() > 0
+        year_point = lattice.point_by_description("$n:LND, $p:LND, $y:rigid")
+        assert cube.cuboids[year_point][("2003",)] == 2.0

@@ -1,0 +1,90 @@
+"""Unit + property tests for cube XML export/import."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cube import CubeResult, compute_cube
+from repro.core.export import cube_from_xml, cube_to_xml
+from repro.datagen.publications import query1
+from repro.errors import CubeError
+
+
+class TestRoundTrip:
+    def test_figure1_cube_round_trips(self, fig1_table):
+        cube = compute_cube(fig1_table, "BUC")
+        text = cube_to_xml(cube, query=query1())
+        again = cube_from_xml(text, fig1_table.lattice)
+        assert again.same_contents(cube)
+        assert again.algorithm == "BUC"
+        assert again.aggregate == "COUNT"
+
+    def test_axes_metadata_written(self, fig1_table):
+        cube = compute_cube(fig1_table, "NAIVE")
+        text = cube_to_xml(cube, query=query1())
+        assert 'name="$n"' in text
+        assert 'path="author/name"' in text
+        assert "LND,PC-AD,SP" in text
+
+    def test_partial_cube(self, fig1_table):
+        top = fig1_table.lattice.top
+        cube = compute_cube(fig1_table, "NAIVE", points=[top])
+        again = cube_from_xml(
+            cube_to_xml(cube), fig1_table.lattice
+        )
+        assert list(again.cuboids) == [top]
+
+    def test_null_components_round_trip(self, fig1_table):
+        cube = compute_cube(fig1_table, "NAIVE")
+        point = fig1_table.lattice.top
+        cube.cuboids[point][(None, "p1", "2003")] = 7.0
+        again = cube_from_xml(cube_to_xml(cube), fig1_table.lattice)
+        assert again.cuboids[point][(None, "p1", "2003")] == 7.0
+
+
+class TestErrors:
+    def test_wrong_root_rejected(self, fig1_table):
+        with pytest.raises(CubeError):
+            cube_from_xml("<notacube/>", fig1_table.lattice)
+
+    def test_foreign_point_rejected(self, fig1_table):
+        text = '<cube><cuboid point="$zz:rigid"/></cube>'
+        with pytest.raises(CubeError):
+            cube_from_xml(text, fig1_table.lattice)
+
+    def test_arity_mismatch_rejected(self, fig1_table):
+        text = (
+            '<cube><cuboid point="$n:LND, $p:LND, $y:rigid">'
+            '<group result="1.0"><k>a</k><k>b</k></group>'
+            "</cuboid></cube>"
+        )
+        with pytest.raises(CubeError):
+            cube_from_xml(text, fig1_table.lattice)
+
+
+VALUE = st.text(
+    alphabet=st.characters(min_codepoint=0x21, max_codepoint=0x7E),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(
+    st.dictionaries(
+        st.tuples(VALUE, VALUE, VALUE),
+        st.floats(
+            min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        max_size=12,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_random_cuboids_round_trip(cells):
+    lattice = query1().lattice()
+    cube = CubeResult(
+        lattice=lattice,
+        cuboids={lattice.top: dict(cells)},
+        algorithm="NAIVE",
+    )
+    again = cube_from_xml(cube_to_xml(cube), lattice)
+    assert again.cuboids[lattice.top] == cube.cuboids[lattice.top]

@@ -1,0 +1,90 @@
+"""Unit tests for grouping primitives."""
+
+from repro.core.aggregates import get_function
+from repro.core.groupby import (
+    aggregate_groups,
+    augmented_keys,
+    cuboid_from_rows,
+    group_facts,
+    strip_null_groups,
+)
+from repro.core.extract import extract_from_documents
+from repro.datagen.publications import figure1_document, query1
+
+
+def fig1_table():
+    return extract_from_documents([figure1_document()], query1())
+
+
+class TestGroupFacts:
+    def test_paper_group_p1_2003(self):
+        table = fig1_table()
+        point = table.lattice.point_by_description(
+            "$n:LND, $p:rigid, $y:rigid"
+        )
+        groups = group_facts(table, table.rows, point)
+        # "the group (p1, 2003) contains only the first publication and
+        # its count should be one"
+        assert len(groups[("p1", "2003")]) == 1
+
+    def test_multi_author_fact_in_two_groups(self):
+        table = fig1_table()
+        point = table.lattice.point_by_description(
+            "$n:rigid, $p:LND, $y:LND"
+        )
+        groups = group_facts(table, table.rows, point)
+        first = table.rows[0]
+        assert first in groups[("John",)]
+        assert first in groups[("Jane",)]
+
+
+class TestAggregation:
+    def test_count(self):
+        table = fig1_table()
+        point = table.lattice.point_by_description(
+            "$n:LND, $p:LND, $y:rigid"
+        )
+        cuboid = cuboid_from_rows(
+            table, table.rows, point, get_function("COUNT")
+        )
+        assert cuboid == {
+            ("2003",): 2.0, ("2004",): 1.0, ("2005",): 1.0,
+        }
+
+    def test_aggregate_groups_direct(self):
+        table = fig1_table()
+        groups = {("k",): table.rows[:3]}
+        cuboid = aggregate_groups(groups, get_function("COUNT"))
+        assert cuboid == {("k",): 3.0}
+
+
+class TestAugmentedKeys:
+    def test_nulls_for_missing_axes(self):
+        table = fig1_table()
+        pub3 = table.rows[2]
+        keys = augmented_keys(table, pub3, table.lattice.top)
+        # pub3 has no rigid name, no publisher, a rigid year.
+        assert keys == [(None, None, "2003")]
+
+    def test_no_nulls_when_fully_bound(self):
+        table = fig1_table()
+        pub1 = table.rows[0]
+        keys = augmented_keys(table, pub1, table.lattice.top)
+        assert sorted(keys) == [
+            ("Jane", "p1", "2003"), ("John", "p1", "2003"),
+        ]
+
+    def test_bottom_point_single_empty_key(self):
+        table = fig1_table()
+        assert augmented_keys(
+            table, table.rows[0], table.lattice.bottom
+        ) == [()]
+
+
+class TestStripNullGroups:
+    def test_strip(self):
+        cuboid = {("a", "b"): 1.0, ("a", None): 2.0, (None,): 3.0}
+        assert strip_null_groups(cuboid) == {("a", "b"): 1.0}
+
+    def test_empty_key_kept(self):
+        assert strip_null_groups({(): 5.0}) == {(): 5.0}

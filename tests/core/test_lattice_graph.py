@@ -1,0 +1,100 @@
+"""Tests validating the lattice against networkx as an independent
+graph library, plus the GraphViz export."""
+
+import networkx as nx
+
+from repro.core.lattice_graph import (
+    edge_label,
+    level_census,
+    to_dot,
+    to_networkx,
+)
+from repro.datagen.publications import query1
+
+
+def graph_and_lattice():
+    lattice = query1().lattice()
+    return to_networkx(lattice), lattice
+
+
+class TestGraphStructure:
+    def test_is_dag(self):
+        graph, _ = graph_and_lattice()
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_node_and_point_counts(self):
+        graph, lattice = graph_and_lattice()
+        assert graph.number_of_nodes() == lattice.size() == 30
+
+    def test_single_source_and_sink(self):
+        graph, lattice = graph_and_lattice()
+        sources = [n for n in graph if graph.in_degree(n) == 0]
+        sinks = [n for n in graph if graph.out_degree(n) == 0]
+        assert sources == [lattice.top]
+        assert sinks == [lattice.bottom]
+
+    def test_everything_reachable_from_top(self):
+        graph, lattice = graph_and_lattice()
+        reachable = nx.descendants(graph, lattice.top)
+        assert len(reachable) == lattice.size() - 1
+
+    def test_topological_order_agrees(self):
+        graph, lattice = graph_and_lattice()
+        order = lattice.topo_finer_first()
+        position = {point: i for i, point in enumerate(order)}
+        for finer, coarser in graph.edges:
+            assert position[finer] < position[coarser]
+
+    def test_transitive_reduction_within_edges(self):
+        # Every edge is a single relaxation step, so the graph's
+        # reachability must equal the lattice's leq relation.
+        graph, lattice = graph_and_lattice()
+        closure = nx.transitive_closure(graph)
+        points = list(lattice.points())
+        for first in points[:12]:
+            for second in points[:12]:
+                if first == second:
+                    continue
+                assert closure.has_edge(first, second) == (
+                    lattice.leq(first, second)
+                ), (first, second)
+
+
+class TestLabels:
+    def test_edge_labels_name_the_relaxation(self):
+        graph, lattice = graph_and_lattice()
+        labels = {
+            data["relaxation"] for _, _, data in graph.edges(data=True)
+        }
+        assert "$y:LND" in labels
+        assert "$n:PC-AD" in labels
+        assert "$n:SP" in labels
+
+    def test_edge_label_direct(self):
+        lattice = query1().lattice()
+        top = lattice.top
+        succ = lattice.point_by_description(
+            "$n:rigid, $p:rigid, $y:LND"
+        )
+        assert edge_label(lattice, top, succ) == "$y:LND"
+
+
+class TestDot:
+    def test_dot_structure(self):
+        lattice = query1().lattice()
+        dot = to_dot(lattice)
+        assert dot.startswith("digraph x3_lattice {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == sum(
+            len(lattice.successors(point)) for point in lattice.points()
+        )
+        assert "$n:rigid, $p:rigid, $y:rigid" in dot
+
+
+class TestCensus:
+    def test_levels_sum_to_size(self):
+        lattice = query1().lattice()
+        census = level_census(lattice)
+        assert sum(count for _, count in census) == 30
+        assert census[0] == (0, 1)   # single top
+        assert census[-1][1] == 1    # single bottom

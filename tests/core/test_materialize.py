@@ -1,0 +1,108 @@
+"""Unit tests for the cuboid materialization advisor (Sec. 3.6)."""
+
+import pytest
+
+from repro.core.cube import compute_cube
+from repro.core.materialize import (
+    MaterializedCube,
+    cuboid_sizes,
+    select_views,
+)
+from repro.core.properties import PropertyOracle
+from tests.conftest import small_workload
+
+
+@pytest.fixture(scope="module")
+def clean():
+    workload = small_workload(n_facts=100, coverage=True, disjoint=True)
+    table = workload.fact_table()
+    oracle = PropertyOracle.from_flags(table.lattice, True, True)
+    return table, oracle
+
+
+@pytest.fixture(scope="module")
+def messy():
+    workload = small_workload(
+        n_facts=100, coverage=False, disjoint=False, seed=3
+    )
+    table = workload.fact_table()
+    oracle = PropertyOracle.from_flags(table.lattice, False, False)
+    return table, oracle
+
+
+class TestSizes:
+    def test_sizes_match_naive(self, clean):
+        table, _ = clean
+        sizes = cuboid_sizes(table, table.lattice)
+        cube = compute_cube(table, "NAIVE")
+        for point, size in sizes.items():
+            assert size == len(cube.cuboids[point])
+
+
+class TestSelection:
+    def test_budget_respected(self, clean):
+        table, oracle = clean
+        sizes = cuboid_sizes(table, table.lattice)
+        budget = sizes[table.lattice.top] + 10
+        selection = select_views(table, oracle, space_budget=budget)
+        assert selection.space_used <= budget
+        assert table.lattice.top in selection.chosen
+
+    def test_bigger_budget_serves_more(self, clean):
+        table, oracle = clean
+        small = select_views(table, oracle, space_budget=50)
+        sizes = cuboid_sizes(table, table.lattice)
+        large = select_views(
+            table, oracle, space_budget=sum(sizes.values())
+        )
+        assert large.coverage_ratio() >= small.coverage_ratio()
+
+    def test_messy_data_limits_serving(self, clean, messy):
+        """Without summarizability, no cuboid can serve another: the
+        advisor must fall back to per-point recomputation."""
+        messy_table, messy_oracle = messy
+        selection = select_views(
+            messy_table, messy_oracle, space_budget=10_000
+        )
+        # Only materialized points serve themselves; nothing else is
+        # soundly derivable.
+        for point, source in selection.serving.items():
+            if source is not None:
+                assert source == point
+
+    def test_clean_data_serves_most_points(self, clean):
+        table, oracle = clean
+        sizes = cuboid_sizes(table, table.lattice)
+        selection = select_views(
+            table, oracle, space_budget=sizes[table.lattice.top] + 50
+        )
+        assert selection.coverage_ratio() > 0.9
+
+
+class TestMaterializedCube:
+    def test_answers_match_full_cube(self, clean):
+        table, oracle = clean
+        selection = select_views(table, oracle, space_budget=2000)
+        materialized = MaterializedCube(table, selection, oracle)
+        reference = compute_cube(table, "NAIVE")
+        materialized.verify_against(reference)
+        assert materialized.stats["direct"] + materialized.stats[
+            "rolled_up"
+        ] + materialized.stats["recomputed"] == table.lattice.size()
+
+    def test_messy_answers_still_correct(self, messy):
+        table, oracle = messy
+        selection = select_views(table, oracle, space_budget=2000)
+        materialized = MaterializedCube(table, selection, oracle)
+        reference = compute_cube(table, "NAIVE")
+        materialized.verify_against(reference)
+        # Everything not materialized had to be recomputed from base.
+        assert materialized.stats["rolled_up"] == 0
+
+    def test_cell_accessor(self, clean):
+        table, oracle = clean
+        selection = select_views(table, oracle, space_budget=2000)
+        materialized = MaterializedCube(table, selection, oracle)
+        reference = compute_cube(table, "NAIVE")
+        point = table.lattice.bottom
+        assert materialized.cell(point, ()) == reference.cuboids[point][()]

@@ -1,0 +1,137 @@
+"""Unit tests for query-time roll-up and summarizability checking."""
+
+import pytest
+
+from repro.core.cube import compute_cube
+from repro.core.properties import PropertyOracle
+from repro.core.rollup import (
+    best_source_for,
+    derivable,
+    dice_cuboid,
+    point_query,
+    rollup,
+    slice_cuboid,
+    structural_drop_only,
+)
+from repro.errors import CubeError
+from tests.conftest import small_workload
+
+
+@pytest.fixture(scope="module")
+def clean():
+    workload = small_workload(n_facts=80, coverage=True, disjoint=True)
+    table = workload.fact_table()
+    oracle = PropertyOracle.from_flags(table.lattice, True, True)
+    cube = compute_cube(table, "NAIVE")
+    return table, oracle, cube
+
+
+class TestDerivable:
+    def test_drop_only_moves(self, fig1_table):
+        lattice = fig1_table.lattice
+        top = lattice.top
+        year_only = lattice.point_by_description("$n:LND, $p:LND, $y:rigid")
+        pcad = lattice.point_by_description("$n:PC-AD, $p:rigid, $y:rigid")
+        assert structural_drop_only(lattice, top, year_only)
+        assert not structural_drop_only(lattice, top, pcad)
+
+    def test_structural_move_refused(self, fig1_table):
+        lattice = fig1_table.lattice
+        oracle = PropertyOracle.from_flags(lattice, True, True)
+        top = lattice.top
+        pcad = lattice.point_by_description("$n:PC-AD, $p:rigid, $y:rigid")
+        ok, reason = derivable(lattice, top, pcad, oracle)
+        assert not ok and "relaxes structure" in reason
+
+    def test_nondisjoint_source_refused(self, fig1_table):
+        lattice = fig1_table.lattice
+        oracle = PropertyOracle.from_data(fig1_table)
+        top = lattice.top
+        target = lattice.point_by_description("$n:LND, $p:rigid, $y:rigid")
+        ok, reason = derivable(lattice, top, target, oracle)
+        assert not ok and "disjoint" in reason
+
+    def test_clean_data_derivable(self, clean):
+        table, oracle, _ = clean
+        lattice = table.lattice
+        target = list(lattice.successors(lattice.top))[0]
+        ok, _ = derivable(lattice, lattice.top, target, oracle)
+        assert ok
+
+    def test_identity(self, clean):
+        table, oracle, _ = clean
+        top = table.lattice.top
+        assert derivable(table.lattice, top, top, oracle)[0]
+
+
+class TestRollup:
+    def test_safe_rollup_matches_direct(self, clean):
+        table, oracle, cube = clean
+        lattice = table.lattice
+        for target in lattice.points():
+            if target == lattice.top:
+                continue
+            rolled = rollup(cube, lattice.top, target, oracle)
+            assert rolled == cube.cuboids[target], lattice.describe(target)
+
+    def test_unsafe_rollup_reproduces_paper_wrong_answer(self, fig1_table):
+        cube = compute_cube(fig1_table, "NAIVE")
+        oracle = PropertyOracle.from_data(fig1_table)
+        lattice = fig1_table.lattice
+        source = lattice.point_by_description("$n:rigid, $p:rigid, $y:rigid")
+        target = lattice.point_by_description("$n:LND, $p:rigid, $y:rigid")
+        with pytest.raises(CubeError):
+            rollup(cube, source, target, oracle)
+        wrong = rollup(cube, source, target, oracle, unsafe=True)
+        # The paper: "added up, the result is two, which is wrong."
+        assert wrong[("p1", "2003")] == 2.0
+        assert cube.cuboids[target][("p1", "2003")] == 1.0
+
+    def test_non_distributive_rejected(self, clean):
+        table, oracle, cube = clean
+        cube.aggregate = "AVG"
+        try:
+            with pytest.raises(CubeError):
+                rollup(cube, table.lattice.top, table.lattice.bottom, oracle)
+        finally:
+            cube.aggregate = "COUNT"
+
+
+class TestSliceDice:
+    def test_slice(self):
+        cuboid = {("a", "x"): 1.0, ("a", "y"): 2.0, ("b", "x"): 3.0}
+        assert slice_cuboid(cuboid, 0, "a") == {("x",): 1.0, ("y",): 2.0}
+        assert slice_cuboid(cuboid, 1, "x") == {("a",): 1.0, ("b",): 3.0}
+
+    def test_slice_bad_index(self):
+        with pytest.raises(CubeError):
+            slice_cuboid({("a",): 1.0}, 3, "a")
+
+    def test_dice(self):
+        cuboid = {("a", "x"): 1.0, ("a", "y"): 2.0, ("b", "x"): 3.0}
+        assert dice_cuboid(cuboid, {0: ["a"], 1: ["x", "y"]}) == {
+            ("a", "x"): 1.0, ("a", "y"): 2.0,
+        }
+
+    def test_dice_empty_result(self):
+        assert dice_cuboid({("a",): 1.0}, {0: ["z"]}) == {}
+
+
+class TestHelpers:
+    def test_point_query(self, fig1_table):
+        cube = compute_cube(fig1_table, "NAIVE")
+        point = fig1_table.lattice.point_by_description(
+            "$n:LND, $p:LND, $y:rigid"
+        )
+        assert point_query(cube, point, ("2003",)) == 2.0
+        assert point_query(cube, point, ("1888",)) is None
+
+    def test_best_source_prefers_small(self, clean):
+        table, oracle, cube = clean
+        lattice = table.lattice
+        source = best_source_for(cube, lattice.bottom, oracle)
+        assert source is not None
+        # The smallest derivation source for the grand total is the
+        # smallest cuboid overall (everything is derivable on clean data).
+        smallest = min(cube.cuboids, key=lambda p: len(cube.cuboids[p]))
+        assert len(cube.cuboids[source]) == len(cube.cuboids[smallest])

@@ -1,0 +1,101 @@
+"""Unit tests for per-axis relaxation-state posets."""
+
+import pytest
+
+from repro.core.axes import AxisSpec
+from repro.core.states import AxisStates
+from repro.patterns.relaxation import Relaxation
+
+ALL = frozenset({Relaxation.LND, Relaxation.SP, Relaxation.PC_AD})
+
+
+def states_for(relaxations):
+    axis = AxisSpec.from_path("$n", "author/name", frozenset(relaxations))
+    return AxisStates.for_axis(axis)
+
+
+class TestStructure:
+    def test_lnd_only_two_states(self):
+        states = states_for({Relaxation.LND})
+        assert states.state_count == 2
+        assert states.rigid_index == 0
+        assert states.dropped_index == 1
+
+    def test_one_structural_three_states(self):
+        states = states_for({Relaxation.LND, Relaxation.PC_AD})
+        assert states.state_count == 3
+
+    def test_two_structural_five_states(self):
+        states = states_for(ALL)
+        assert states.state_count == 5
+        assert states.states[0] == frozenset()
+        assert states.states[-1] == {Relaxation.SP, Relaxation.PC_AD}
+
+    def test_index_round_trip(self):
+        states = states_for(ALL)
+        for index, state in enumerate(states.states):
+            assert states.index_of(state) == index
+
+
+class TestOrder:
+    def test_rigid_below_everything(self):
+        states = states_for(ALL)
+        for index in range(states.state_count):
+            assert states.leq(states.rigid_index, index)
+
+    def test_dropped_above_everything(self):
+        states = states_for(ALL)
+        for index in range(states.state_count):
+            assert states.leq(index, states.dropped_index)
+        assert not states.leq(states.dropped_index, states.rigid_index)
+
+    def test_incomparable_singletons(self):
+        states = states_for(ALL)
+        sp = states.index_of(frozenset({Relaxation.SP}))
+        pcad = states.index_of(frozenset({Relaxation.PC_AD}))
+        assert not states.leq(sp, pcad)
+        assert not states.leq(pcad, sp)
+
+
+class TestSuccessors:
+    def test_from_rigid(self):
+        states = states_for(ALL)
+        succ = set(states.successors(states.rigid_index))
+        expected = {
+            states.index_of(frozenset({Relaxation.SP})),
+            states.index_of(frozenset({Relaxation.PC_AD})),
+            states.dropped_index,
+        }
+        assert succ == expected
+
+    def test_dropped_terminal(self):
+        states = states_for(ALL)
+        assert states.successors(states.dropped_index) == []
+
+    def test_full_structural_goes_to_dropped(self):
+        states = states_for(ALL)
+        full = states.index_of(frozenset({Relaxation.SP, Relaxation.PC_AD}))
+        assert states.successors(full) == [states.dropped_index]
+
+
+class TestMasks:
+    def test_upward_mask_monotone(self):
+        states = states_for(ALL)
+        rigid_mask = states.upward_mask(states.rigid_index)
+        assert rigid_mask == (1 << len(states.states)) - 1
+        full = states.index_of(frozenset({Relaxation.SP, Relaxation.PC_AD}))
+        assert states.upward_mask(full) == 1 << full
+
+    def test_dropped_has_no_mask(self):
+        states = states_for(ALL)
+        with pytest.raises(ValueError):
+            states.mask_of(states.dropped_index)
+
+
+class TestDescribe:
+    def test_labels(self):
+        states = states_for(ALL)
+        labels = {states.describe(i) for i in range(states.state_count)}
+        assert "rigid" in labels
+        assert "LND" in labels
+        assert "PC-AD+SP" in labels

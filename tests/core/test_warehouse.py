@@ -1,0 +1,136 @@
+"""Unit tests for the warehouse facade and the Sec. 4.6 advisor."""
+
+import pytest
+
+from repro.core.cube import compute_cube
+from repro.core.properties import PropertyOracle
+from repro.datagen.dblp import DBLP_DTD, DblpConfig, generate_dblp
+from repro.datagen.publications import QUERY1_TEXT, figure1_document
+from repro.errors import QueryError
+from repro.schema.dtd_parser import parse_dtd
+from repro.warehouse import Recommendation, XmlWarehouse, choose_algorithm
+from repro.xmlmodel.serializer import serialize
+
+
+class TestChooseAlgorithm:
+    def _oracle(self, lattice, disjoint, covered):
+        return PropertyOracle.from_flags(lattice, disjoint, covered)
+
+    def _lattice(self):
+        from repro.datagen.publications import query1
+
+        return query1().lattice()
+
+    def test_counter_for_small_low_dimensional(self):
+        oracle = self._oracle(self._lattice(), False, False)
+        rec = choose_algorithm(
+            oracle, dense=True, n_axes=3,
+            cube_cells_estimate=100, memory_entries=10_000,
+        )
+        assert rec.algorithm == "COUNTER"
+
+    def test_tdoptall_for_dense_summarizable(self):
+        oracle = self._oracle(self._lattice(), True, True)
+        rec = choose_algorithm(
+            oracle, dense=True, n_axes=6,
+            cube_cells_estimate=10**6, memory_entries=10_000,
+        )
+        assert rec.algorithm == "TDOPTALL"
+
+    def test_bucopt_when_disjoint(self):
+        oracle = self._oracle(self._lattice(), True, False)
+        rec = choose_algorithm(
+            oracle, dense=False, n_axes=6,
+            cube_cells_estimate=10**6, memory_entries=10_000,
+        )
+        assert rec.algorithm == "BUCOPT"
+
+    def test_buccust_with_partial_disjointness(self):
+        from repro.datagen.dblp import dblp_dtd, dblp_query
+
+        lattice = dblp_query().lattice()
+        oracle = PropertyOracle.from_schema(lattice, dblp_dtd(), "article")
+        rec = choose_algorithm(
+            oracle, dense=False, n_axes=4,
+            cube_cells_estimate=10**6, memory_entries=10_000,
+        )
+        assert rec.algorithm == "BUCCUST"
+
+    def test_safe_buc_fallback(self):
+        oracle = self._oracle(self._lattice(), False, False)
+        rec = choose_algorithm(
+            oracle, dense=False, n_axes=6,
+            cube_cells_estimate=10**6, memory_entries=10_000,
+        )
+        assert rec.algorithm == "BUC"
+        assert "correct" in rec.rationale
+
+
+class TestXmlWarehouse:
+    def test_empty_warehouse_rejects_query(self):
+        with pytest.raises(QueryError):
+            XmlWarehouse().query(QUERY1_TEXT)
+
+    def test_end_to_end_with_inferred_schema(self):
+        warehouse = XmlWarehouse()
+        warehouse.add(serialize(figure1_document()))
+        session = warehouse.query(QUERY1_TEXT)
+        cube = session.compute()
+        assert session.cuboid("$n:LND, $p:LND, $y:rigid") == {
+            ("2003",): 2.0, ("2004",): 1.0, ("2005",): 1.0,
+        }
+        # The chosen algorithm must be a correct one on this data.
+        reference = compute_cube(session.table, "NAIVE")
+        assert cube.same_contents(reference)
+
+    def test_declared_dtd_drives_oracle(self):
+        warehouse = XmlWarehouse(dtd=parse_dtd(DBLP_DTD))
+        warehouse.add(serialize(generate_dblp(DblpConfig(n_articles=60))))
+        text = (
+            'for $a in doc("dblp.xml")//article, $y in $a/year, '
+            "$j in $a/journal X^3 $a/@key by $y (LND), $j (LND) "
+            "return COUNT($a)."
+        )
+        session = warehouse.query(text)
+        report = session.properties_report()
+        assert report["$y"] == (True, True)
+        assert report["$j"] == (True, True)
+
+    def test_inferred_dtd_refreshes_on_add(self):
+        warehouse = XmlWarehouse()
+        warehouse.add("<db><f><a>1</a></f></db>")
+        first = warehouse.dtd
+        assert not first.get("f").children["a"].may_be_absent
+        warehouse.add("<db><f/></db>")
+        second = warehouse.dtd
+        assert second.get("f").children["a"].may_be_absent
+
+    def test_recommendation_shapes(self):
+        warehouse = XmlWarehouse()
+        warehouse.add(serialize(figure1_document()))
+        session = warehouse.query(QUERY1_TEXT)
+        rec = session.recommend()
+        assert isinstance(rec, Recommendation)
+        assert rec.algorithm in {
+            "COUNTER", "BUC", "BUCOPT", "BUCCUST", "TDOPTALL",
+        }
+
+    def test_fact_count(self):
+        warehouse = XmlWarehouse()
+        warehouse.add(serialize(figure1_document()))
+        warehouse.add(serialize(figure1_document()))
+        assert warehouse.fact_count("publication") == 8
+
+    def test_structured_query_accepted(self):
+        from repro.datagen.publications import query1
+
+        warehouse = XmlWarehouse()
+        warehouse.add(serialize(figure1_document()))
+        session = warehouse.query(query1())
+        assert len(session.table) == 4
+
+    def test_result_property_computes_lazily(self):
+        warehouse = XmlWarehouse()
+        warehouse.add(serialize(figure1_document()))
+        session = warehouse.query(QUERY1_TEXT)
+        assert session.result.total_cells() > 0

@@ -1,0 +1,80 @@
+"""Unit tests for the DBLP generator."""
+
+from collections import Counter
+
+from repro.datagen.dblp import (
+    DblpConfig,
+    dblp_dtd,
+    dblp_query,
+    generate_dblp,
+)
+from repro.schema.dtd import Cardinality
+from repro.xmlmodel.serializer import serialize
+
+
+class TestGeneration:
+    def test_article_count(self):
+        doc = generate_dblp(DblpConfig(n_articles=30))
+        assert len(doc.find_all("article")) == 30
+
+    def test_deterministic(self):
+        config = DblpConfig(n_articles=25, seed=4)
+        assert serialize(generate_dblp(config)) == serialize(
+            generate_dblp(config)
+        )
+
+    def test_mandatory_fields_always_present(self):
+        doc = generate_dblp(DblpConfig(n_articles=100, seed=1))
+        for article in doc.find_all("article"):
+            assert len(article.find_children("year")) == 1
+            assert len(article.find_children("journal")) == 1
+            assert "key" in article.attrs
+
+    def test_author_cardinalities_match_dtd(self):
+        doc = generate_dblp(DblpConfig(n_articles=300, seed=2))
+        counts = Counter(
+            len(article.find_children("author"))
+            for article in doc.find_all("article")
+        )
+        assert counts[0] > 0          # possibly missing
+        assert any(k >= 2 for k in counts)  # possibly repeated
+
+    def test_month_sometimes_missing(self):
+        doc = generate_dblp(DblpConfig(n_articles=200, seed=3))
+        presence = [
+            bool(article.find_children("month"))
+            for article in doc.find_all("article")
+        ]
+        assert any(presence) and not all(presence)
+
+    def test_conforms_to_inferred_schema(self):
+        """The generated data must not be looser than the DBLP DTD."""
+        from repro.schema.inference import infer_dtd
+
+        doc = generate_dblp(DblpConfig(n_articles=400, seed=5))
+        inferred = infer_dtd([doc]).get("article")
+        declared = dblp_dtd().get("article")
+        for tag, card in inferred.children.items():
+            allowed = declared.children[tag]
+            if card.may_repeat:
+                assert allowed.may_repeat
+            if card.may_be_absent:
+                assert allowed.may_be_absent
+
+
+class TestQuery:
+    def test_four_lnd_axes(self):
+        query = dblp_query()
+        assert len(query.axes) == 4
+        assert query.lattice().size() == 16
+
+    def test_fact_key(self):
+        assert dblp_query().fact_id_path == "@key"
+
+
+class TestDtd:
+    def test_root(self):
+        assert dblp_dtd().root == "dblp"
+
+    def test_article_star_under_dblp(self):
+        assert dblp_dtd().get("dblp").children["article"] is Cardinality.STAR

@@ -1,0 +1,121 @@
+"""Unit tests: the Treebank generator guarantees its declared regime."""
+
+import pytest
+
+from repro.core.extract import extract_fact_table
+from repro.core.properties import PropertyOracle
+from repro.datagen.treebank import (
+    TreebankConfig,
+    axis_tags,
+    generate_treebank,
+    treebank_query,
+)
+from repro.patterns.relaxation import Relaxation
+from repro.xmlmodel.serializer import serialize
+
+
+class TestConfig:
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            TreebankConfig(density="fluffy")
+
+    def test_axes_range(self):
+        with pytest.raises(ValueError):
+            TreebankConfig(n_axes=1)
+
+    def test_domain_sizes(self):
+        dense = TreebankConfig(density="dense", n_facts=1000)
+        sparse = TreebankConfig(density="sparse", n_facts=1000)
+        assert dense.domain_size() < sparse.domain_size()
+
+
+class TestGeneration:
+    def test_fact_count(self):
+        config = TreebankConfig(n_facts=50)
+        doc = generate_treebank(config)
+        assert len(doc.find_all("sentence")) == 50
+
+    def test_deterministic(self):
+        config = TreebankConfig(n_facts=40, seed=3)
+        assert serialize(generate_treebank(config)) == serialize(
+            generate_treebank(config)
+        )
+
+    def test_axis_tags(self):
+        assert axis_tags(TreebankConfig(n_axes=3)) == ["m1", "m2", "m3"]
+
+    def test_filler_adds_depth(self):
+        doc = generate_treebank(TreebankConfig(n_facts=50, filler_depth=4))
+        assert doc.max_depth() >= 3
+
+
+class TestRegimeGuarantees:
+    def test_clean_regime_has_both_properties(self):
+        config = TreebankConfig(
+            n_facts=80, coverage=True, disjoint=True, seed=7
+        )
+        table = extract_fact_table(
+            generate_treebank(config), treebank_query(config)
+        )
+        oracle = PropertyOracle.from_data(table)
+        assert oracle.globally_disjoint()
+        assert oracle.globally_covered()
+
+    def test_no_coverage_regime_violates_coverage_only(self):
+        config = TreebankConfig(
+            n_facts=120, coverage=False, disjoint=True, seed=7
+        )
+        table = extract_fact_table(
+            generate_treebank(config), treebank_query(config)
+        )
+        oracle = PropertyOracle.from_data(table)
+        assert oracle.globally_disjoint()
+        assert not oracle.globally_covered()
+
+    def test_no_disjoint_regime_violates_disjointness(self):
+        config = TreebankConfig(
+            n_facts=120, coverage=True, disjoint=False, seed=7
+        )
+        table = extract_fact_table(
+            generate_treebank(config), treebank_query(config)
+        )
+        oracle = PropertyOracle.from_data(table)
+        assert not oracle.globally_disjoint()
+        assert oracle.globally_covered()
+
+    def test_nested_axes_recovered_by_pcad(self):
+        config = TreebankConfig(
+            n_facts=150, coverage=False, disjoint=True, seed=11,
+            p_missing=0.0, p_nested=0.5,
+        )
+        table = extract_fact_table(
+            generate_treebank(config), treebank_query(config)
+        )
+        # Some value must be invisible rigidly but visible under PC-AD.
+        found_gated = False
+        for row in table.rows:
+            for axis_values in row.axes:
+                for value in axis_values:
+                    if not value.matches(0) and value.matches(1):
+                        found_gated = True
+        assert found_gated
+
+
+class TestQuery:
+    def test_coverage_holds_means_lnd_only(self):
+        config = TreebankConfig(coverage=True)
+        query = treebank_query(config)
+        for axis in query.axes:
+            assert axis.relaxations == {Relaxation.LND}
+
+    def test_coverage_fails_adds_pcad(self):
+        config = TreebankConfig(coverage=False)
+        query = treebank_query(config)
+        for axis in query.axes:
+            assert Relaxation.PC_AD in axis.relaxations
+
+    def test_lattice_sizes(self):
+        lnd = treebank_query(TreebankConfig(n_axes=4, coverage=True))
+        pcad = treebank_query(TreebankConfig(n_axes=4, coverage=False))
+        assert lnd.lattice().size() == 2 ** 4
+        assert pcad.lattice().size() == 3 ** 4

@@ -1,0 +1,53 @@
+"""Unit tests for workload configuration and materialization."""
+
+import pytest
+
+from repro.datagen.workload import WorkloadConfig, build_workload
+
+
+class TestConfig:
+    def test_name_encodes_regime(self):
+        config = WorkloadConfig(
+            kind="treebank", density="dense", coverage=False, disjoint=True,
+            n_axes=4, n_facts=100,
+        )
+        assert config.name == "treebank-dense-nocov-disj-k4-n100"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_workload(WorkloadConfig(kind="martian"))
+
+
+class TestTreebankWorkload:
+    def test_build(self):
+        workload = build_workload(
+            WorkloadConfig(kind="treebank", n_facts=40, n_axes=3)
+        )
+        table = workload.fact_table()
+        assert len(table) == 40
+        assert table.lattice.axis_count == 3
+
+    def test_oracle_reflects_flags(self):
+        workload = build_workload(
+            WorkloadConfig(
+                kind="treebank", n_facts=30, coverage=False, disjoint=True
+            )
+        )
+        table = workload.fact_table()
+        oracle = workload.oracle(table)
+        assert not oracle.globally_covered()
+        top = table.lattice.top
+        assert oracle.disjoint(top)
+
+
+class TestDblpWorkload:
+    def test_build_with_schema_oracle(self):
+        workload = build_workload(
+            WorkloadConfig(kind="dblp", n_facts=60)
+        )
+        assert workload.dtd is not None
+        table = workload.fact_table()
+        oracle = workload.oracle(table)
+        # author axis is position 0: never disjoint per the DTD.
+        assert not oracle.axis_disjoint(0, 0)
+        assert oracle.axis_disjoint(2, 0)

@@ -1,0 +1,101 @@
+"""Unit tests for the tree-pattern model."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.pattern import EdgeAxis, PatternNode, TreePattern
+
+
+def query1_pattern() -> TreePattern:
+    root = PatternNode("publication", label="$fact")
+    root.add(PatternNode("@id"))
+    author = root.add(PatternNode("author"))
+    author.add(PatternNode("name", label="$n"))
+    publisher = root.add(
+        PatternNode("publisher", axis=EdgeAxis.DESCENDANT)
+    )
+    publisher.add(PatternNode("@id", label="$p"))
+    root.add(PatternNode("year", label="$y"))
+    return TreePattern(root)
+
+
+class TestPatternNode:
+    def test_empty_test_rejected(self):
+        with pytest.raises(PatternError):
+            PatternNode("")
+
+    def test_attribute_properties(self):
+        node = PatternNode("@id")
+        assert node.is_attribute
+        assert node.attribute_name == "id"
+
+    def test_attribute_cannot_have_children(self):
+        node = PatternNode("@id")
+        with pytest.raises(PatternError):
+            node.add(PatternNode("x"))
+
+    def test_add_rejects_attached(self):
+        parent = PatternNode("a")
+        child = PatternNode("b")
+        parent.add(child)
+        with pytest.raises(PatternError):
+            PatternNode("c").add(child)
+
+    def test_detach(self):
+        parent = PatternNode("a")
+        child = parent.add(PatternNode("b"))
+        child.detach()
+        assert parent.children == []
+        assert child.parent is None
+
+    def test_clone_is_deep(self):
+        pattern = query1_pattern()
+        clone = pattern.root.clone()
+        clone.children[1].children[0].label = "$other"
+        assert pattern.root.children[1].children[0].label == "$n"
+
+    def test_signature_includes_flags(self):
+        node = PatternNode("a", optional=True, label="$x")
+        assert node.signature() == "a?=$x"
+
+
+class TestTreePattern:
+    def test_nodes_preorder(self):
+        pattern = query1_pattern()
+        tests = [node.test for node in pattern.nodes()]
+        assert tests == [
+            "publication", "@id", "author", "name", "publisher", "@id",
+            "year",
+        ]
+
+    def test_labelled(self):
+        labels = query1_pattern().labelled()
+        assert set(labels) == {"$fact", "$n", "$p", "$y"}
+
+    def test_duplicate_labels_rejected(self):
+        root = PatternNode("a", label="$x")
+        root.add(PatternNode("b", label="$x"))
+        with pytest.raises(PatternError):
+            TreePattern(root).labelled()
+
+    def test_by_label_missing(self):
+        with pytest.raises(PatternError):
+            query1_pattern().by_label("$zz")
+
+    def test_size_and_depth(self):
+        pattern = query1_pattern()
+        assert pattern.size() == 7
+        assert pattern.depth() == 3
+
+    def test_clone_equality(self):
+        pattern = query1_pattern()
+        assert pattern.clone() == pattern
+        assert hash(pattern.clone()) == hash(pattern)
+
+    def test_find(self):
+        pattern = query1_pattern()
+        attrs = pattern.find(lambda node: node.is_attribute)
+        assert len(attrs) == 2
+
+    def test_validate_passes(self):
+        query1_pattern().validate()

@@ -1,0 +1,75 @@
+"""Property-based cross-validation: holistic twig join == navigational
+matcher on random documents and random element-only patterns."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.match import match_db
+from repro.patterns.parse import parse_pattern
+from repro.timber.database import TimberDB
+from repro.timber.twig_join import twig_join
+from repro.xmlmodel.nodes import Document, Element
+from repro.xmlmodel.serializer import serialize
+
+TAGS = "abc"
+
+
+@st.composite
+def random_document(draw):
+    def build(depth):
+        element = Element(draw(st.sampled_from(TAGS)))
+        if depth < 3:
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                element.append(build(depth + 1))
+        return element
+
+    root = Element("r")
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        root.append(build(0))
+    return Document(root)
+
+
+@st.composite
+def random_pattern_text(draw):
+    """Small element-only twigs over the same alphabet."""
+    shape = draw(
+        st.sampled_from(
+            [
+                "//{0}//{1}",
+                "//{0}/{1}",
+                "//{0}[/{1}][//{2}]",
+                "//{0}//{1}//{2}",
+                "//{0}[//{1}]/{2}",
+            ]
+        )
+    )
+    tags = [draw(st.sampled_from(TAGS)) for _ in range(3)]
+    return shape.format(*tags)
+
+
+@given(
+    st.lists(random_document(), min_size=1, max_size=3),
+    random_pattern_text(),
+)
+@settings(max_examples=60, deadline=None)
+def test_twig_join_equals_navigational(docs, pattern_text):
+    db = TimberDB()
+    for doc in docs:
+        db.load(serialize(doc))
+    db.build_index()
+    pattern = parse_pattern(pattern_text)
+
+    holistic = sorted(
+        tuple((p.doc_id, p.node_id) for p in match)
+        for match in twig_join(db, pattern)
+    )
+    navigational = sorted(
+        {
+            tuple(
+                (record.doc_id, record.node_id)
+                for record in witness.bindings
+            )
+            for witness in match_db(db, pattern)
+        }
+    )
+    assert holistic == navigational

@@ -1,0 +1,137 @@
+"""Unit tests for the DTD model and its path reasoning."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.dtd import Cardinality, Dtd, ElementDecl
+
+
+def build_pub_dtd() -> Dtd:
+    dtd = Dtd()
+    dtd.declare_element(
+        "database", children=[("publication", Cardinality.STAR)]
+    )
+    dtd.declare_element(
+        "publication",
+        children=[
+            ("author", Cardinality.STAR),
+            ("publisher", Cardinality.OPTIONAL),
+            ("year", Cardinality.PLUS),
+        ],
+        attributes=["id"],
+    )
+    dtd.declare_element(
+        "author", children=[("name", Cardinality.ONE)], attributes=["id"]
+    )
+    dtd.declare_element("name", has_text=True)
+    dtd.declare_element("publisher", attributes=["id"])
+    dtd.declare_element("year", has_text=True)
+    return dtd
+
+
+class TestCardinality:
+    def test_flags(self):
+        assert Cardinality.ONE.may_be_absent is False
+        assert Cardinality.ONE.may_repeat is False
+        assert Cardinality.OPTIONAL.may_be_absent is True
+        assert Cardinality.STAR.may_repeat is True
+        assert Cardinality.PLUS.may_repeat is True
+        assert Cardinality.PLUS.may_be_absent is False
+
+    def test_from_indicator(self):
+        assert Cardinality.from_indicator("") is Cardinality.ONE
+        assert Cardinality.from_indicator("?") is Cardinality.OPTIONAL
+        assert Cardinality.from_indicator("*") is Cardinality.STAR
+        assert Cardinality.from_indicator("+") is Cardinality.PLUS
+        with pytest.raises(SchemaError):
+            Cardinality.from_indicator("!")
+
+    @pytest.mark.parametrize(
+        "first,second,expected",
+        [
+            (Cardinality.ONE, Cardinality.ONE, Cardinality.ONE),
+            (Cardinality.ONE, Cardinality.OPTIONAL, Cardinality.OPTIONAL),
+            (Cardinality.ONE, Cardinality.PLUS, Cardinality.PLUS),
+            (Cardinality.OPTIONAL, Cardinality.PLUS, Cardinality.STAR),
+            (Cardinality.STAR, Cardinality.ONE, Cardinality.STAR),
+        ],
+    )
+    def test_join(self, first, second, expected):
+        assert Cardinality.join(first, second) is expected
+
+
+class TestDtd:
+    def test_first_declared_is_root(self):
+        dtd = build_pub_dtd()
+        assert dtd.root == "database"
+
+    def test_contains_and_tags(self):
+        dtd = build_pub_dtd()
+        assert "author" in dtd
+        assert "nope" not in dtd
+        assert set(dtd.tags) >= {"database", "publication", "name"}
+
+    def test_child_paths(self):
+        dtd = build_pub_dtd()
+        assert dtd.child_paths("publication", "author")
+        assert not dtd.child_paths("publication", "name")
+
+    def test_reachable_tags(self):
+        dtd = build_pub_dtd()
+        reachable = dtd.reachable_tags("publication")
+        assert {"author", "name", "publisher", "year"} <= reachable
+        assert "database" not in reachable
+
+    def test_descendant_cardinality_single_path(self):
+        dtd = build_pub_dtd()
+        card = dtd.descendant_step_cardinality("publication", "name")
+        # publication -> author(*) -> name(1): repeatable and optional.
+        assert card is Cardinality.STAR
+
+    def test_descendant_cardinality_unreachable(self):
+        dtd = build_pub_dtd()
+        assert dtd.descendant_step_cardinality("author", "year") is None
+
+    def test_descendant_cardinality_mandatory_chain(self):
+        dtd = Dtd()
+        dtd.declare_element("a", children=[("b", Cardinality.ONE)])
+        dtd.declare_element("b", children=[("c", Cardinality.ONE)])
+        dtd.declare_element("c")
+        assert (
+            dtd.descendant_step_cardinality("a", "c") is Cardinality.ONE
+        )
+
+    def test_descendant_cardinality_multiple_routes(self):
+        dtd = Dtd()
+        dtd.declare_element(
+            "a",
+            children=[("b", Cardinality.ONE), ("c", Cardinality.ONE)],
+        )
+        dtd.declare_element("b", children=[("x", Cardinality.ONE)])
+        dtd.declare_element("c", children=[("x", Cardinality.ONE)])
+        dtd.declare_element("x")
+        card = dtd.descendant_step_cardinality("a", "x")
+        assert card is not None and card.may_repeat
+
+    def test_recursive_schema_conservative(self):
+        dtd = Dtd()
+        dtd.declare_element(
+            "a", children=[("a", Cardinality.OPTIONAL), ("x", Cardinality.ONE)]
+        )
+        dtd.declare_element("x")
+        assert (
+            dtd.descendant_step_cardinality("a", "x") is Cardinality.STAR
+        )
+
+    def test_unique_path(self):
+        dtd = build_pub_dtd()
+        assert dtd.unique_path("publication", "name")
+        dtd.declare_element(
+            "publisher", children=[("name", Cardinality.ONE)]
+        )
+        assert not dtd.unique_path("publication", "name")
+
+    def test_declare_replaces(self):
+        dtd = build_pub_dtd()
+        dtd.declare(ElementDecl("year", has_text=False))
+        assert dtd.get("year").has_text is False

@@ -1,0 +1,120 @@
+"""Unit tests for the DTD subset parser."""
+
+import pytest
+
+from repro.errors import DtdParseError
+from repro.schema.dtd import Cardinality
+from repro.schema.dtd_parser import parse_dtd
+
+
+class TestElementDecls:
+    def test_sequence_with_indicators(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (b, c?, d*, e+)>"
+            "<!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>"
+            "<!ELEMENT d (#PCDATA)><!ELEMENT e (#PCDATA)>"
+        )
+        decl = dtd.get("a")
+        assert decl.children["b"] is Cardinality.ONE
+        assert decl.children["c"] is Cardinality.OPTIONAL
+        assert decl.children["d"] is Cardinality.STAR
+        assert decl.children["e"] is Cardinality.PLUS
+
+    def test_pcdata_flag(self):
+        dtd = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        assert dtd.get("t").has_text
+        assert dtd.get("t").children == {}
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT e EMPTY><!ELEMENT a ANY>")
+        assert dtd.get("e").children == {}
+        assert dtd.get("a").has_text
+
+    def test_choice_makes_optional(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)>")
+        assert dtd.get("a").children["b"].may_be_absent
+        assert dtd.get("a").children["c"].may_be_absent
+
+    def test_starred_choice(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)*>")
+        assert dtd.get("a").children["b"] is Cardinality.STAR
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*>")
+        assert dtd.get("p").has_text
+        assert dtd.get("p").children["em"] is Cardinality.STAR
+
+    def test_nested_groups_flattened(self):
+        dtd = parse_dtd("<!ELEMENT a (b, (c | d)*)>")
+        decl = dtd.get("a")
+        assert decl.children["b"] is Cardinality.ONE
+        assert decl.children["c"] is Cardinality.STAR
+        assert decl.children["d"] is Cardinality.STAR
+
+    def test_duplicate_child_repeats(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c, b)>")
+        assert dtd.get("a").children["b"].may_repeat
+
+    def test_root_defaults_to_first(self):
+        dtd = parse_dtd("<!ELEMENT r (x)><!ELEMENT x EMPTY>")
+        assert dtd.root == "r"
+
+    def test_explicit_root(self):
+        dtd = parse_dtd("<!ELEMENT r (x)><!ELEMENT x EMPTY>", root="x")
+        assert dtd.root == "x"
+
+
+class TestAttlist:
+    def test_required_and_implied(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a id CDATA #REQUIRED note CDATA #IMPLIED>"
+        )
+        decl = dtd.get("a")
+        assert decl.attributes["id"].required
+        assert not decl.attributes["note"].required
+
+    def test_attlist_before_element(self):
+        dtd = parse_dtd(
+            "<!ATTLIST a id CDATA #REQUIRED><!ELEMENT a EMPTY>"
+        )
+        assert dtd.get("a").attributes["id"].required
+
+    def test_enumerated_attribute(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a kind (x|y) \"x\">"
+        )
+        assert "kind" in dtd.get("a").attributes
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(DtdParseError):
+            parse_dtd("not a dtd at all")
+
+    def test_bad_content_model(self):
+        with pytest.raises(DtdParseError):
+            parse_dtd("<!ELEMENT a b>")
+
+    def test_unbalanced_group(self):
+        with pytest.raises(DtdParseError):
+            parse_dtd("<!ELEMENT a (b, (c)>")
+
+    def test_comments_skipped(self):
+        dtd = parse_dtd(
+            "<!-- a comment --><!ELEMENT a (b)><!ELEMENT b EMPTY>"
+        )
+        assert "a" in dtd
+
+
+class TestDblpFragment:
+    def test_paper_cardinalities(self):
+        from repro.datagen.dblp import DBLP_DTD
+
+        dtd = parse_dtd(DBLP_DTD)
+        article = dtd.get("article")
+        assert article.children["author"] is Cardinality.STAR
+        assert article.children["month"] is Cardinality.OPTIONAL
+        assert article.children["year"] is Cardinality.ONE
+        assert article.children["journal"] is Cardinality.ONE
+        assert article.attributes["key"].required

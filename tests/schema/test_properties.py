@@ -1,0 +1,122 @@
+"""Unit tests for Sec. 3.7 schema-based property reasoning."""
+
+from repro.datagen.dblp import dblp_dtd
+from repro.schema.dtd import Cardinality, Dtd
+from repro.schema.properties import (
+    PropertyVerdict,
+    axis_coverage,
+    axis_disjointness,
+    path_cardinality,
+    sp_equivalent,
+)
+from repro.xmlmodel.navigation import parse_path
+
+
+def pub_dtd() -> Dtd:
+    dtd = Dtd()
+    dtd.declare_element(
+        "publication",
+        children=[
+            ("author", Cardinality.STAR),
+            ("publisher", Cardinality.OPTIONAL),
+            ("year", Cardinality.ONE),
+        ],
+        attributes=["id"],
+    )
+    dtd.declare_element("author", children=[("name", Cardinality.ONE)])
+    dtd.declare_element("name", has_text=True)
+    dtd.declare_element("publisher")
+    dtd.declare_element("year", has_text=True)
+    dtd.get("publisher").attributes["id"] = type(
+        dtd.get("publication").attributes["id"]
+    )("id", required=True)
+    return dtd
+
+
+class TestPathCardinality:
+    def test_mandatory_unique_child(self):
+        card = path_cardinality(pub_dtd(), "publication", parse_path("year"))
+        assert card is Cardinality.ONE
+
+    def test_optional_child(self):
+        card = path_cardinality(
+            pub_dtd(), "publication", parse_path("publisher")
+        )
+        assert card is Cardinality.OPTIONAL
+
+    def test_star_chain(self):
+        card = path_cardinality(
+            pub_dtd(), "publication", parse_path("author/name")
+        )
+        assert card is Cardinality.STAR
+
+    def test_required_attribute(self):
+        card = path_cardinality(
+            pub_dtd(), "publication", parse_path("publisher/@id")
+        )
+        # publisher optional, @id required: whole path optional.
+        assert card is Cardinality.OPTIONAL
+
+    def test_undeclared_tag_unknown(self):
+        assert (
+            path_cardinality(pub_dtd(), "mystery", parse_path("x")) is None
+        )
+
+    def test_dead_path_optional(self):
+        card = path_cardinality(pub_dtd(), "publication", parse_path("name"))
+        assert card is Cardinality.OPTIONAL
+
+
+class TestVerdicts:
+    def test_disjointness_holds_for_year(self):
+        verdict = axis_disjointness(
+            pub_dtd(), "publication", parse_path("year")
+        )
+        assert verdict is PropertyVerdict.HOLDS
+
+    def test_disjointness_fails_for_author(self):
+        verdict = axis_disjointness(
+            pub_dtd(), "publication", parse_path("author/name")
+        )
+        assert verdict is PropertyVerdict.FAILS
+
+    def test_coverage_fails_for_publisher(self):
+        verdict = axis_coverage(
+            pub_dtd(), "publication", parse_path("publisher")
+        )
+        assert verdict is PropertyVerdict.FAILS
+
+    def test_coverage_holds_for_year(self):
+        verdict = axis_coverage(pub_dtd(), "publication", parse_path("year"))
+        assert verdict is PropertyVerdict.HOLDS
+
+    def test_unknown_for_undeclared(self):
+        verdict = axis_coverage(pub_dtd(), "alien", parse_path("x"))
+        assert verdict is PropertyVerdict.UNKNOWN
+
+
+class TestSpEquivalence:
+    def test_every_name_goes_through_author(self):
+        # Sec. 3.7's example: //publication/author/name has the same
+        # coverage as //publication//name when all paths go via author.
+        assert sp_equivalent(pub_dtd(), "publication", "author", "name")
+
+    def test_not_equivalent_with_second_route(self):
+        dtd = pub_dtd()
+        dtd.get("publisher").children["name"] = Cardinality.ONE
+        assert not sp_equivalent(dtd, "publication", "author", "name")
+
+
+class TestDblpVerdicts:
+    def test_paper_facts(self):
+        dtd = dblp_dtd()
+        checks = {
+            "author": (PropertyVerdict.FAILS, PropertyVerdict.FAILS),
+            "month": (PropertyVerdict.HOLDS, PropertyVerdict.FAILS),
+            "year": (PropertyVerdict.HOLDS, PropertyVerdict.HOLDS),
+            "journal": (PropertyVerdict.HOLDS, PropertyVerdict.HOLDS),
+        }
+        for tag, (disjoint, coverage) in checks.items():
+            steps = parse_path(tag)
+            assert axis_disjointness(dtd, "article", steps) is disjoint
+            assert axis_coverage(dtd, "article", steps) is coverage

@@ -1,0 +1,135 @@
+"""Unit tests for the XSD-subset parser."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.dtd import Cardinality
+from repro.schema.properties import (
+    PropertyVerdict,
+    axis_coverage,
+    axis_disjointness,
+)
+from repro.schema.xsd_parser import parse_xsd
+from repro.xmlmodel.navigation import parse_path
+
+PUBLICATION_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="publication">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="author" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="name" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="publisher" minOccurs="0">
+          <xs:complexType>
+            <xs:attribute name="id" use="required"/>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="year" type="xs:string"/>
+      </xs:sequence>
+      <xs:attribute name="id" use="required"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+class TestParse:
+    def test_cardinalities(self):
+        dtd = parse_xsd(PUBLICATION_XSD)
+        pub = dtd.get("publication")
+        assert pub.children["author"] is Cardinality.STAR
+        assert pub.children["publisher"] is Cardinality.OPTIONAL
+        assert pub.children["year"] is Cardinality.ONE
+
+    def test_nested_declarations_registered(self):
+        dtd = parse_xsd(PUBLICATION_XSD)
+        assert dtd.get("author").children["name"] is Cardinality.ONE
+        assert dtd.get("name").has_text
+
+    def test_attributes(self):
+        dtd = parse_xsd(PUBLICATION_XSD)
+        assert dtd.get("publication").attributes["id"].required
+        assert dtd.get("publisher").attributes["id"].required
+
+    def test_root_defaults_to_first(self):
+        dtd = parse_xsd(PUBLICATION_XSD)
+        assert dtd.root == "publication"
+        assert parse_xsd(PUBLICATION_XSD, root="author").root == "author"
+
+    def test_choice_members_optional(self):
+        text = """
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a">
+            <xs:complexType>
+              <xs:choice>
+                <xs:element name="b" type="xs:string"/>
+                <xs:element name="c" type="xs:string"/>
+              </xs:choice>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """
+        dtd = parse_xsd(text)
+        assert dtd.get("a").children["b"].may_be_absent
+        assert dtd.get("a").children["c"].may_be_absent
+
+    def test_repeated_choice_is_star(self):
+        text = """
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a">
+            <xs:complexType>
+              <xs:choice maxOccurs="unbounded">
+                <xs:element name="b" type="xs:string"/>
+              </xs:choice>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """
+        dtd = parse_xsd(text)
+        assert dtd.get("a").children["b"] is Cardinality.STAR
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<root/>",
+            "<xs:schema xmlns:xs='x'></xs:schema>",
+        ],
+    )
+    def test_invalid_schemas(self, bad):
+        with pytest.raises(SchemaError):
+            parse_xsd(bad)
+
+    def test_bad_occurs(self):
+        text = """
+        <xs:schema xmlns:xs="x">
+          <xs:element name="a"><xs:complexType><xs:sequence>
+            <xs:element name="b" minOccurs="lots"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>
+        """
+        with pytest.raises(SchemaError):
+            parse_xsd(text)
+
+
+class TestPropertyReasoningViaXsd:
+    """Sec. 3.7 works the same whether the schema came as DTD or XSD."""
+
+    def test_same_verdicts_as_dtd(self):
+        dtd = parse_xsd(PUBLICATION_XSD)
+        assert axis_disjointness(
+            dtd, "publication", parse_path("author/name")
+        ) is PropertyVerdict.FAILS
+        assert axis_coverage(
+            dtd, "publication", parse_path("publisher")
+        ) is PropertyVerdict.FAILS
+        assert axis_coverage(
+            dtd, "publication", parse_path("year")
+        ) is PropertyVerdict.HOLDS
+        assert axis_disjointness(
+            dtd, "publication", parse_path("year")
+        ) is PropertyVerdict.HOLDS

@@ -1,0 +1,80 @@
+"""Unit tests for the LRU buffer pool and its I/O accounting."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.timber.buffer_pool import BufferPool
+from repro.timber.pages import Disk
+from repro.timber.stats import CostModel
+
+
+def make_pool(capacity=2, pages=4):
+    disk = Disk(page_capacity=4)
+    cost = CostModel()
+    pool = BufferPool(disk, cost, capacity_pages=capacity)
+    for _ in range(pages):
+        disk.allocate()
+    return disk, cost, pool
+
+
+class TestFetch:
+    def test_capacity_positive(self):
+        disk = Disk()
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk, CostModel(), capacity_pages=0)
+
+    def test_miss_charges_read(self):
+        _, cost, pool = make_pool()
+        pool.fetch(0)
+        assert cost.io.page_reads == 1
+        assert cost.io.buffer_misses == 1
+
+    def test_hit_is_free(self):
+        _, cost, pool = make_pool()
+        pool.fetch(0)
+        pool.fetch(0)
+        assert cost.io.page_reads == 1
+        assert cost.io.buffer_hits == 1
+
+    def test_lru_eviction_order(self):
+        _, cost, pool = make_pool(capacity=2)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(0)          # 1 becomes LRU
+        pool.fetch(2)          # evicts 1
+        assert 1 not in pool
+        assert 0 in pool and 2 in pool
+        assert cost.io.evictions == 1
+
+    def test_dirty_eviction_charges_write(self):
+        disk, cost, pool = make_pool(capacity=1)
+        page = pool.fetch(0)
+        page.append("rec")  # dirties it
+        pool.fetch(1)       # evicts dirty page 0
+        assert cost.io.page_writes == 1
+        assert not disk.page(0).dirty
+
+
+class TestFlush:
+    def test_flush_writes_dirty_only(self):
+        disk, cost, pool = make_pool()
+        pool.fetch(0).append("x")
+        pool.fetch(1)
+        pool.flush()
+        assert cost.io.page_writes == 1
+        assert not disk.page(0).dirty
+
+    def test_drop_all_cold_cache(self):
+        _, cost, pool = make_pool()
+        pool.fetch(0)
+        pool.drop_all()
+        assert len(pool) == 0
+        pool.fetch(0)
+        assert cost.io.page_reads == 2  # re-read after cold cache
+
+    def test_admit_new_no_read_charge(self):
+        disk, cost, pool = make_pool(pages=0)
+        page = disk.allocate()
+        pool.admit_new(page)
+        assert cost.io.page_reads == 0
+        assert page.page_id in pool

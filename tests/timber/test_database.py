@@ -1,0 +1,87 @@
+"""Unit tests for the TimberDB facade."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.timber.database import TimberDB
+from repro.xmlmodel.parser import parse
+
+
+class TestLoading:
+    def test_load_text_and_document(self):
+        db = TimberDB()
+        first = db.load("<a><b/></a>", name="text")
+        second = db.load(parse("<c/>"))
+        assert (first, second) == (0, 1)
+        assert db.document_count == 2
+
+    def test_malformed_text_raises(self):
+        db = TimberDB()
+        with pytest.raises(XmlParseError):
+            db.load("<a><b></a>")
+
+    def test_load_many(self):
+        db = TimberDB()
+        assert db.load_many(["<a/>", "<b/>"]) == [0, 1]
+
+
+class TestIndexing:
+    def test_lazy_index_build(self):
+        db = TimberDB()
+        db.load("<a><b/><b/></a>")
+        assert db.tag_cardinality("b") == 2
+
+    def test_index_refresh_after_new_load(self):
+        db = TimberDB()
+        db.load("<a><b/></a>")
+        assert db.tag_cardinality("b") == 1
+        db.load("<a><b/></a>")
+        assert db.tag_cardinality("b") == 2
+
+    def test_postings_and_records(self):
+        db = TimberDB()
+        db.load("<a><b>hi</b></a>")
+        posting = db.postings("b")[0]
+        record = db.record_of(posting)
+        assert record.text == "hi"
+
+    def test_tags(self):
+        db = TimberDB()
+        db.load("<a><b/></a>")
+        assert db.tags() == ["a", "b"]
+
+
+class TestAccounting:
+    def test_cold_cache_forces_rereads(self):
+        db = TimberDB(buffer_pages=16)
+        db.load("<a>" + "<b/>" * 50 + "</a>")
+        db.build_index()
+        db.reset_cost()
+        db.postings("b")
+        warm = db.cost.io.page_reads
+        db.postings("b")
+        still_warm = db.cost.io.page_reads
+        db.cold_cache()
+        db.postings("b")
+        assert db.cost.io.page_reads > still_warm
+        assert still_warm == warm  # warm rescan was free
+
+    def test_reset_cost(self):
+        db = TimberDB()
+        db.load("<a/>")
+        db.build_index()
+        db.reset_cost()
+        assert db.cost.simulated_seconds() == 0.0
+
+    def test_stats_merge_store_and_cost(self):
+        db = TimberDB()
+        db.load("<a><b/></a>")
+        stats = db.stats()
+        assert stats["documents"] == 1
+        assert "simulated_seconds" in stats
+
+    def test_new_budget(self):
+        db = TimberDB(memory_entries=123)
+        budget = db.new_budget()
+        assert budget.capacity_entries == 123
+        assert db.new_budget(7).capacity_entries == 7

@@ -1,0 +1,102 @@
+"""Unit tests for the node store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.timber.buffer_pool import BufferPool
+from repro.timber.node_store import NodeStore
+from repro.timber.pages import Disk
+from repro.timber.stats import CostModel
+from repro.xmlmodel.parser import parse
+
+
+def make_store(page_capacity=4, buffer_pages=8):
+    disk = Disk(page_capacity=page_capacity)
+    cost = CostModel()
+    pool = BufferPool(disk, cost, capacity_pages=buffer_pages)
+    return NodeStore(disk, pool), cost
+
+
+DOC = "<a x=\"1\"><b>hi</b><c><d/></c></a>"
+
+
+class TestLoading:
+    def test_load_assigns_doc_ids(self):
+        store, _ = make_store()
+        first = store.load_document(parse(DOC, name="one"))
+        second = store.load_document(parse("<z/>", name="two"))
+        assert (first, second) == (0, 1)
+        assert store.document_count == 2
+        assert store.document_name(0) == "one"
+
+    def test_record_fields(self):
+        store, _ = make_store()
+        store.load_document(parse(DOC))
+        root = store.read(0, 0)
+        assert root.tag == "a"
+        assert root.attr("x") == "1"
+        assert root.parent_id == -1
+        b = store.read(0, 1)
+        assert (b.tag, b.text, b.parent_id) == ("b", "hi", 0)
+
+    def test_records_span_pages(self):
+        store, _ = make_store(page_capacity=2)
+        store.load_document(parse(DOC))
+        assert store.node_count(0) == 4
+        assert store.read(0, 3).tag == "d"
+
+
+class TestReading:
+    def test_scan_document_order(self):
+        store, _ = make_store()
+        store.load_document(parse(DOC))
+        assert [record.tag for record in store.scan(0)] == [
+            "a", "b", "c", "d",
+        ]
+
+    def test_scan_all(self):
+        store, _ = make_store()
+        store.load_document(parse(DOC))
+        store.load_document(parse("<z/>"))
+        assert [record.tag for record in store.scan_all()] == [
+            "a", "b", "c", "d", "z",
+        ]
+
+    def test_children_of(self):
+        store, _ = make_store()
+        store.load_document(parse(DOC))
+        children = store.children_of(0, 0)
+        assert [record.tag for record in children] == ["b", "c"]
+        assert store.children_of(0, 1) == []
+
+    def test_subtree_of(self):
+        store, _ = make_store()
+        store.load_document(parse(DOC))
+        subtree = list(store.subtree_of(0, 2))
+        assert [record.tag for record in subtree] == ["c", "d"]
+
+    def test_reads_charge_io(self):
+        store, cost = make_store(page_capacity=1, buffer_pages=1)
+        store.load_document(parse(DOC))
+        cost.reset()
+        store.read(0, 0)
+        store.read(0, 3)
+        assert cost.io.page_reads == 2
+
+    def test_bad_ids(self):
+        store, _ = make_store()
+        store.load_document(parse(DOC))
+        with pytest.raises(StorageError):
+            store.read(0, 99)
+        with pytest.raises(StorageError):
+            store.read(5, 0)
+        with pytest.raises(StorageError):
+            store.node_count(9)
+
+    def test_stats(self):
+        store, _ = make_store(page_capacity=2)
+        store.load_document(parse(DOC))
+        stats = store.stats()
+        assert stats["documents"] == 1
+        assert stats["nodes"] == 4
+        assert stats["pages"] >= 2

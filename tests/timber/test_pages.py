@@ -1,0 +1,57 @@
+"""Unit tests for the simulated disk pages."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.timber.pages import DEFAULT_PAGE_CAPACITY, Disk, Page
+
+
+class TestPage:
+    def test_capacity_positive(self):
+        with pytest.raises(PageError):
+            Page(0, capacity=0)
+
+    def test_append_and_get(self):
+        page = Page(0, capacity=2)
+        assert page.append("a") == 0
+        assert page.append("b") == 1
+        assert page.get(0) == "a"
+        assert len(page) == 2
+        assert page.dirty
+
+    def test_overflow(self):
+        page = Page(0, capacity=1)
+        page.append("a")
+        assert page.full
+        with pytest.raises(PageError):
+            page.append("b")
+
+    def test_bad_slot(self):
+        page = Page(0)
+        with pytest.raises(PageError):
+            page.get(0)
+
+
+class TestDisk:
+    def test_allocate_sequential_ids(self):
+        disk = Disk()
+        first = disk.allocate()
+        second = disk.allocate()
+        assert (first.page_id, second.page_id) == (0, 1)
+        assert len(disk) == 2
+
+    def test_page_lookup(self):
+        disk = Disk()
+        page = disk.allocate()
+        assert disk.page(0) is page
+        with pytest.raises(PageError):
+            disk.page(5)
+
+    def test_last_page(self):
+        disk = Disk()
+        assert disk.last_page() is None
+        page = disk.allocate()
+        assert disk.last_page() is page
+
+    def test_default_capacity(self):
+        assert Disk().allocate().capacity == DEFAULT_PAGE_CAPACITY

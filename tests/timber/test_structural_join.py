@@ -1,0 +1,116 @@
+"""Unit tests for the stack-tree structural join."""
+
+from repro.timber.buffer_pool import BufferPool
+from repro.timber.node_store import NodeStore
+from repro.timber.pages import Disk
+from repro.timber.stats import CostModel
+from repro.timber.structural_join import join_pairs, stack_tree_join
+from repro.timber.tag_index import TagIndex
+from repro.xmlmodel.parser import parse
+
+
+def postings_for(xml_docs, *tags):
+    disk = Disk()
+    cost = CostModel()
+    pool = BufferPool(disk, cost, capacity_pages=64)
+    store = NodeStore(disk, pool)
+    for doc in xml_docs:
+        store.load_document(parse(doc))
+    index = TagIndex(disk, pool)
+    index.build(store)
+    return cost, [index.scan_list(tag) for tag in tags]
+
+
+def naive_pairs(xml_docs, anc_tag, desc_tag, parent_child=False):
+    out = []
+    for doc_id, text in enumerate(xml_docs):
+        doc = parse(text)
+        for anc in doc.find_all(anc_tag):
+            for desc in anc.find_descendants(desc_tag):
+                if parent_child and desc.parent is not anc:
+                    continue
+                out.append((doc_id, anc.start, desc.start))
+    return sorted(out)
+
+
+def join_keys(pairs):
+    return sorted(
+        (anc.doc_id, anc.start, desc.start) for anc, desc in pairs
+    )
+
+
+class TestAncestorDescendant:
+    def test_simple_nesting(self):
+        docs = ["<a><b><c/></b><c/></a>"]
+        cost, (ancs, descs) = postings_for(docs, "a", "c")
+        pairs = join_pairs(ancs, descs, cost)
+        assert join_keys(pairs) == naive_pairs(docs, "a", "c")
+
+    def test_recursive_ancestors(self):
+        docs = ["<a><a><b/></a><b/></a>"]
+        cost, (ancs, descs) = postings_for(docs, "a", "b")
+        pairs = join_pairs(ancs, descs, cost)
+        assert join_keys(pairs) == naive_pairs(docs, "a", "b")
+        assert len(pairs) == 3  # inner b matches both a's
+
+    def test_multiple_documents(self):
+        docs = ["<a><b/></a>", "<x><a/><b/></x>", "<a><c><b/></c></a>"]
+        cost, (ancs, descs) = postings_for(docs, "a", "b")
+        pairs = join_pairs(ancs, descs, cost)
+        assert join_keys(pairs) == naive_pairs(docs, "a", "b")
+
+    def test_no_matches(self):
+        docs = ["<a><b/></a>"]
+        cost, (ancs, descs) = postings_for(docs, "b", "a")
+        assert join_pairs(ancs, descs, cost) == []
+
+    def test_empty_streams(self):
+        cost = CostModel()
+        assert list(stack_tree_join([], [], cost)) == []
+
+    def test_charges_cpu(self):
+        docs = ["<a>" + "<b/>" * 10 + "</a>"]
+        cost, (ancs, descs) = postings_for(docs, "a", "b")
+        before = cost.cpu_ops
+        join_pairs(ancs, descs, cost)
+        assert cost.cpu_ops > before
+
+
+class TestParentChild:
+    def test_only_adjacent_levels(self):
+        docs = ["<a><b/><c><b/></c></a>"]
+        cost, (ancs, descs) = postings_for(docs, "a", "b")
+        pairs = join_pairs(ancs, descs, cost, parent_child=True)
+        assert join_keys(pairs) == naive_pairs(
+            docs, "a", "b", parent_child=True
+        )
+        assert len(pairs) == 1
+
+    def test_deep_chain(self):
+        docs = ["<a><a><a><b/></a></a></a>"]
+        cost, (ancs, descs) = postings_for(docs, "a", "b")
+        pairs = join_pairs(ancs, descs, cost, parent_child=True)
+        assert len(pairs) == 1
+
+
+class TestRandomizedAgainstNaive:
+    def test_random_trees(self):
+        import random
+
+        rng = random.Random(13)
+
+        def random_xml(depth=0):
+            if depth > 3 or rng.random() < 0.3:
+                return f"<{rng.choice('ab')}/>"
+            inner = "".join(
+                random_xml(depth + 1) for _ in range(rng.randrange(1, 4))
+            )
+            return f"<c>{inner}</c>"
+
+        docs = []
+        for _ in range(5):
+            inner = "".join(random_xml() for _ in range(3))
+            docs.append(f"<r>{inner}</r>")
+        cost, (ancs, descs) = postings_for(docs, "c", "a")
+        pairs = join_pairs(ancs, descs, cost)
+        assert join_keys(pairs) == naive_pairs(docs, "c", "a")

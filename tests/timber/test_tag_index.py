@@ -1,0 +1,97 @@
+"""Unit tests for the tag postings index."""
+
+from repro.timber.buffer_pool import BufferPool
+from repro.timber.node_store import NodeStore
+from repro.timber.pages import Disk
+from repro.timber.stats import CostModel
+from repro.timber.tag_index import TagIndex
+from repro.xmlmodel.parser import parse
+
+
+def build(docs, page_capacity=4):
+    disk = Disk(page_capacity=page_capacity)
+    cost = CostModel()
+    pool = BufferPool(disk, cost, capacity_pages=64)
+    store = NodeStore(disk, pool)
+    for doc in docs:
+        store.load_document(parse(doc))
+    index = TagIndex(disk, pool)
+    index.build(store)
+    return index, cost
+
+
+class TestBuild:
+    def test_tags_sorted(self):
+        index, _ = build(["<a><c/><b/></a>"])
+        assert index.tags() == ["a", "b", "c"]
+
+    def test_cardinality(self):
+        index, _ = build(["<a><b/><b/><c/></a>"])
+        assert index.cardinality("b") == 2
+        assert index.cardinality("missing") == 0
+
+    def test_postings_sorted_by_start(self):
+        index, _ = build(["<a><b/><c><b/></c></a>"])
+        postings = index.scan_list("b")
+        assert [posting.start for posting in postings] == sorted(
+            posting.start for posting in postings
+        )
+
+    def test_postings_across_documents(self):
+        index, _ = build(["<a><b/></a>", "<a><b/><b/></a>"])
+        postings = index.scan_list("b")
+        assert [posting.doc_id for posting in postings] == [0, 1, 1]
+
+    def test_rebuild_replaces(self):
+        disk = Disk()
+        cost = CostModel()
+        pool = BufferPool(disk, cost, capacity_pages=8)
+        store = NodeStore(disk, pool)
+        store.load_document(parse("<a><b/></a>"))
+        index = TagIndex(disk, pool)
+        index.build(store)
+        store.load_document(parse("<a><b/></a>"))
+        index.build(store)
+        assert index.cardinality("b") == 2
+
+
+class TestPostings:
+    def test_contains(self):
+        index, _ = build(["<a><b><c/></b></a>"])
+        a = index.scan_list("a")[0]
+        c = index.scan_list("c")[0]
+        assert a.contains(c)
+        assert not c.contains(a)
+
+    def test_is_parent_of(self):
+        index, _ = build(["<a><b><c/></b></a>"])
+        a = index.scan_list("a")[0]
+        b = index.scan_list("b")[0]
+        c = index.scan_list("c")[0]
+        assert a.is_parent_of(b)
+        assert not a.is_parent_of(c)
+
+    def test_cross_document_no_containment(self):
+        index, _ = build(["<a/>", "<a/>"])
+        first, second = index.scan_list("a")
+        assert not first.contains(second)
+
+    def test_scan_many_merged_order(self):
+        index, _ = build(["<a><b/><c/><b/></a>"])
+        merged = list(index.scan_many(["b", "c"]))
+        keys = [posting.sort_key for posting in merged]
+        assert keys == sorted(keys)
+        assert len(merged) == 3
+
+    def test_cold_index_scans_charge_io(self):
+        disk = Disk(page_capacity=2)
+        cost = CostModel()
+        pool = BufferPool(disk, cost, capacity_pages=64)
+        store = NodeStore(disk, pool)
+        store.load_document(parse("<a>" + "<b/>" * 20 + "</a>"))
+        index = TagIndex(disk, pool)
+        index.build(store)
+        pool.drop_all()
+        cost.reset()
+        index.scan_list("b")
+        assert cost.io.page_reads > 0

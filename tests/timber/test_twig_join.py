@@ -1,0 +1,121 @@
+"""Tests for the holistic twig join, cross-validated against the
+navigational matcher."""
+
+import random
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.match import match_db
+from repro.patterns.parse import parse_pattern
+from repro.timber.database import TimberDB
+from repro.timber.twig_join import path_stack, twig_join
+
+
+def db_of(*docs):
+    db = TimberDB()
+    for doc in docs:
+        db.load(doc)
+    db.build_index()
+    return db
+
+
+def twig_keys(db, pattern_text):
+    pattern = parse_pattern(pattern_text)
+    return sorted(
+        tuple((p.doc_id, p.node_id) for p in match)
+        for match in twig_join(db, pattern)
+    )
+
+
+def reference_keys(db, pattern_text):
+    pattern = parse_pattern(pattern_text)
+    out = []
+    for witness in match_db(db, pattern):
+        out.append(
+            tuple(
+                (record.doc_id, record.node_id)
+                for record in witness.bindings
+            )
+        )
+    return sorted(set(out))
+
+
+EQUIV_CASES = [
+    (["<a><b><c/></b></a>"], "//a/b/c"),
+    (["<a><b><c/></b><c/></a>"], "//a[/b][/c]"),
+    (["<a><x><b/></x><b/></a>"], "//a//b"),
+    (["<a><a><b/></a></a>"], "//a//b"),
+    (["<a><a><b/></a></a>"], "//a//a"),
+    (["<a><b/><b/><c/><c/></a>"], "//a[/b][/c]"),
+    (["<r><a><b><d/></b><c/></a></r>"], "//a[/b/d][//c]"),
+    (["<a><b/></a>", "<x><a><c><b/></c></a></x>"], "//a//b"),
+    (["<a/>"], "//a//b"),
+    (["<a><b><a><b/></a></b></a>"], "//a/b"),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("docs,pattern", EQUIV_CASES)
+    def test_matches_navigational_matcher(self, docs, pattern):
+        db = db_of(*docs)
+        assert twig_keys(db, pattern) == reference_keys(db, pattern)
+
+    def test_child_root_axis(self):
+        db = db_of("<a><a><b/></a></a>")
+        assert len(twig_keys(db, "a//b")) == 1
+        assert len(twig_keys(db, "//a//b")) == 2
+
+    def test_randomized_trees(self):
+        rng = random.Random(99)
+
+        def random_tree(depth=0):
+            tag = rng.choice("abc")
+            if depth > 3 or rng.random() < 0.4:
+                return f"<{tag}/>"
+            inner = "".join(
+                random_tree(depth + 1) for _ in range(rng.randrange(1, 4))
+            )
+            return f"<{tag}>{inner}</{tag}>"
+
+        docs = [f"<r>{random_tree()}{random_tree()}</r>" for _ in range(4)]
+        db = db_of(*docs)
+        for pattern in [
+            "//a//b", "//a/b", "//r[/a][//b]", "//a[//b][//c]",
+            "//a//b//c", "//r/a/b",
+        ]:
+            assert twig_keys(db, pattern) == reference_keys(db, pattern), (
+                pattern
+            )
+
+
+class TestPathStack:
+    def test_single_node_spine(self):
+        db = db_of("<a><a/></a>")
+        pattern = parse_pattern("//a")
+        paths = path_stack(db, pattern.nodes())
+        assert len(paths) == 2
+
+    def test_chain_counts(self):
+        db = db_of("<a><b/><x><b/></x></a>")
+        pattern = parse_pattern("//a//b")
+        assert len(path_stack(db, pattern.nodes())) == 2
+
+    def test_charges_cost(self):
+        db = db_of("<a><b/></a>")
+        db.reset_cost()
+        pattern = parse_pattern("//a//b")
+        path_stack(db, pattern.nodes())
+        assert db.cost.cpu_ops > 0
+
+
+class TestRestrictions:
+    def test_attribute_nodes_rejected(self):
+        db = db_of("<a x='1'/>")
+        with pytest.raises(PatternError):
+            twig_join(db, parse_pattern("//a[/@x]"))
+
+    def test_optional_nodes_rejected(self):
+        db = db_of("<a><b/></a>")
+        with pytest.raises(PatternError):
+            twig_join(db, parse_pattern("//a/b?"))

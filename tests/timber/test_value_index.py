@@ -1,0 +1,93 @@
+"""Unit tests for the (tag, value) index."""
+
+from repro.patterns.match import match_db
+from repro.patterns.parse import parse_pattern
+from repro.timber.database import TimberDB
+from repro.xmlmodel.parser import parse
+
+
+def db_of(*docs):
+    db = TimberDB()
+    for doc in docs:
+        db.load(doc)
+    db.build_index()
+    return db
+
+
+DOC = (
+    "<lib>"
+    "<book><year>2003</year></book>"
+    "<book><year>2004</year></book>"
+    "<book><year>2003</year><year>2005</year></book>"
+    "<journal><year>2003</year></journal>"
+    "</lib>"
+)
+
+
+class TestLookup:
+    def test_exact_matches(self):
+        db = db_of(DOC)
+        postings = db.postings_with_value("year", "2003")
+        assert len(postings) == 3
+        assert all(
+            db.record_of(posting).text == "2003" for posting in postings
+        )
+
+    def test_missing_value_empty(self):
+        db = db_of(DOC)
+        assert db.postings_with_value("year", "1999") == []
+        assert db.postings_with_value("ghost", "2003") == []
+
+    def test_document_order(self):
+        db = db_of(DOC)
+        postings = db.postings_with_value("year", "2003")
+        keys = [posting.sort_key for posting in postings]
+        assert keys == sorted(keys)
+
+    def test_values_of(self):
+        db = db_of(DOC)
+        db.build_value_index()
+        assert db.values.values_of("year") == ["2003", "2004", "2005"]
+
+    def test_selectivity(self):
+        db = db_of(DOC)
+        db.build_value_index()
+        total = db.tag_cardinality("year")
+        assert db.values.selectivity("year", "2003", total) == 3 / 5
+        assert db.values.selectivity("year", "zzz", 0) == 0.0
+
+    def test_rebuild_after_load(self):
+        db = db_of(DOC)
+        assert len(db.postings_with_value("year", "2004")) == 1
+        db.load("<lib><book><year>2004</year></book></lib>")
+        assert len(db.postings_with_value("year", "2004")) == 2
+
+    def test_empty_text_not_indexed(self):
+        db = db_of("<a><b/><b>x</b></a>")
+        db.build_value_index()
+        assert db.values.cardinality("b", "") == 0
+        assert db.values.cardinality("b", "x") == 1
+
+
+class TestMatcherIntegration:
+    def test_value_predicate_uses_index_and_agrees(self):
+        db = db_of(DOC)
+        pattern = parse_pattern('//book[/year="2003"]')
+        witnesses = match_db(db, pattern)
+        assert len(witnesses) == 2  # books 1 and 3
+
+    def test_indexed_lookup_touches_fewer_records(self):
+        many = "<r>" + "".join(
+            f"<f><v>k{i % 50}</v></f>" for i in range(500)
+        ) + "</r>"
+        db = db_of(many)
+        db.build_value_index()
+        db.reset_cost()
+        match_db(db, parse_pattern('//f[/v="k7"]'))
+        indexed_ops = db.cost.cpu_ops
+        # Compare with a full scan that post-filters by fetching records.
+        db.reset_cost()
+        witnesses = match_db(db, parse_pattern("//f[/v=$v]"))
+        full_ops = db.cost.cpu_ops
+        assert indexed_ops < full_ops
+        assert len([w for w in witnesses if w.value_of("$v") == "k7"]) == 10

@@ -1,0 +1,132 @@
+"""Unit tests for navigation axes and simple path evaluation."""
+
+import pytest
+
+from repro.errors import PatternParseError
+from repro.xmlmodel.navigation import (
+    Step,
+    StepAxis,
+    axis_nodes,
+    common_ancestor,
+    evaluate_path_str,
+    parse_path,
+    path_to_string,
+    select,
+)
+from repro.xmlmodel.parser import parse
+
+DOC = parse(
+    """
+    <lib>
+      <book id="b1"><author><name>Ada</name></author><year>2001</year></book>
+      <book id="b2"><meta><author><name>Alan</name></author></meta></book>
+      <journal id="j1"><name>VLDBJ</name></journal>
+    </lib>
+    """
+)
+
+
+class TestParsePath:
+    def test_child_steps(self):
+        steps = parse_path("a/b/c")
+        assert [step.test for step in steps] == ["a", "b", "c"]
+        assert all(step.axis is StepAxis.CHILD for step in steps)
+
+    def test_descendant_steps(self):
+        steps = parse_path("//a//b")
+        assert [step.axis for step in steps] == [
+            StepAxis.DESCENDANT, StepAxis.DESCENDANT,
+        ]
+
+    def test_attribute_last(self):
+        steps = parse_path("a/@id")
+        assert steps[-1].is_attribute
+        assert steps[-1].attribute_name == "id"
+
+    def test_attribute_not_last_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_path("a/@id/b")
+
+    @pytest.mark.parametrize("bad", ["", " a", "a//", "a//@"])
+    def test_bad_paths(self, bad):
+        with pytest.raises(PatternParseError):
+            parse_path(bad)
+
+    def test_round_trip(self):
+        for path in ["a/b", "//a/b//c", "book/@id", "a"]:
+            assert path_to_string(parse_path(path)) == path
+
+
+class TestAxisNodes:
+    def test_child_axis(self):
+        books = list(axis_nodes(DOC.root, Step(StepAxis.CHILD, "book")))
+        assert len(books) == 2
+
+    def test_descendant_axis(self):
+        names = list(axis_nodes(DOC.root, Step(StepAxis.DESCENDANT, "name")))
+        assert len(names) == 3
+
+    def test_wildcard(self):
+        children = list(axis_nodes(DOC.root, Step(StepAxis.CHILD, "*")))
+        assert len(children) == 3
+
+
+class TestEvaluatePath:
+    def test_simple_chain(self):
+        book = DOC.root.children[0]
+        names = evaluate_path_str(book, "author/name")
+        assert [node.text for node in names] == ["Ada"]
+
+    def test_descendant_recovers_nested(self):
+        book2 = DOC.root.children[1]
+        assert evaluate_path_str(book2, "author/name") == []
+        names = evaluate_path_str(book2, "//author/name")
+        assert [node.text for node in names] == ["Alan"]
+
+    def test_attribute_result(self):
+        results = evaluate_path_str(DOC.root, "book/@id")
+        assert [value for _, value in results] == ["b1", "b2"]
+
+    def test_descendant_attribute_is_proper(self):
+        # //@id from a book must not return the book's own attribute.
+        book = DOC.root.children[0]
+        results = evaluate_path_str(book, "//@id")
+        assert results == []
+
+    def test_dedup_across_branches(self):
+        doc = parse("<r><a><b><c/></b></a></r>")
+        # //b reachable via both r and a frontier nodes must dedup.
+        results = evaluate_path_str(doc.root, "//a//c")
+        assert len(results) == 1
+
+
+class TestSelect:
+    def test_absolute_root_path(self):
+        assert [n.tag for n in select(DOC, "/lib")] == ["lib"]
+
+    def test_absolute_deeper(self):
+        names = select(DOC, "/lib/journal/name")
+        assert [n.text for n in names] == ["VLDBJ"]
+
+    def test_root_mismatch_empty(self):
+        assert select(DOC, "/nope/x") == []
+
+    def test_double_slash_everywhere(self):
+        assert len(select(DOC, "//name")) == 3
+
+    def test_double_slash_with_tail(self):
+        results = select(DOC, "//author/name")
+        assert [n.text for n in results] == ["Ada", "Alan"]
+
+
+class TestCommonAncestor:
+    def test_basic(self):
+        ada = select(DOC, "//author/name")[0]
+        year = select(DOC, "//year")[0]
+        anc = common_ancestor(ada, year)
+        assert anc is not None and anc.tag == "book"
+
+    def test_self_is_ancestor_of_descendant(self):
+        book = DOC.root.children[0]
+        name = select(DOC, "//author/name")[0]
+        assert common_ancestor(book, name) is book

@@ -1,0 +1,148 @@
+"""Unit tests for the tree node model and region encoding."""
+
+import pytest
+
+from repro.errors import XmlStructureError
+from repro.xmlmodel.nodes import Document, Element, validate_regions
+
+
+def small_doc() -> Document:
+    root = Element("a")
+    b = root.make_child("b", text="one")
+    b.make_child("c", attrs={"x": "1"})
+    root.make_child("d", text="two")
+    return Document(root)
+
+
+class TestElement:
+    def test_empty_tag_rejected(self):
+        with pytest.raises(XmlStructureError):
+            Element("")
+
+    def test_text_is_stripped(self):
+        element = Element("a", text="  hi  ")
+        assert element.text == "hi"
+
+    def test_append_text_preserves_chunks(self):
+        element = Element("a")
+        element.append_text("one")
+        element.append_text("")
+        element.append_text("two")
+        assert element.text_chunks == ["one", "two"]
+        assert element.text == "onetwo"
+
+    def test_full_text_includes_descendants(self):
+        doc = small_doc()
+        assert doc.root.full_text() == "onetwo"
+
+    def test_append_rejects_attached_child(self):
+        parent = Element("p")
+        child = parent.make_child("c")
+        other = Element("q")
+        with pytest.raises(XmlStructureError):
+            other.append(child)
+
+    def test_detach_then_reattach(self):
+        parent = Element("p")
+        child = parent.make_child("c")
+        child.detach()
+        assert child.parent is None
+        assert parent.children == []
+        Element("q").append(child)
+
+    def test_iter_descendants_document_order(self):
+        doc = small_doc()
+        tags = [node.tag for node in doc.root.iter_descendants()]
+        assert tags == ["b", "c", "d"]
+
+    def test_iter_subtree_includes_self(self):
+        doc = small_doc()
+        tags = [node.tag for node in doc.root.iter_subtree()]
+        assert tags == ["a", "b", "c", "d"]
+
+    def test_iter_ancestors(self):
+        doc = small_doc()
+        c = doc.root.children[0].children[0]
+        assert [node.tag for node in c.iter_ancestors()] == ["b", "a"]
+
+    def test_find_children_and_descendants(self):
+        doc = small_doc()
+        assert [node.tag for node in doc.root.find_children("b")] == ["b"]
+        assert doc.root.find_children("c") == []
+        assert [node.tag for node in doc.root.find_descendants("c")] == ["c"]
+
+    def test_contains_via_regions(self):
+        doc = small_doc()
+        b = doc.root.children[0]
+        c = b.children[0]
+        assert doc.root.contains(c)
+        assert b.contains(c)
+        assert not c.contains(b)
+        assert not b.contains(b)
+
+    def test_contains_without_regions(self):
+        root = Element("a")
+        child = root.make_child("b")
+        assert root.contains(child)
+        assert not child.contains(root)
+
+    def test_attr_access(self):
+        doc = small_doc()
+        c = doc.root.children[0].children[0]
+        assert c.attr("x") == "1"
+        assert c.attr("y") is None
+        assert c.attr("y", "d") == "d"
+
+
+class TestDocument:
+    def test_root_with_parent_rejected(self):
+        parent = Element("p")
+        child = parent.make_child("c")
+        with pytest.raises(XmlStructureError):
+            Document(child)
+
+    def test_region_invariants(self):
+        validate_regions(small_doc())
+
+    def test_node_ids_are_document_order(self):
+        doc = small_doc()
+        assert [node.tag for node in doc.elements] == ["a", "b", "c", "d"]
+        for index, node in enumerate(doc.elements):
+            assert node.node_id == index
+            assert doc.by_id(index) is node
+
+    def test_by_id_out_of_range(self):
+        with pytest.raises(XmlStructureError):
+            small_doc().by_id(99)
+
+    def test_levels(self):
+        doc = small_doc()
+        assert [node.level for node in doc.elements] == [0, 1, 2, 1]
+        assert doc.max_depth() == 2
+
+    def test_reindex_after_mutation(self):
+        doc = small_doc()
+        doc.root.make_child("e")
+        doc.reindex()
+        validate_regions(doc)
+        assert doc.element_count() == 5
+
+    def test_find_all(self):
+        doc = small_doc()
+        assert len(doc.find_all("b")) == 1
+        assert doc.find_all("missing") == []
+
+    def test_iter_tags_unique(self):
+        doc = small_doc()
+        assert list(doc.iter_tags()) == ["a", "b", "c", "d"]
+
+    def test_sibling_regions_disjoint(self):
+        doc = small_doc()
+        b, d = doc.root.children
+        assert b.end < d.start
+
+    def test_validate_catches_corruption(self):
+        doc = small_doc()
+        doc.root.children[0].level = 7
+        with pytest.raises(XmlStructureError):
+            validate_regions(doc)

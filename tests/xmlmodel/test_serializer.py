@@ -1,0 +1,64 @@
+"""Unit tests for serialization and round-tripping."""
+
+from repro.xmlmodel.nodes import Element, Document
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import escape_attr, escape_text, serialize
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attr_escapes_quotes(self):
+        assert escape_attr('say "hi" & <go>') == (
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+        )
+
+
+class TestCompact:
+    def test_empty_element(self):
+        assert serialize(parse("<a/>")) == "<a/>"
+
+    def test_attributes_preserved(self):
+        text = serialize(parse('<a x="1" y="&lt;"/>'))
+        assert text == '<a x="1" y="&lt;"/>'
+
+    def test_nested_structure(self):
+        text = serialize(parse("<a><b>t</b><c/></a>"))
+        assert text == "<a><b>t</b><c/></a>"
+
+    def test_serialize_element_subtree(self):
+        doc = parse("<a><b>t</b></a>")
+        assert serialize(doc.root.children[0]) == "<b>t</b>"
+
+
+class TestRoundTrip:
+    SAMPLES = [
+        "<a/>",
+        "<a>text</a>",
+        '<a k="v"><b/><c>deep<d/></c></a>',
+        "<a>&lt;escaped&gt; &amp; more</a>",
+        '<a quote="&quot;q&quot;"/>',
+    ]
+
+    def test_structure_round_trips(self):
+        for sample in self.SAMPLES:
+            doc = parse(sample)
+            again = parse(serialize(doc))
+            assert _shape(doc.root) == _shape(again.root)
+
+    def test_pretty_output_reparses(self):
+        doc = parse('<a><b x="1">hi</b><c/></a>')
+        pretty = serialize(doc, pretty=True)
+        assert "\n" in pretty
+        again = parse(pretty)
+        assert _shape(doc.root) == _shape(again.root)
+
+
+def _shape(element: Element):
+    return (
+        element.tag,
+        tuple(sorted(element.attrs.items())),
+        element.text,
+        tuple(_shape(child) for child in element.children),
+    )

@@ -1,0 +1,81 @@
+"""Tests for the streaming event API."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import XmlParseError
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.stream import (
+    build_from_events,
+    count_tags,
+    iter_events,
+    tree_events,
+)
+
+# Reuse the random-element strategy from the XML property suite.
+from tests.prop.test_hypothesis_xml import random_element, shape
+from repro.xmlmodel.nodes import Document
+
+
+class TestIterEvents:
+    def test_event_sequence(self):
+        events = list(iter_events('<a x="1"><b>hi</b><c/></a>'))
+        assert events == [
+            ("start", "a", {"x": "1"}),
+            ("start", "b", {}),
+            ("text", "hi"),
+            ("end", "b"),
+            ("start", "c", {}),
+            ("end", "c"),
+            ("end", "a"),
+        ]
+
+    def test_whitespace_only_text_skipped(self):
+        events = list(iter_events("<a>\n  <b/>\n</a>"))
+        assert ("text", "\n  ") not in events
+        kinds = [event[0] for event in events]
+        assert kinds == ["start", "start", "end", "end"]
+
+    def test_malformed_raises(self):
+        with pytest.raises(XmlParseError):
+            list(iter_events("<a><b></a>"))
+
+    def test_count_tags(self):
+        counts = count_tags("<a><b/><b/><c><b/></c></a>")
+        assert counts == {"a": 1, "b": 3, "c": 1}
+
+
+class TestBuildFromEvents:
+    def test_round_trip(self):
+        doc = parse('<a x="1"><b>hi</b><c/></a>')
+        again = build_from_events(tree_events(doc))
+        assert shape(doc.root) == shape(again.root)
+
+    def test_mismatched_end_rejected(self):
+        events = [("start", "a", {}), ("end", "b")]
+        with pytest.raises(XmlParseError):
+            build_from_events(iter(events))
+
+    def test_incomplete_stream_rejected(self):
+        with pytest.raises(XmlParseError):
+            build_from_events(iter([("start", "a", {})]))
+
+    def test_text_outside_element_rejected(self):
+        with pytest.raises(XmlParseError):
+            build_from_events(iter([("text", "x")]))
+
+    def test_multiple_roots_rejected(self):
+        events = [
+            ("start", "a", {}), ("end", "a"),
+            ("start", "b", {}), ("end", "b"),
+        ]
+        with pytest.raises(XmlParseError):
+            build_from_events(iter(events))
+
+
+@given(random_element())
+@settings(max_examples=60, deadline=None)
+def test_events_round_trip_random_trees(element):
+    doc = Document(element.detach())
+    again = build_from_events(tree_events(doc))
+    assert shape(doc.root) == shape(again.root)
