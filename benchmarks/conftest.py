@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.cube import compute_cube
+from repro.core.cube import ExecutionOptions, compute_cube
 from repro.core.properties import PropertyOracle
 from repro.datagen.workload import WorkloadConfig, build_workload
 
@@ -29,12 +29,16 @@ class PreparedWorkload:
         self.oracle = self.workload.oracle(self.table)
         self.memory_entries = memory_entries
 
-    def run(self, algorithm: str):
+    def run(self, algorithm: str, workers: int = 1, engine: str = "auto"):
         return compute_cube(
             self.table,
-            algorithm,
-            oracle=self.oracle,
-            memory_entries=self.memory_entries,
+            ExecutionOptions(
+                algorithm=algorithm,
+                oracle=self.oracle,
+                memory_entries=self.memory_entries,
+                workers=workers,
+                engine=engine,
+            ),
         )
 
     def simulated(self, algorithm: str) -> float:

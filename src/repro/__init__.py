@@ -3,7 +3,9 @@
 
 Quickstart::
 
-    from repro import parse_x3_query, extract_fact_table, compute_cube
+    from repro import (
+        ExecutionOptions, parse_x3_query, extract_fact_table, compute_cube,
+    )
     from repro.datagen.publications import figure1_document
 
     doc = figure1_document()
@@ -18,7 +20,19 @@ Quickstart::
         return COUNT($b).
     ''')
     table = extract_fact_table(doc, query)
-    cube = compute_cube(table, algorithm="BUC")
+    cube = compute_cube(table, ExecutionOptions(algorithm="BUC"))
+
+    # Parallel: fan the lattice out over 4 workers and merge.
+    fast = compute_cube(
+        table, ExecutionOptions(algorithm="BUC", workers=4, engine="thread")
+    )
+    assert fast.same_contents(cube)
+
+:class:`ExecutionOptions` is the single options object for every
+execution surface (``compute_cube``, ``CubeSession.compute``, the bench
+harness, both CLIs); the legacy keyword form
+``compute_cube(table, algorithm="BUC", ...)`` still works but emits a
+``DeprecationWarning``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 per-figure reproduction results.
@@ -27,8 +41,10 @@ per-figure reproduction results.
 from repro.core import (
     AggregateSpec,
     AxisSpec,
+    CostSnapshot,
     CubeLattice,
     CubeResult,
+    ExecutionOptions,
     FactTable,
     X3Query,
     compute_cube,
@@ -45,8 +61,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateSpec",
     "AxisSpec",
+    "CostSnapshot",
     "CubeLattice",
     "CubeResult",
+    "ExecutionOptions",
     "FactTable",
     "X3Query",
     "compute_cube",

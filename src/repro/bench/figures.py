@@ -189,11 +189,14 @@ def run_figure(
     axes: Optional[Sequence[int]] = None,
     memory_entries: Optional[int] = None,
     validate: bool = False,
+    workers: int = 1,
+    engine: str = "auto",
 ) -> Tuple[FigureSpec, List[AlgorithmRun]]:
     """Run one figure's sweep; returns the spec and all runs.
 
     ``memory_entries=None`` uses the figure's own budget (Fig. 10 gets a
     pool that fits its dense low-dimensional cube, as the paper's did).
+    ``workers``/``engine`` route every run through the parallel engine.
     """
     spec = FIGURES[figure_id]
     if memory_entries is None:
@@ -210,6 +213,8 @@ def run_figure(
                 spec.algorithms,
                 memory_entries=memory_entries,
                 validate=validate,
+                workers=workers,
+                engine=engine,
             )
         )
     return spec, runs

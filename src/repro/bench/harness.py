@@ -8,6 +8,11 @@ Each run reports two time measures:
 - ``wall_seconds`` — real elapsed time of the Python execution, captured
   for completeness and used by the pytest-benchmark targets.
 
+Parallel runs (``workers > 1``) additionally report the engine's modeled
+critical path (``par_sim_seconds``: the busiest worker's simulated
+seconds) and merge time, so speedups are measurable even on single-core
+hosts where wall-clock parallelism cannot show up.
+
 Runs optionally validate results against the NAIVE oracle; for the
 optimized variants on property-violating inputs the validation is
 *expected* to fail (the paper timed those runs anyway, Fig. 9 — so do
@@ -21,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.bindings import FactTable
-from repro.core.cube import CubeResult, compute_cube
+from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
 from repro.core.properties import PropertyOracle
 from repro.datagen.workload import Workload, WorkloadConfig, build_workload
 
@@ -40,6 +45,18 @@ class AlgorithmRun:
     passes: int
     correct: Optional[bool] = None
     dnf: bool = False
+    workers: int = 1
+    engine: str = "serial"
+    par_sim_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Total simulated work over the schedule's critical path."""
+        if self.par_sim_seconds <= 0.0:
+            return 1.0
+        return self.simulated_seconds / self.par_sim_seconds
 
     def as_row(self) -> Dict[str, object]:
         return {
@@ -53,24 +70,41 @@ class AlgorithmRun:
             "passes": self.passes,
             "correct": self.correct,
             "dnf": self.dnf,
+            "workers": self.workers,
+            "engine": self.engine,
+            "par_sim_seconds": round(self.par_sim_seconds, 6),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "queue_wait_seconds": round(self.queue_wait_seconds, 6),
         }
 
 
 def run_algorithm(
     table: FactTable,
-    algorithm: str,
+    algorithm: Optional[str] = None,
     oracle: Optional[PropertyOracle] = None,
     memory_entries: Optional[int] = None,
     reference: Optional[CubeResult] = None,
     workload_name: str = "",
     n_facts: int = 0,
     dnf_simulated_limit: Optional[float] = None,
+    options: Optional[ExecutionOptions] = None,
 ) -> AlgorithmRun:
-    """Time one algorithm over an extracted fact table."""
+    """Time one algorithm over an extracted fact table.
+
+    Pass either an ``algorithm`` name plus the oracle/memory shorthands,
+    or a full :class:`ExecutionOptions` (which wins and may carry
+    ``workers``/``engine`` for parallel runs).
+    """
+    if options is None:
+        options = ExecutionOptions(
+            algorithm=algorithm or "NAIVE",
+            oracle=oracle,
+            memory_entries=memory_entries,
+        )
+    elif algorithm is not None:
+        options = options.replace(algorithm=algorithm)
     begin = time.perf_counter()
-    result = compute_cube(
-        table, algorithm, oracle=oracle, memory_entries=memory_entries
-    )
+    result = compute_cube(table, options)
     wall = time.perf_counter() - begin
     correct = (
         result.same_contents(reference) if reference is not None else None
@@ -79,9 +113,10 @@ def run_algorithm(
         dnf_simulated_limit is not None
         and result.simulated_seconds > dnf_simulated_limit
     )
+    metrics = result.metrics
     return AlgorithmRun(
         workload=workload_name,
-        algorithm=algorithm,
+        algorithm=options.algorithm,
         n_axes=table.lattice.axis_count,
         n_facts=n_facts or len(table),
         simulated_seconds=result.simulated_seconds,
@@ -90,6 +125,13 @@ def run_algorithm(
         passes=result.passes,
         correct=correct,
         dnf=dnf,
+        workers=options.workers,
+        engine=metrics.engine if metrics is not None else options.effective_engine,
+        par_sim_seconds=result.cost.parallel_simulated_seconds,
+        merge_seconds=result.cost.merge_seconds,
+        queue_wait_seconds=(
+            metrics.queue_wait_seconds if metrics is not None else 0.0
+        ),
     )
 
 
@@ -99,19 +141,29 @@ def run_workload(
     memory_entries: Optional[int] = None,
     validate: bool = False,
     dnf_simulated_limit: Optional[float] = None,
+    workers: int = 1,
+    engine: str = "auto",
 ) -> List[AlgorithmRun]:
     """Extract once, then time each algorithm (the paper's protocol)."""
     table = workload.fact_table()
     oracle = workload.oracle(table)
-    reference = compute_cube(table, "NAIVE") if validate else None
+    reference = (
+        compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        if validate
+        else None
+    )
     runs: List[AlgorithmRun] = []
     for algorithm in algorithms:
         runs.append(
             run_algorithm(
                 table,
-                algorithm,
-                oracle=oracle,
-                memory_entries=memory_entries,
+                options=ExecutionOptions(
+                    algorithm=algorithm,
+                    oracle=oracle,
+                    memory_entries=memory_entries,
+                    workers=workers,
+                    engine=engine,
+                ),
                 reference=reference,
                 workload_name=workload.name,
                 n_facts=len(table),
@@ -127,6 +179,8 @@ def run_config(
     memory_entries: Optional[int] = None,
     validate: bool = False,
     dnf_simulated_limit: Optional[float] = None,
+    workers: int = 1,
+    engine: str = "auto",
 ) -> List[AlgorithmRun]:
     """Build the workload from its config, then run."""
     return run_workload(
@@ -135,4 +189,41 @@ def run_config(
         memory_entries=memory_entries,
         validate=validate,
         dnf_simulated_limit=dnf_simulated_limit,
+        workers=workers,
+        engine=engine,
     )
+
+
+SMOKE_ALGORITHMS = ("NAIVE", "COUNTER", "BUC", "TD")
+SMOKE_CONFIG = WorkloadConfig(kind="treebank", n_facts=80, n_axes=3)
+
+
+def run_smoke(workers: int = 4, engine: str = "thread") -> List[AlgorithmRun]:
+    """The CI smoke benchmark: a small workload, serial and parallel.
+
+    Every serial run is validated against NAIVE; every parallel run must
+    be result-identical to its serial twin (the engine's contract), so a
+    ``correct=False`` row fails the smoke.
+    """
+    workload = build_workload(SMOKE_CONFIG)
+    table = workload.fact_table()
+    oracle = workload.oracle(table)
+    reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+    runs: List[AlgorithmRun] = []
+    for algorithm in SMOKE_ALGORITHMS:
+        for n_workers in (1, workers):
+            runs.append(
+                run_algorithm(
+                    table,
+                    options=ExecutionOptions(
+                        algorithm=algorithm,
+                        oracle=oracle,
+                        workers=n_workers,
+                        engine="serial" if n_workers == 1 else engine,
+                    ),
+                    reference=reference,
+                    workload_name=workload.name,
+                    n_facts=len(table),
+                )
+            )
+    return runs

@@ -62,12 +62,33 @@ def format_runs_csv(runs: List[AlgorithmRun]) -> str:
     """Machine-readable dump of all runs."""
     header = (
         "workload,algorithm,axes,facts,sim_seconds,wall_seconds,"
-        "cells,passes,correct,dnf"
+        "cells,passes,correct,dnf,workers,engine,par_sim_seconds,"
+        "merge_seconds,queue_wait_seconds"
     )
     lines = [header]
     for run in runs:
         row = run.as_row()
         lines.append(
             ",".join(str(row[column]) for column in header.split(","))
+        )
+    return "\n".join(lines)
+
+
+def format_smoke(runs: List[AlgorithmRun]) -> str:
+    """Render the smoke benchmark: serial vs parallel per algorithm."""
+    lines = [
+        "== smoke: parallel engine vs serial, "
+        f"{runs[0].workload if runs else '?'}",
+        f"   {'algorithm':<10} {'workers':>7} {'engine':>8} "
+        f"{'sim-s':>10} {'par-sim-s':>10} {'speedup':>8} {'wall-s':>10} "
+        f"{'ok':>4}",
+    ]
+    for run in runs:
+        ok = "-" if run.correct is None else ("yes" if run.correct else "NO")
+        lines.append(
+            f"   {run.algorithm:<10} {run.workers:>7} {run.engine:>8} "
+            f"{run.simulated_seconds:>10.4f} {run.par_sim_seconds:>10.4f} "
+            f"{run.modeled_speedup:>7.2f}x {run.wall_seconds:>10.4f} "
+            f"{ok:>4}"
         )
     return "\n".join(lines)

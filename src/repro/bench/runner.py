@@ -7,6 +7,10 @@ Examples::
     x3-bench --figure fig6 --scale 2 --axes 2 3 4 5 6 7
     x3-bench --figure fig10 --validate     # also check against NAIVE
     x3-bench --all --csv results.csv
+    x3-bench --figure fig6 --workers 4 --engine thread
+    x3-bench --smoke                       # CI smoke: serial vs parallel
+
+Also runnable as ``python -m repro.bench.runner``.
 """
 
 from __future__ import annotations
@@ -16,8 +20,9 @@ import sys
 from typing import List, Optional
 
 from repro.bench.figures import FIGURES, run_figure
-from repro.bench.harness import AlgorithmRun
-from repro.bench.report import format_figure, format_runs_csv
+from repro.bench.harness import AlgorithmRun, run_smoke
+from repro.bench.report import format_figure, format_runs_csv, format_smoke
+from repro.core.cube import ENGINE_CHOICES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="check every run against the NAIVE oracle",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool size for the parallel engine (default 1)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="execution engine (default auto: serial for 1 worker,"
+        " thread pool otherwise)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI smoke benchmark (serial vs parallel on a small"
+        " workload) and exit non-zero on any result mismatch",
+    )
+    parser.add_argument(
         "--csv", metavar="PATH", help="also dump all runs as CSV"
     )
     parser.add_argument(
@@ -77,6 +101,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.smoke:
+        runs = run_smoke(workers=max(2, args.workers))
+        print(format_smoke(runs))
+        failed = [run for run in runs if run.correct is False]
+        if failed:
+            names = sorted({run.algorithm for run in failed})
+            print(
+                f"smoke FAILED: wrong results from {', '.join(names)}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(format_runs_csv(runs) + "\n")
+            print(f"wrote {len(runs)} runs to {args.csv}")
+        return 0
     if not args.figure and not args.all and not args.scaling:
         build_parser().print_help()
         return 2
@@ -96,6 +136,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             axes=args.axes,
             memory_entries=args.memory,
             validate=args.validate,
+            workers=args.workers,
+            engine=args.engine,
         )
         all_runs.extend(runs)
         print(format_figure(spec, runs))

@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.cube import compute_cube
+from repro.core.cube import ENGINE_CHOICES, ExecutionOptions, compute_cube
 from repro.core.extract import extract_fact_table
 from repro.core.properties import PropertyOracle
 from repro.core.xq_parser import parse_x3_query
@@ -67,6 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows shown per printed cuboid (default 10)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool size for the parallel engine (default 1:"
+        " serial execution)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="execution engine (default auto: serial for 1 worker,"
+        " thread pool otherwise)",
+    )
+    parser.add_argument(
         "--properties",
         action="store_true",
         help="report observed summarizability per axis",
@@ -104,9 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     lattice = table.lattice
     try:
-        cube = compute_cube(
-            table, args.algorithm, min_support=args.min_support
+        options = ExecutionOptions(
+            algorithm=args.algorithm,
+            min_support=args.min_support,
+            workers=args.workers,
+            engine=args.engine,
         )
+        cube = compute_cube(table, options)
     except X3Error as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -116,6 +134,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{cube.total_cells()} cells "
         f"[{cube.algorithm}, {cube.simulated_seconds:.3f} sim-s]"
     )
+    if cube.metrics is not None and cube.metrics.engine != "serial":
+        print(f"   {cube.metrics.summary()}")
+        print(
+            f"   modeled speedup {cube.cost.speedup_estimate:.2f}x "
+            f"({cube.cost.simulated_seconds:.3f} sim-s total work, "
+            f"{cube.cost.parallel_simulated_seconds:.3f} sim-s critical"
+            f" path)"
+        )
 
     if args.properties:
         oracle = PropertyOracle.from_data(table)

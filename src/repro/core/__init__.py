@@ -19,7 +19,12 @@ Public surface re-exported here:
 from repro.core.aggregates import AggregateSpec
 from repro.core.axes import AxisSpec
 from repro.core.bindings import AnnotatedValue, FactRow, FactTable
-from repro.core.cube import CubeResult, compute_cube
+from repro.core.cube import (
+    CostSnapshot,
+    CubeResult,
+    ExecutionOptions,
+    compute_cube,
+)
 from repro.core.extract import extract_fact_table
 from repro.core.lattice import CubeLattice, LatticePoint
 from repro.core.query import X3Query
@@ -31,7 +36,9 @@ __all__ = [
     "AnnotatedValue",
     "FactRow",
     "FactTable",
+    "CostSnapshot",
     "CubeResult",
+    "ExecutionOptions",
     "compute_cube",
     "CubeLattice",
     "LatticePoint",

@@ -10,11 +10,12 @@ table's entry footprint; operator memory beyond the budget spills through
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.bindings import FactRow, FactTable
 from repro.core.groupby import Cuboid
-from repro.core.cube import CubeResult
+from repro.core.cube import CostSnapshot, CubeResult
 from repro.core.lattice import CubeLattice, LatticePoint
 from repro.core.properties import PropertyOracle
 from repro.timber.stats import CostModel, MemoryBudget
@@ -101,7 +102,9 @@ class CubeAlgorithm:
         wanted: List[LatticePoint] = (
             list(points) if points is not None else list(table.lattice.points())
         )
+        begin = time.perf_counter()
         cuboids, passes = self._compute(context, wanted)
+        wall_seconds = time.perf_counter() - begin
         if min_support > 0:
             cuboids = {
                 point: {
@@ -115,7 +118,9 @@ class CubeAlgorithm:
             lattice=table.lattice,
             cuboids=cuboids,
             algorithm=self.name,
-            cost=context.cost.snapshot(),
+            cost=CostSnapshot.from_mapping(
+                context.cost.snapshot(), wall_seconds=wall_seconds
+            ),
             passes=passes,
             aggregate=table.aggregate.function.upper(),
         )

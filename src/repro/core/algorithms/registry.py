@@ -55,3 +55,15 @@ def get_algorithm(name: str) -> CubeAlgorithm:
         raise CubeError(
             f"unknown algorithm {name!r}; available: {available()}"
         ) from None
+
+
+def new_instance(name: str) -> CubeAlgorithm:
+    """A fresh, private instance of a registered algorithm.
+
+    The registry hands out singletons, and several algorithms keep their
+    per-run state on ``self`` — fine for sequential use, but concurrent
+    ``run`` calls on one instance clobber each other.  Anything running
+    algorithms from multiple threads (the parallel engine's thread pool)
+    must use this instead of :func:`get_algorithm`.
+    """
+    return type(get_algorithm(name))()

@@ -1,9 +1,43 @@
-"""Cube results and the top-level ``compute_cube`` entry point."""
+"""Cube results, execution options and the ``compute_cube`` entry point.
+
+The one public way to run a cube computation is::
+
+    options = ExecutionOptions(algorithm="BUC", workers=4, engine="thread")
+    result = compute_cube(table, options)
+
+:class:`ExecutionOptions` is the single options object threaded through
+``compute_cube``, :class:`repro.warehouse.CubeSession`, the bench harness
+and both CLIs.  The historical keyword surface
+(``compute_cube(table, "BUC", oracle=..., memory_entries=...)``) still
+works through a thin shim that emits :class:`DeprecationWarning`.
+
+Cost accounting is typed: :class:`CubeResult.cost` is a
+:class:`CostSnapshot` (page I/O, CPU ops, simulated and wall seconds,
+plus a per-worker breakdown when the parallel engine ran).  Dict-style
+reads (``result.cost["simulated_seconds"]``) keep working during the
+deprecation window via :meth:`CostSnapshot.__getitem__`.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine.metrics import EngineMetrics
 
 from repro.core.bindings import FactTable, GroupKey
 from repro.core.groupby import Cuboid
@@ -11,7 +45,224 @@ from repro.core.lattice import CubeLattice, LatticePoint
 from repro.core.properties import PropertyOracle
 from repro.errors import CubeError
 
+ENGINE_CHOICES = ("auto", "serial", "thread", "process")
+PARTITION_STRATEGIES = ("balanced", "antichain", "axis")
 
+_UNSET: Any = object()
+
+
+# ----------------------------------------------------------------------
+# execution options
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Everything one cube run needs, in one immutable object.
+
+    Attributes:
+        algorithm: registered algorithm name (see
+            :func:`repro.core.algorithms.registry.available`).
+        oracle: property oracle for the optimized/customized variants;
+            ``None`` means the pessimistic oracle (no property assumed).
+        memory_entries: operator memory budget in entries (``None`` uses
+            the default budget).
+        points: restrict computation to these lattice points (``None``
+            means the whole lattice); normalized to a tuple.
+        min_support: iceberg threshold — only groups with COUNT >= this
+            value are reported (COUNT cubes only).
+        workers: worker pool size for the parallel engine; ``1`` runs the
+            deterministic serial path.
+        engine: ``"auto"`` | ``"serial"`` | ``"thread"`` | ``"process"``.
+            ``auto`` resolves to ``serial`` for one worker and ``thread``
+            otherwise (see :mod:`repro.core.engine`).
+        partition_strategy: how the lattice is split across workers —
+            ``"balanced"`` (weighted LPT bins), ``"antichain"`` (contiguous
+            rank slices) or ``"axis"`` (per-axis-state subtrees).
+    """
+
+    algorithm: str = "NAIVE"
+    oracle: Optional[PropertyOracle] = None
+    memory_entries: Optional[int] = None
+    points: Optional[Tuple[LatticePoint, ...]] = None
+    min_support: float = 0.0
+    workers: int = 1
+    engine: str = "auto"
+    partition_strategy: str = "balanced"
+
+    def __post_init__(self) -> None:
+        if self.points is not None and not isinstance(self.points, tuple):
+            object.__setattr__(self, "points", tuple(self.points))
+        if self.workers < 1:
+            raise CubeError(f"workers must be >= 1, got {self.workers}")
+        if self.engine not in ENGINE_CHOICES:
+            raise CubeError(
+                f"unknown engine {self.engine!r}; choose from "
+                f"{ENGINE_CHOICES}"
+            )
+        if self.partition_strategy not in PARTITION_STRATEGIES:
+            raise CubeError(
+                f"unknown partition strategy {self.partition_strategy!r}; "
+                f"choose from {PARTITION_STRATEGIES}"
+            )
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def effective_engine(self) -> str:
+        """The engine ``"auto"`` resolves to for this worker count."""
+        if self.engine != "auto":
+            return self.engine
+        return "serial" if self.workers <= 1 else "thread"
+
+
+# ----------------------------------------------------------------------
+# cost accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerCost:
+    """One worker's share of a parallel run."""
+
+    worker: str
+    partitions: int
+    points: int
+    wall_seconds: float
+    simulated_seconds: float
+    queue_wait_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "worker": self.worker,
+            "partitions": self.partitions,
+            "points": self.points,
+            "wall_seconds": self.wall_seconds,
+            "simulated_seconds": self.simulated_seconds,
+            "queue_wait_seconds": self.queue_wait_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Typed cost-model snapshot of one cube run.
+
+    ``simulated_seconds`` is the total simulated work summed over all
+    partitions; ``parallel_simulated_seconds`` is the critical path under
+    the worker schedule that actually ran (equal to ``simulated_seconds``
+    for serial runs), so ``simulated_seconds / parallel_simulated_seconds``
+    is the modeled speedup.
+    """
+
+    cpu_ops: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    evictions: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    parallel_simulated_seconds: float = 0.0
+    workers: Tuple[WorkerCost, ...] = ()
+
+    _INT_FIELDS = (
+        "cpu_ops",
+        "page_reads",
+        "page_writes",
+        "buffer_hits",
+        "buffer_misses",
+        "evictions",
+    )
+    _FLOAT_FIELDS = (
+        "simulated_seconds",
+        "wall_seconds",
+        "merge_seconds",
+        "parallel_simulated_seconds",
+    )
+
+    def __post_init__(self) -> None:
+        if self.parallel_simulated_seconds == 0.0 and self.simulated_seconds:
+            object.__setattr__(
+                self, "parallel_simulated_seconds", self.simulated_seconds
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_io(self) -> int:
+        return self.page_reads + self.page_writes
+
+    @property
+    def speedup_estimate(self) -> float:
+        """Modeled speedup: total simulated work over the critical path."""
+        if self.parallel_simulated_seconds <= 0.0:
+            return 1.0
+        return self.simulated_seconds / self.parallel_simulated_seconds
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_mapping(
+        data: Mapping[str, float], wall_seconds: float = 0.0
+    ) -> "CostSnapshot":
+        """Build from a :meth:`repro.timber.stats.CostModel.snapshot`."""
+        kwargs: Dict[str, Any] = {}
+        for name in CostSnapshot._INT_FIELDS:
+            if name in data:
+                kwargs[name] = int(data[name])
+        for name in CostSnapshot._FLOAT_FIELDS:
+            if name in data:
+                kwargs[name] = float(data[name])
+        if wall_seconds:
+            kwargs["wall_seconds"] = wall_seconds
+        return CostSnapshot(**kwargs)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping for the CSV writers (per-worker rows excluded)."""
+        out: Dict[str, float] = {}
+        for name in self._INT_FIELDS + self._FLOAT_FIELDS:
+            out[name] = getattr(self, name)
+        out["n_workers"] = len(self.workers)
+        return out
+
+    # ------------------------------------------------------------------
+    # deprecated dict-style reads
+    # ------------------------------------------------------------------
+    def _warn_dict_access(self) -> None:
+        warnings.warn(
+            "dict-style CostSnapshot access is deprecated; read the "
+            "attribute directly or use .as_dict()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key: str) -> float:
+        self._warn_dict_access()
+        try:
+            return self.as_dict()[key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        self._warn_dict_access()
+        return self.as_dict().get(key, default)
+
+    def keys(self) -> Iterator[str]:
+        self._warn_dict_access()
+        return iter(self.as_dict())
+
+
+def _coerce_cost(
+    cost: Union[CostSnapshot, Mapping[str, float], None]
+) -> CostSnapshot:
+    if cost is None:
+        return CostSnapshot()
+    if isinstance(cost, CostSnapshot):
+        return cost
+    return CostSnapshot.from_mapping(cost)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
 @dataclass
 class CubeResult:
     """The full cube: one cuboid per lattice point, plus run metadata.
@@ -20,16 +271,22 @@ class CubeResult:
         lattice: the lattice the cube was computed over.
         cuboids: point -> (group key -> aggregate value).
         algorithm: name of the algorithm that produced it.
-        cost: cost-model snapshot taken right after the run.
+        cost: typed cost snapshot taken right after the run.
         passes: number of data passes (COUNTER reports thrashing here).
+        metrics: engine-level metrics (partitioning, queue wait, merge)
+            when the parallel engine ran; ``None`` for direct runs.
     """
 
     lattice: CubeLattice
     cuboids: Dict[LatticePoint, Cuboid]
     algorithm: str = ""
-    cost: Dict[str, float] = field(default_factory=dict)
+    cost: CostSnapshot = field(default_factory=CostSnapshot)
     passes: int = 1
     aggregate: str = "COUNT"
+    metrics: Optional["EngineMetrics"] = None
+
+    def __post_init__(self) -> None:
+        self.cost = _coerce_cost(self.cost)
 
     # ------------------------------------------------------------------
     def cuboid(self, point: LatticePoint) -> Cuboid:
@@ -51,7 +308,11 @@ class CubeResult:
 
     @property
     def simulated_seconds(self) -> float:
-        return float(self.cost.get("simulated_seconds", 0.0))
+        return self.cost.simulated_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.cost.wall_seconds
 
     # ------------------------------------------------------------------
     def same_contents(self, other: "CubeResult", tol: float = 1e-9) -> bool:
@@ -70,7 +331,7 @@ class CubeResult:
     def diff(self, other: "CubeResult") -> List[str]:
         """Human-readable differences (first few) for test messages."""
         out: List[str] = []
-        for point in self.cuboids:
+        for point in sorted(set(self.cuboids) | set(other.cuboids)):
             mine = self.cuboids.get(point, {})
             theirs = other.cuboids.get(point, {})
             for key in set(mine) | set(theirs):
@@ -92,37 +353,68 @@ class CubeResult:
         )
 
 
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def _options_from_legacy(
+    algorithm: Optional[str],
+    legacy: Dict[str, Any],
+) -> ExecutionOptions:
+    warnings.warn(
+        "compute_cube(table, algorithm, oracle=..., ...) keyword arguments "
+        "are deprecated; pass compute_cube(table, ExecutionOptions(...)) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionOptions(algorithm=algorithm or "NAIVE", **legacy)
+
+
 def compute_cube(
     table: FactTable,
-    algorithm: str = "NAIVE",
-    oracle: Optional[PropertyOracle] = None,
-    memory_entries: Optional[int] = None,
-    points: Optional[Sequence[LatticePoint]] = None,
-    min_support: float = 0.0,
+    algorithm: Union[str, ExecutionOptions, None] = None,
+    options: Optional[ExecutionOptions] = None,
+    *,
+    oracle: Any = _UNSET,
+    memory_entries: Any = _UNSET,
+    points: Any = _UNSET,
+    min_support: Any = _UNSET,
 ) -> CubeResult:
     """Compute the cube of an extracted fact table.
 
-    Args:
-        table: the annotated fact table (see
-            :func:`repro.core.extract.extract_fact_table`).
-        algorithm: one of the registered algorithm names
-            (see :func:`repro.core.algorithms.registry.available`).
-        oracle: property oracle for the optimized/customized variants;
-            defaults to the pessimistic oracle (no property assumed).
-        memory_entries: operator memory budget (entries); defaults to a
-            budget that comfortably fits small cubes.
-        points: restrict computation to these lattice points (default:
-            the whole lattice).
-        min_support: iceberg threshold — only groups with COUNT >= this
-            value are reported; BUC additionally prunes its recursion
-            (COUNT is monotone under refinement).  COUNT cubes only.
-    """
-    from repro.core.algorithms.registry import get_algorithm
+    Primary signature::
 
-    return get_algorithm(algorithm).run(
-        table,
-        oracle=oracle,
-        memory_entries=memory_entries,
-        points=points,
-        min_support=min_support,
-    )
+        compute_cube(table, ExecutionOptions(algorithm="BUC", workers=4))
+        compute_cube(table, options=ExecutionOptions(...))
+
+    The legacy keyword surface (``algorithm`` as a string plus ``oracle``,
+    ``memory_entries``, ``points``, ``min_support``) is still accepted but
+    emits :class:`DeprecationWarning`; it builds the same
+    :class:`ExecutionOptions` under the hood.
+    """
+    if isinstance(algorithm, ExecutionOptions):
+        if options is not None:
+            raise CubeError("pass ExecutionOptions once, not twice")
+        options, algorithm = algorithm, None
+    legacy = {
+        name: value
+        for name, value in (
+            ("oracle", oracle),
+            ("memory_entries", memory_entries),
+            ("points", points),
+            ("min_support", min_support),
+        )
+        if value is not _UNSET
+    }
+    if options is not None:
+        if algorithm is not None or legacy:
+            raise CubeError(
+                "pass either ExecutionOptions or the legacy keyword "
+                "arguments, not both"
+            )
+    else:
+        options = _options_from_legacy(algorithm, legacy)
+
+    from repro.core.engine import execute
+
+    return execute(table, options)

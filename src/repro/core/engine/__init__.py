@@ -1,0 +1,35 @@
+"""Parallel cube execution engine.
+
+The cuboid lattice is embarrassingly parallel: every algorithm accepts a
+``points`` restriction, so disjoint lattice slices cube independently and
+merge losslessly.  This package partitions the lattice
+(:mod:`~repro.core.engine.partition`), dispatches partitions to a worker
+pool with a deterministic serial fallback
+(:mod:`~repro.core.engine.executor`), merges per-partition cuboids and
+cost snapshots (:mod:`~repro.core.engine.merge`) and reports per-stage
+metrics (:mod:`~repro.core.engine.metrics`).
+
+Entry point: :func:`execute`, reached through
+``compute_cube(table, ExecutionOptions(...))``.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine.metrics import EngineMetrics, PartitionStats
+from repro.core.engine.partition import Partition, partition_points
+
+
+def execute(table, options):
+    """Run one cube computation (lazy import keeps startup cheap)."""
+    from repro.core.engine.executor import execute as _execute
+
+    return _execute(table, options)
+
+
+__all__ = [
+    "EngineMetrics",
+    "PartitionStats",
+    "Partition",
+    "partition_points",
+    "execute",
+]

@@ -1,0 +1,250 @@
+"""The engine proper: partition, dispatch, run, merge.
+
+``execute`` is what :func:`repro.core.cube.compute_cube` calls.  One
+worker (or a one-point lattice) takes the deterministic serial path —
+the registered algorithm runs exactly as it always has, so serial results
+and costs are bit-identical to the pre-engine code.  More workers fan the
+partitions out over ``concurrent.futures`` pools:
+
+- ``thread``: cheap dispatch, shared memory; the GIL serializes pure
+  Python, so wall-clock gains need multiple cores mostly for the I/O-ish
+  parts — but the *modeled* speedup (cost-model critical path) is exact
+  either way.
+- ``process``: true parallelism at the price of forking and pickling the
+  fact table once per worker; wins for CPU-bound cubes on multi-core
+  hosts.  Falls back to threads (with a ``RuntimeWarning``) where the
+  host cannot create worker processes.
+
+Every partition is an ordinary ``algorithm.run(points=...)`` call, so any
+registered algorithm — including AUTO's delegation — parallelizes without
+knowing about the engine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.bindings import FactTable
+from repro.core.cube import CubeResult, ExecutionOptions
+from repro.core.engine.merge import (
+    PartitionOutcome,
+    merge_costs,
+    merge_cuboids,
+    merge_passes,
+    merged_algorithm_name,
+)
+from repro.core.engine.metrics import EngineMetrics, PartitionStats
+from repro.core.engine.partition import Partition, partition_points
+from repro.core.lattice import LatticePoint
+from repro.core.lattice_graph import partition_cut_edges
+from repro.core.properties import PropertyOracle
+
+PARTITIONS_PER_WORKER = 2
+"""Oversubscription factor: more partitions than workers lets the pool
+rebalance when partitions turn out unequal."""
+
+
+def _worker_id() -> str:
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
+
+
+def _run_partition(
+    table: FactTable,
+    partition_index: int,
+    algorithm: str,
+    oracle: Optional[PropertyOracle],
+    memory_entries: Optional[int],
+    min_support: float,
+    points: Tuple[LatticePoint, ...],
+    submitted_at: float,
+) -> PartitionOutcome:
+    """One partition, run by whichever worker picks it up.
+
+    Module-level so process pools can pickle it; clocks use
+    ``time.monotonic`` (system-wide on Linux) so queue wait is comparable
+    across processes.  A *fresh* algorithm instance per partition: the
+    registry's singletons keep per-run state on ``self``, which thread
+    pools would race on.
+    """
+    from repro.core.algorithms.registry import new_instance
+
+    started = time.monotonic()
+    result = new_instance(algorithm).run(
+        table,
+        oracle=oracle,
+        memory_entries=memory_entries,
+        points=list(points),
+        min_support=min_support,
+    )
+    finished = time.monotonic()
+    return PartitionOutcome(
+        index=partition_index,
+        points=len(points),
+        cuboids=result.cuboids,
+        cost=result.cost.as_dict(),
+        passes=result.passes,
+        algorithm=result.algorithm,
+        worker=_worker_id(),
+        queue_wait_seconds=max(0.0, started - submitted_at),
+        wall_seconds=finished - started,
+    )
+
+
+def _serial_result(
+    table: FactTable,
+    options: ExecutionOptions,
+    points: List[LatticePoint],
+    total_begin: float,
+) -> CubeResult:
+    """The deterministic fallback: one direct algorithm run."""
+    from repro.core.algorithms.registry import get_algorithm
+
+    result = get_algorithm(options.algorithm).run(
+        table,
+        oracle=options.oracle,
+        memory_entries=options.memory_entries,
+        points=points,
+        min_support=options.min_support,
+    )
+    wall = time.perf_counter() - total_begin
+    result.metrics = EngineMetrics(
+        engine="serial",
+        strategy=options.partition_strategy,
+        requested_workers=options.workers,
+        workers_used=1,
+        partitions=(
+            PartitionStats(
+                index=0,
+                points=len(points),
+                weight=float(len(points)),
+                worker="serial",
+                queue_wait_seconds=0.0,
+                wall_seconds=result.cost.wall_seconds,
+                simulated_seconds=result.cost.simulated_seconds,
+            ),
+        ),
+        cut_edges=0,
+        partition_seconds=0.0,
+        merge_seconds=0.0,
+        total_wall_seconds=wall,
+    )
+    return result
+
+
+def _make_pool(engine: str, max_workers: int) -> Executor:
+    if engine == "process":
+        try:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            # Surface broken multiprocessing (sandboxes without /dev/shm,
+            # missing sem_open) now, not at first submit.
+            pool.submit(os.getpid).result()
+            return pool
+        except (OSError, PermissionError, RuntimeError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); falling back to "
+                f"threads",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return ThreadPoolExecutor(
+        max_workers=max_workers, thread_name_prefix="x3-engine"
+    )
+
+
+def execute(table: FactTable, options: ExecutionOptions) -> CubeResult:
+    """Run one cube computation under the given options."""
+    total_begin = time.perf_counter()
+    points: List[LatticePoint] = (
+        list(options.points)
+        if options.points is not None
+        else list(table.lattice.points())
+    )
+    engine = options.effective_engine
+    if engine == "serial" or options.workers <= 1 or len(points) <= 1:
+        return _serial_result(table, options, points, total_begin)
+
+    lattice = table.lattice
+    partition_begin = time.perf_counter()
+    partitions: List[Partition] = partition_points(
+        lattice,
+        points,
+        n_partitions=min(
+            len(points), options.workers * PARTITIONS_PER_WORKER
+        ),
+        strategy=options.partition_strategy,
+    )
+    cut_edges = partition_cut_edges(
+        lattice, [list(part.points) for part in partitions]
+    )
+    partition_seconds = time.perf_counter() - partition_begin
+
+    max_workers = min(options.workers, len(partitions))
+    outcomes: List[PartitionOutcome] = []
+    pool = _make_pool(engine, max_workers)
+    try:
+        futures = []
+        for part in partitions:
+            futures.append(
+                pool.submit(
+                    _run_partition,
+                    table,
+                    part.index,
+                    options.algorithm,
+                    options.oracle,
+                    options.memory_entries,
+                    options.min_support,
+                    part.points,
+                    time.monotonic(),
+                )
+            )
+        outcomes = [future.result() for future in futures]
+    finally:
+        pool.shutdown(wait=True)
+
+    merge_begin = time.perf_counter()
+    cuboids = merge_cuboids(outcomes)
+    merge_seconds = time.perf_counter() - merge_begin
+    total_wall = time.perf_counter() - total_begin
+    cost = merge_costs(outcomes, merge_seconds, total_wall)
+
+    by_index = {outcome.index: outcome for outcome in outcomes}
+    stats = tuple(
+        PartitionStats(
+            index=part.index,
+            points=len(part.points),
+            weight=part.weight,
+            worker=by_index[part.index].worker,
+            queue_wait_seconds=by_index[part.index].queue_wait_seconds,
+            wall_seconds=by_index[part.index].wall_seconds,
+            simulated_seconds=by_index[part.index].simulated_seconds,
+        )
+        for part in partitions
+    )
+    metrics = EngineMetrics(
+        engine=engine,
+        strategy=options.partition_strategy,
+        requested_workers=options.workers,
+        workers_used=len({outcome.worker for outcome in outcomes}),
+        partitions=stats,
+        cut_edges=cut_edges,
+        partition_seconds=partition_seconds,
+        merge_seconds=merge_seconds,
+        total_wall_seconds=total_wall,
+    )
+    return CubeResult(
+        lattice=lattice,
+        cuboids=cuboids,
+        algorithm=merged_algorithm_name(outcomes),
+        cost=cost,
+        passes=merge_passes(outcomes),
+        aggregate=table.aggregate.function.upper(),
+        metrics=metrics,
+    )

@@ -1,0 +1,121 @@
+"""Combine per-partition outputs into one cube.
+
+Partitions cover disjoint lattice point sets, so the cuboid merge is a
+checked dict union.  Cost merge sums the counters (total work), derives
+the per-worker breakdown, and takes the critical path — the busiest
+worker's simulated seconds — as ``parallel_simulated_seconds``, which is
+what the modeled speedup compares against the serial total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.cube import CostSnapshot, WorkerCost
+from repro.core.groupby import Cuboid
+from repro.core.lattice import LatticePoint
+from repro.errors import CubeError
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """What one partition run sends back to the merger."""
+
+    index: int
+    points: int
+    cuboids: Dict[LatticePoint, Cuboid]
+    cost: Mapping[str, float]
+    passes: int
+    algorithm: str
+    worker: str
+    queue_wait_seconds: float
+    wall_seconds: float
+
+    @property
+    def simulated_seconds(self) -> float:
+        return float(self.cost.get("simulated_seconds", 0.0))
+
+
+def merge_cuboids(
+    outcomes: List[PartitionOutcome],
+) -> Dict[LatticePoint, Cuboid]:
+    """Union of the per-partition cuboid maps; overlap is a plan bug."""
+    merged: Dict[LatticePoint, Cuboid] = {}
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        for point, cuboid in outcome.cuboids.items():
+            if point in merged:
+                raise CubeError(
+                    f"partition plan overlap: point {point} computed twice"
+                )
+            merged[point] = cuboid
+    return merged
+
+
+def merge_costs(
+    outcomes: List[PartitionOutcome],
+    merge_seconds: float,
+    total_wall_seconds: float,
+) -> CostSnapshot:
+    """Sum the counters; attribute work to workers; take the critical path."""
+    totals: Dict[str, float] = {}
+    for outcome in outcomes:
+        for key, value in outcome.cost.items():
+            totals[key] = totals.get(key, 0.0) + value
+
+    per_worker: Dict[str, Dict[str, float]] = {}
+    for outcome in outcomes:
+        slot = per_worker.setdefault(
+            outcome.worker,
+            {
+                "partitions": 0,
+                "points": 0,
+                "wall_seconds": 0.0,
+                "simulated_seconds": 0.0,
+                "queue_wait_seconds": 0.0,
+            },
+        )
+        slot["partitions"] += 1
+        slot["points"] += outcome.points
+        slot["wall_seconds"] += outcome.wall_seconds
+        slot["simulated_seconds"] += outcome.simulated_seconds
+        slot["queue_wait_seconds"] += outcome.queue_wait_seconds
+
+    workers = tuple(
+        WorkerCost(
+            worker=name,
+            partitions=int(slot["partitions"]),
+            points=int(slot["points"]),
+            wall_seconds=slot["wall_seconds"],
+            simulated_seconds=slot["simulated_seconds"],
+            queue_wait_seconds=slot["queue_wait_seconds"],
+        )
+        for name, slot in sorted(per_worker.items())
+    )
+    critical_path = max(
+        (cost.simulated_seconds for cost in workers), default=0.0
+    )
+    base = CostSnapshot.from_mapping(totals)
+    return CostSnapshot(
+        cpu_ops=base.cpu_ops,
+        page_reads=base.page_reads,
+        page_writes=base.page_writes,
+        buffer_hits=base.buffer_hits,
+        buffer_misses=base.buffer_misses,
+        evictions=base.evictions,
+        simulated_seconds=base.simulated_seconds,
+        wall_seconds=total_wall_seconds,
+        merge_seconds=merge_seconds,
+        parallel_simulated_seconds=critical_path,
+        workers=workers,
+    )
+
+
+def merge_passes(outcomes: List[PartitionOutcome]) -> int:
+    return max((outcome.passes for outcome in outcomes), default=1)
+
+
+def merged_algorithm_name(outcomes: List[PartitionOutcome]) -> str:
+    """One name for the merged run; AUTO may delegate per partition."""
+    names = sorted({outcome.algorithm for outcome in outcomes})
+    return names[0] if len(names) == 1 else "|".join(names)

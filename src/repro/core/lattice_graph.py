@@ -79,16 +79,34 @@ def to_dot(lattice: CubeLattice, name: str = "x3_lattice") -> str:
     return "\n".join(lines)
 
 
+def partition_cut_edges(
+    lattice: CubeLattice,
+    partitions: List[List[LatticePoint]],
+) -> int:
+    """Lattice edges whose endpoints land in different partitions.
+
+    The engine reports this as a partition-quality metric: roll-up reuse
+    (TD's sorted-run sharing, BUC's prefix sharing) follows lattice edges,
+    so a cut edge is reuse the partitioned run may repeat.
+    """
+    assignment: Dict[LatticePoint, int] = {}
+    for index, points in enumerate(partitions):
+        for point in points:
+            assignment[point] = index
+    cut = 0
+    for point, home in assignment.items():
+        for successor in lattice.successors(point):
+            other = assignment.get(successor)
+            if other is not None and other != home:
+                cut += 1
+    return cut
+
+
 def level_census(lattice: CubeLattice) -> List[Tuple[int, int]]:
     """(relaxation steps, point count) per lattice level — the row
     widths of Fig. 3's drawing."""
     census: Dict[int, int] = {}
     for point in lattice.points():
-        steps = 0
-        for states, index in zip(lattice.axis_states, point):
-            if index == states.dropped_index:
-                steps += len(states.axis.structural) + 1
-            else:
-                steps += len(states.states[index])
+        steps = lattice.rank(point)
         census[steps] = census.get(steps, 0) + 1
     return sorted(census.items())

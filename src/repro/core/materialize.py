@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.bindings import FactTable
-from repro.core.cube import CubeResult, compute_cube
+from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
 from repro.core.groupby import Cuboid, cuboid_from_rows
 from repro.core.lattice import CubeLattice, LatticePoint
 from repro.core.properties import PropertyOracle
@@ -176,9 +176,11 @@ class MaterializedCube:
         self.oracle = oracle
         self._result: CubeResult = compute_cube(
             table,
-            algorithm,
-            oracle=oracle,
-            points=list(selection.chosen),
+            ExecutionOptions(
+                algorithm=algorithm,
+                oracle=oracle,
+                points=tuple(selection.chosen),
+            ),
         )
         self.stats = {"direct": 0, "rolled_up": 0, "recomputed": 0}
 

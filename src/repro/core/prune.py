@@ -26,7 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.axes import AxisSpec
 from repro.core.bindings import FactTable
-from repro.core.cube import CubeResult, compute_cube
+from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
 from repro.core.lattice import CubeLattice, LatticePoint
 from repro.core.properties import PropertyOracle
 from repro.core.states import AxisStates
@@ -156,10 +156,12 @@ def compute_cube_pruned(
     saved = lattice.size() - len(canonical_points)
     result = compute_cube(
         table,
-        algorithm,
-        oracle=oracle,
-        memory_entries=memory_entries,
-        points=canonical_points,
+        ExecutionOptions(
+            algorithm=algorithm,
+            oracle=oracle,
+            memory_entries=memory_entries,
+            points=tuple(canonical_points),
+        ),
     )
     cuboids = {
         point: result.cuboids[mapping[point]] for point in lattice.points()

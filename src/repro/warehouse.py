@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.advisor import Recommendation, choose_algorithm, recommend_for_table
 from repro.core.bindings import FactTable
-from repro.core.cube import CubeResult, compute_cube
+from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
 from repro.core.extract import extract_from_documents
 from repro.core.groupby import Cuboid
 from repro.core.properties import PropertyOracle
@@ -56,17 +56,37 @@ class CubeSession:
             self.table, self.oracle, self.memory_entries
         )
 
-    def compute(self, algorithm: Optional[str] = None, **kwargs) -> CubeResult:
+    def compute(
+        self,
+        algorithm: Optional[str] = None,
+        options: Optional[ExecutionOptions] = None,
+        **kwargs,
+    ) -> CubeResult:
         """Compute (and cache) the cube; advisor picks the algorithm by
-        default."""
-        name = algorithm or self.recommend().algorithm
-        self._result = compute_cube(
-            self.table,
-            name,
-            oracle=self.oracle,
-            memory_entries=self.memory_entries,
-            **kwargs,
-        )
+        default.
+
+        The session fills in its own oracle and memory budget wherever the
+        given :class:`ExecutionOptions` left them unset; extra keyword
+        arguments (``workers=4``, ``min_support=2``, ...) are
+        :class:`ExecutionOptions` fields.
+        """
+        if options is None:
+            options = ExecutionOptions(
+                algorithm=algorithm or self.recommend().algorithm,
+                oracle=self.oracle,
+                memory_entries=self.memory_entries,
+                **kwargs,
+            )
+        else:
+            if kwargs:
+                options = options.replace(**kwargs)
+            if algorithm is not None:
+                options = options.replace(algorithm=algorithm)
+            if options.oracle is None:
+                options = options.replace(oracle=self.oracle)
+            if options.memory_entries is None:
+                options = options.replace(memory_entries=self.memory_entries)
+        self._result = compute_cube(self.table, options)
         return self._result
 
     @property

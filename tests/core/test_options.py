@@ -1,0 +1,170 @@
+"""Unit tests for ExecutionOptions, the deprecation shim, CostSnapshot
+dict-compat, and the CubeResult.diff union fix."""
+
+import warnings
+
+import pytest
+
+from repro.core.cube import (
+    CostSnapshot,
+    ExecutionOptions,
+    compute_cube,
+)
+from repro.errors import CubeError
+
+
+class TestExecutionOptions:
+    def test_frozen(self):
+        opts = ExecutionOptions()
+        with pytest.raises(Exception):
+            opts.algorithm = "BUC"
+
+    def test_points_normalized_to_tuple(self, fig1_table):
+        opts = ExecutionOptions(points=[fig1_table.lattice.top])
+        assert isinstance(opts.points, tuple)
+
+    def test_replace(self):
+        opts = ExecutionOptions(algorithm="BUC").replace(workers=4)
+        assert opts.algorithm == "BUC"
+        assert opts.workers == 4
+
+    def test_validation(self):
+        with pytest.raises(CubeError):
+            ExecutionOptions(workers=0)
+        with pytest.raises(CubeError):
+            ExecutionOptions(engine="warp")
+        with pytest.raises(CubeError):
+            ExecutionOptions(partition_strategy="magic")
+
+
+class TestComputeCubeShim:
+    def test_options_positional_no_warning(self, fig1_table):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = compute_cube(
+                fig1_table, ExecutionOptions(algorithm="NAIVE")
+            )
+        assert result.algorithm == "NAIVE"
+
+    def test_options_keyword_no_warning(self, fig1_table):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = compute_cube(
+                fig1_table, options=ExecutionOptions(algorithm="COUNTER")
+            )
+        assert result.algorithm == "COUNTER"
+
+    def test_legacy_kwargs_warn_and_match(self, fig1_table):
+        with pytest.warns(DeprecationWarning):
+            legacy = compute_cube(
+                fig1_table, "BUC", points=[fig1_table.lattice.top]
+            )
+        modern = compute_cube(
+            fig1_table,
+            ExecutionOptions(
+                algorithm="BUC", points=(fig1_table.lattice.top,)
+            ),
+        )
+        assert legacy.same_contents(modern)
+        assert legacy.algorithm == modern.algorithm == "BUC"
+
+    def test_legacy_min_support_preserved(self, fig1_table):
+        with pytest.warns(DeprecationWarning):
+            legacy = compute_cube(fig1_table, "NAIVE", min_support=2.0)
+        modern = compute_cube(
+            fig1_table, ExecutionOptions(min_support=2.0)
+        )
+        assert legacy.same_contents(modern)
+
+    def test_bare_call_warns_but_defaults_to_naive(self, fig1_table):
+        with pytest.warns(DeprecationWarning):
+            result = compute_cube(fig1_table, "NAIVE")
+        assert result.algorithm == "NAIVE"
+
+    def test_mixing_options_and_legacy_rejected(self, fig1_table):
+        with pytest.raises(CubeError):
+            compute_cube(
+                fig1_table,
+                "BUC",
+                options=ExecutionOptions(),
+            )
+        with pytest.raises(CubeError):
+            compute_cube(
+                fig1_table,
+                ExecutionOptions(),
+                min_support=1.0,
+            )
+        with pytest.raises(CubeError):
+            compute_cube(
+                fig1_table,
+                ExecutionOptions(),
+                options=ExecutionOptions(),
+            )
+
+
+class TestCostSnapshot:
+    def test_attributes_primary(self, fig1_table):
+        result = compute_cube(fig1_table, ExecutionOptions(algorithm="BUC"))
+        assert isinstance(result.cost, CostSnapshot)
+        assert result.cost.cpu_ops > 0
+        assert result.cost.simulated_seconds > 0
+        assert result.cost.wall_seconds > 0
+        assert result.simulated_seconds == result.cost.simulated_seconds
+
+    def test_dict_style_reads_warn_but_work(self, fig1_table):
+        result = compute_cube(fig1_table, ExecutionOptions(algorithm="BUC"))
+        with pytest.warns(DeprecationWarning):
+            value = result.cost["simulated_seconds"]
+        assert value == result.cost.simulated_seconds
+        with pytest.warns(DeprecationWarning):
+            assert result.cost.get("missing", 7.0) == 7.0
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                result.cost["no_such_counter"]
+
+    def test_as_dict_for_csv(self):
+        snapshot = CostSnapshot(cpu_ops=5, page_reads=2, simulated_seconds=0.5)
+        flat = snapshot.as_dict()
+        assert flat["cpu_ops"] == 5
+        assert flat["page_reads"] == 2
+        assert flat["simulated_seconds"] == 0.5
+        assert "parallel_simulated_seconds" in flat
+
+    def test_from_mapping_roundtrip(self):
+        snapshot = CostSnapshot.from_mapping(
+            {"cpu_ops": 3.0, "page_reads": 1.0, "simulated_seconds": 0.25},
+            wall_seconds=0.1,
+        )
+        assert snapshot.cpu_ops == 3
+        assert snapshot.wall_seconds == 0.1
+        # Serial snapshots default the critical path to the total.
+        assert snapshot.parallel_simulated_seconds == 0.25
+
+    def test_dict_cost_coerced_on_cube_result(self, fig1_table):
+        from repro.core.cube import CubeResult
+
+        result = CubeResult(
+            lattice=fig1_table.lattice,
+            cuboids={},
+            cost={"cpu_ops": 2.0, "simulated_seconds": 0.125},
+        )
+        assert isinstance(result.cost, CostSnapshot)
+        assert result.cost.cpu_ops == 2
+
+
+class TestDiffUnion:
+    def test_diff_sees_points_only_in_other(self, fig1_table):
+        full = compute_cube(fig1_table, ExecutionOptions())
+        partial = compute_cube(
+            fig1_table,
+            ExecutionOptions(points=(fig1_table.lattice.top,)),
+        )
+        # partial -> full: the missing points exist only in `other`, which
+        # the old implementation silently skipped.
+        assert partial.diff(full)
+        assert full.diff(partial)
+
+    def test_diff_empty_for_identical(self, fig1_table):
+        one = compute_cube(fig1_table, ExecutionOptions())
+        two = compute_cube(fig1_table, ExecutionOptions(algorithm="BUC"))
+        assert one.diff(two) == []
