@@ -5,57 +5,30 @@ protocol: pattern evaluation is materialized up front and excluded from
 the cubing measurement).  Benchmarks then time ``compute_cube`` runs via
 pytest-benchmark (wall clock) while the simulated-seconds cost series —
 the reproducible signal — is validated by shape assertions.
+
+The workload machinery lives in :mod:`repro.testing`; this conftest
+binds the figure settings as session fixtures and marks every collected
+benchmark ``bench`` + ``slow``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.cube import ExecutionOptions, compute_cube
-from repro.core.properties import PropertyOracle
-from repro.datagen.workload import WorkloadConfig, build_workload
-
-BENCH_AXES = 4
-BENCH_MEMORY = 4000
-
-
-class PreparedWorkload:
-    """A workload extracted once, reusable across benchmark runs."""
-
-    def __init__(self, config: WorkloadConfig, memory_entries: int = BENCH_MEMORY):
-        self.config = config
-        self.workload = build_workload(config)
-        self.table = self.workload.fact_table()
-        self.oracle = self.workload.oracle(self.table)
-        self.memory_entries = memory_entries
-
-    def run(self, algorithm: str, workers: int = 1, engine: str = "auto"):
-        return compute_cube(
-            self.table,
-            ExecutionOptions(
-                algorithm=algorithm,
-                oracle=self.oracle,
-                memory_entries=self.memory_entries,
-                workers=workers,
-                engine=engine,
-            ),
-        )
-
-    def simulated(self, algorithm: str) -> float:
-        return self.run(algorithm).simulated_seconds
+from repro.datagen.workload import WorkloadConfig
+from repro.testing import (  # noqa: F401  (re-exported for the bench files)
+    BENCH_AXES,
+    BENCH_MEMORY,
+    PreparedWorkload,
+    bench_once,
+    treebank_workload as _treebank,
+)
 
 
-def _treebank(density, coverage, disjoint, n_facts=300, n_axes=BENCH_AXES):
-    return PreparedWorkload(
-        WorkloadConfig(
-            kind="treebank",
-            n_facts=n_facts,
-            n_axes=n_axes,
-            density=density,
-            coverage=coverage,
-            disjoint=disjoint,
-        )
-    )
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
@@ -105,12 +78,3 @@ def dblp():
         WorkloadConfig(kind="dblp", n_facts=1200, n_axes=4),
         memory_entries=30_000,
     )
-
-
-def bench_once(benchmark, func):
-    """Run a cube computation exactly once under pytest-benchmark.
-
-    Cube runs are deterministic and seconds-long; multiple rounds add
-    nothing but wall time.
-    """
-    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -96,11 +96,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write gnuplot-ready .dat series per figure",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace the whole benchmark run and write a Chrome"
+        " trace_event JSON file (chrome://tracing / Perfetto)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace_out:
+        from repro import obs
+
+        with obs.trace() as tracer:
+            status = _run(args)
+        report = tracer.trace()
+        report.write_chrome(args.trace_out)
+        print(
+            f"wrote Chrome trace ({len(report.records)} spans) to"
+            f" {args.trace_out}"
+        )
+        return status
+    return _run(args)
+
+
+def _run(args: argparse.Namespace) -> int:
     if args.smoke:
         runs = run_smoke(workers=max(2, args.workers))
         print(format_smoke(runs))

@@ -86,6 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="report observed summarizability per axis",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run (parse, storage, algorithm, engine spans) and"
+        " print a span summary plus metric totals",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="with --profile: also write a Chrome trace_event JSON file"
+        " (load it in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
         "--export",
         metavar="PATH",
         help="also write the full cube as an XML document",
@@ -107,6 +119,10 @@ def _print_cuboid(lattice, cube, description: str, top: int) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro import obs
+
+    session = obs.trace() if args.profile else None
+    tracer = session.__enter__() if session is not None else None
     try:
         with open(args.query, "r", encoding="utf-8") as handle:
             query = parse_x3_query(handle.read())
@@ -128,6 +144,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except X3Error as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
 
     print(
         f"{len(table)} facts, {lattice.size()} cuboids, "
@@ -142,6 +161,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{cube.cost.parallel_simulated_seconds:.3f} sim-s critical"
             f" path)"
         )
+
+    if tracer is not None:
+        report = tracer.trace()
+        print("profile (top spans by wall time):")
+        for line in report.summary(top=args.top).splitlines():
+            print(f"   {line}")
+        totals = [
+            ("cpu ops", report.metrics.total("x3_cost_cpu_ops_total")),
+            ("page reads", report.metrics.total("x3_cost_page_reads_total")),
+            ("page writes", report.metrics.total("x3_cost_page_writes_total")),
+            ("sorts", report.metrics.total("x3_sorts_total")),
+        ]
+        print(
+            "profile totals: "
+            + ", ".join(f"{label} {value:g}" for label, value in totals)
+        )
+        if args.trace_out:
+            report.write_chrome(args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out}")
+    elif args.trace_out:
+        print("error: --trace-out requires --profile", file=sys.stderr)
+        return 1
 
     if args.properties:
         oracle = PropertyOracle.from_data(table)

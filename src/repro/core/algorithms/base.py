@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.bindings import FactRow, FactTable
 from repro.core.groupby import Cuboid
 from repro.core.cube import CostSnapshot, CubeResult
@@ -59,9 +60,18 @@ class ExecutionContext:
             table.lattice, False, False
         )
         self._base_pages = table_pages(table)
+        # Per-run phase counters (base scans, partitions, roll-ups, ...).
+        # Plain dict bumps at coarse points — always on, flushed into the
+        # observability registry after the run when tracing is active.
+        self.phases: Dict[str, float] = {}
+
+    def bump(self, phase: str, amount: float = 1) -> None:
+        """Count one algorithm phase event (cheap; never per-row)."""
+        self.phases[phase] = self.phases.get(phase, 0) + amount
 
     def charge_base_scan(self) -> None:
         """One sequential pass over the materialized fact table."""
+        self.bump("base_scans")
         self.cost.charge_read(self._base_pages)
         self.cost.charge_cpu(len(self.table.rows))
 
@@ -103,8 +113,22 @@ class CubeAlgorithm:
             list(points) if points is not None else list(table.lattice.points())
         )
         begin = time.perf_counter()
-        cuboids, passes = self._compute(context, wanted)
+        with obs.span(
+            f"algo.{self.name}",
+            category="algorithm",
+            cost=context.cost,
+            algorithm=self.name,
+            points=len(wanted),
+            facts=len(table.rows),
+        ) as span:
+            cuboids, passes = self._compute(context, wanted)
+            span.annotate(passes=passes)
         wall_seconds = time.perf_counter() - begin
+        tracer = obs.current_tracer()
+        if tracer.enabled and context.phases:
+            tracer.metrics.absorb_phases(
+                context.phases, algorithm=self.name
+            )
         if min_support > 0:
             cuboids = {
                 point: {

@@ -146,6 +146,8 @@ class BucAlgorithm(CubeAlgorithm):
         partitions: Dict[str, List[FactRow]] = {}
         for value, row in placements:
             partitions.setdefault(value, []).append(row)
+        context.bump("buc_partition_calls")
+        context.bump("buc_placements", len(placements))
         return partitions
 
     def _use_fast_partition(

@@ -53,6 +53,8 @@ class CounterAlgorithm(CubeAlgorithm):
         # passes over the base data, re-reading it each time and redoing
         # the combination work for the points of each pass.
         passes = max(1, -(-total_cells // context.budget.capacity_entries))
+        context.bump("counter_cells", total_cells)
+        context.bump("counter_passes", passes)
         context.budget.acquire(min(total_cells, context.budget.capacity_entries))
         for _ in range(passes - 1):
             context.charge_base_scan()

@@ -28,4 +28,5 @@ class NaiveAlgorithm(CubeAlgorithm):
             context.charge_base_scan()
             cuboids[point] = cuboid_from_rows(table, table.rows, point, fn)
             context.cost.charge_cpu(len(cuboids[point]))
+            context.bump("groups", len(cuboids[point]))
         return cuboids, 1

@@ -55,6 +55,7 @@ class TdAlgorithm(CubeAlgorithm):
         cuboids: Dict[LatticePoint, Cuboid] = {}
         for point in points:
             context.charge_base_scan()
+            context.bump("td_base_sorts")
             placements: List[Tuple[Tuple[str, ...], float]] = []
             for row in table.rows:
                 for key in table.key_combinations(row, point):
@@ -337,6 +338,7 @@ def _rollup(
     fn,
 ) -> AugCuboid:
     """Merge a finer cuboid's aggregate rows into a coarser cuboid."""
+    context.bump("td_rollups")
     src_kept = lattice.kept_axes(source)
     dst_kept = set(lattice.kept_axes(point))
     keep_positions = [

@@ -38,6 +38,7 @@ from typing import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine.metrics import EngineMetrics
+    from repro.obs import Trace
 
 from repro.core.bindings import FactTable, GroupKey
 from repro.core.groupby import Cuboid
@@ -77,6 +78,11 @@ class ExecutionOptions:
         partition_strategy: how the lattice is split across workers —
             ``"balanced"`` (weighted LPT bins), ``"antichain"`` (contiguous
             rank slices) or ``"axis"`` (per-axis-state subtrees).
+        trace: collect an observability trace (:mod:`repro.obs`) for
+            this run; the result's :attr:`CubeResult.trace` then holds
+            spans (parse/timber/algorithm/engine layers) and the unified
+            metrics registry.  When a tracer is already active (inside
+            ``obs.trace()``), the run joins it regardless of this flag.
     """
 
     algorithm: str = "NAIVE"
@@ -87,6 +93,7 @@ class ExecutionOptions:
     workers: int = 1
     engine: str = "auto"
     partition_strategy: str = "balanced"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.points is not None and not isinstance(self.points, tuple):
@@ -275,6 +282,9 @@ class CubeResult:
         passes: number of data passes (COUNTER reports thrashing here).
         metrics: engine-level metrics (partitioning, queue wait, merge)
             when the parallel engine ran; ``None`` for direct runs.
+        trace: the observability report (spans + metrics registry) when
+            the run was traced (``ExecutionOptions(trace=True)`` or an
+            active ``obs.trace()``); ``None`` otherwise.
     """
 
     lattice: CubeLattice
@@ -284,6 +294,7 @@ class CubeResult:
     passes: int = 1
     aggregate: str = "COUNT"
     metrics: Optional["EngineMetrics"] = None
+    trace: Optional["Trace"] = None
 
     def __post_init__(self) -> None:
         self.cost = _coerce_cost(self.cost)

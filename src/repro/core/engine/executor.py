@@ -18,6 +18,17 @@ partitions out over ``concurrent.futures`` pools:
 Every partition is an ordinary ``algorithm.run(points=...)`` call, so any
 registered algorithm — including AUTO's delegation — parallelizes without
 knowing about the engine.
+
+Observability (:mod:`repro.obs`): when tracing is on — an active
+``obs.trace()`` or ``ExecutionOptions(trace=True)`` — the run produces
+one coherent span tree (``engine.run`` > ``engine.plan`` /
+``engine.partition`` / ``engine.merge``, with algorithm and timber spans
+nested under each partition).  Thread workers report into the shared
+tracer directly; process workers record into a local tracer whose
+(picklable) spans ride back on the :class:`PartitionOutcome` and are
+absorbed into the parent trace.  After the run, the merged cost snapshot
+and engine metrics are folded into the tracer's metrics registry and the
+report is attached as ``result.trace``.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.bindings import FactTable
 from repro.core.cube import CubeResult, ExecutionOptions
 from repro.core.engine.merge import (
@@ -65,6 +77,9 @@ def _run_partition(
     min_support: float,
     points: Tuple[LatticePoint, ...],
     submitted_at: float,
+    traced: bool = False,
+    trace_parent: Optional[int] = None,
+    parent_pid: Optional[int] = None,
 ) -> PartitionOutcome:
     """One partition, run by whichever worker picks it up.
 
@@ -73,17 +88,60 @@ def _run_partition(
     across processes.  A *fresh* algorithm instance per partition: the
     registry's singletons keep per-run state on ``self``, which thread
     pools would race on.
+
+    Tracing: in a thread pool the process-wide active tracer is shared,
+    so the partition span lands in the parent trace directly (parented
+    to the ``engine.run`` span via ``trace_parent``).  In a process
+    pool the worker records into a local tracer whose records are
+    returned in the outcome for the parent to absorb.  The ``pid``
+    comparison (not ``shared.enabled``) decides which case this is: a
+    *forked* child inherits the parent's enabled active tracer, but
+    recording into that copy would be silently lost with the process.
     """
     from repro.core.algorithms.registry import new_instance
 
-    started = time.monotonic()
-    result = new_instance(algorithm).run(
-        table,
-        oracle=oracle,
-        memory_entries=memory_entries,
-        points=list(points),
-        min_support=min_support,
-    )
+    shared = obs.current_tracer()
+    in_parent_process = parent_pid is None or os.getpid() == parent_pid
+    local: Optional[obs.Tracer] = None
+    if traced and not (in_parent_process and shared.enabled):
+        local = obs.Tracer(enabled=True)
+    tracer = local if local is not None else shared
+
+    def _execute_one():
+        started_at = time.monotonic()
+        with tracer.span(
+            "engine.partition",
+            category="engine",
+            parent=None if local is not None else trace_parent,
+            index=partition_index,
+            points=len(points),
+        ) as span:
+            run_result = new_instance(algorithm).run(
+                table,
+                oracle=oracle,
+                memory_entries=memory_entries,
+                points=list(points),
+                min_support=min_support,
+            )
+            span.annotate(
+                sim_seconds=run_result.cost.simulated_seconds,
+                worker=_worker_id(),
+            )
+        return started_at, run_result
+
+    if local is not None:
+        with obs.activate(local):
+            started, result = _execute_one()
+        spans = tuple(local.records())
+        counters = tuple(
+            (metric.name, metric.labels, metric.value)
+            for metric in local.metrics.collect()
+            if isinstance(metric, obs.metrics.Counter)
+        )
+    else:
+        started, result = _execute_one()
+        spans = ()
+        counters = ()
     finished = time.monotonic()
     return PartitionOutcome(
         index=partition_index,
@@ -95,6 +153,8 @@ def _run_partition(
         worker=_worker_id(),
         queue_wait_seconds=max(0.0, started - submitted_at),
         wall_seconds=finished - started,
+        spans=spans,
+        counters=counters,
     )
 
 
@@ -160,7 +220,30 @@ def _make_pool(engine: str, max_workers: int) -> Executor:
 
 
 def execute(table: FactTable, options: ExecutionOptions) -> CubeResult:
-    """Run one cube computation under the given options."""
+    """Run one cube computation under the given options.
+
+    Fast path first: with tracing off (no active tracer, no
+    ``options.trace``) the run proceeds exactly as before — no spans are
+    allocated and ``result.trace`` stays ``None``.
+    """
+    active = obs.current_tracer()
+    if not active.enabled and not options.trace:
+        return _execute(table, options, obs.NULL_TRACER)
+    tracer = active if active.enabled else obs.Tracer(enabled=True)
+    with obs.activate(tracer):
+        result = _execute(table, options, tracer)
+    tracer.metrics.absorb_cost(result.cost, algorithm=result.algorithm)
+    if result.metrics is not None:
+        tracer.metrics.absorb_engine(
+            result.metrics, algorithm=result.algorithm
+        )
+    result.trace = tracer.trace()
+    return result
+
+
+def _execute(
+    table: FactTable, options: ExecutionOptions, tracer: "obs.Tracer"
+) -> CubeResult:
     total_begin = time.perf_counter()
     points: List[LatticePoint] = (
         list(options.points)
@@ -169,82 +252,130 @@ def execute(table: FactTable, options: ExecutionOptions) -> CubeResult:
     )
     engine = options.effective_engine
     if engine == "serial" or options.workers <= 1 or len(points) <= 1:
-        return _serial_result(table, options, points, total_begin)
+        with tracer.span(
+            "engine.run",
+            category="engine",
+            engine="serial",
+            algorithm=options.algorithm,
+            points=len(points),
+        ):
+            return _serial_result(table, options, points, total_begin)
 
-    lattice = table.lattice
-    partition_begin = time.perf_counter()
-    partitions: List[Partition] = partition_points(
-        lattice,
-        points,
-        n_partitions=min(
-            len(points), options.workers * PARTITIONS_PER_WORKER
-        ),
-        strategy=options.partition_strategy,
-    )
-    cut_edges = partition_cut_edges(
-        lattice, [list(part.points) for part in partitions]
-    )
-    partition_seconds = time.perf_counter() - partition_begin
-
-    max_workers = min(options.workers, len(partitions))
-    outcomes: List[PartitionOutcome] = []
-    pool = _make_pool(engine, max_workers)
-    try:
-        futures = []
-        for part in partitions:
-            futures.append(
-                pool.submit(
-                    _run_partition,
-                    table,
-                    part.index,
-                    options.algorithm,
-                    options.oracle,
-                    options.memory_entries,
-                    options.min_support,
-                    part.points,
-                    time.monotonic(),
-                )
-            )
-        outcomes = [future.result() for future in futures]
-    finally:
-        pool.shutdown(wait=True)
-
-    merge_begin = time.perf_counter()
-    cuboids = merge_cuboids(outcomes)
-    merge_seconds = time.perf_counter() - merge_begin
-    total_wall = time.perf_counter() - total_begin
-    cost = merge_costs(outcomes, merge_seconds, total_wall)
-
-    by_index = {outcome.index: outcome for outcome in outcomes}
-    stats = tuple(
-        PartitionStats(
-            index=part.index,
-            points=len(part.points),
-            weight=part.weight,
-            worker=by_index[part.index].worker,
-            queue_wait_seconds=by_index[part.index].queue_wait_seconds,
-            wall_seconds=by_index[part.index].wall_seconds,
-            simulated_seconds=by_index[part.index].simulated_seconds,
-        )
-        for part in partitions
-    )
-    metrics = EngineMetrics(
+    with tracer.span(
+        "engine.run",
+        category="engine",
         engine=engine,
+        algorithm=options.algorithm,
+        workers=options.workers,
         strategy=options.partition_strategy,
-        requested_workers=options.workers,
-        workers_used=len({outcome.worker for outcome in outcomes}),
-        partitions=stats,
-        cut_edges=cut_edges,
-        partition_seconds=partition_seconds,
-        merge_seconds=merge_seconds,
-        total_wall_seconds=total_wall,
-    )
-    return CubeResult(
-        lattice=lattice,
-        cuboids=cuboids,
-        algorithm=merged_algorithm_name(outcomes),
-        cost=cost,
-        passes=merge_passes(outcomes),
-        aggregate=table.aggregate.function.upper(),
-        metrics=metrics,
-    )
+        points=len(points),
+    ) as run_span:
+        trace_parent = run_span.span_id if tracer.enabled else None
+
+        lattice = table.lattice
+        partition_begin = time.perf_counter()
+        with tracer.span("engine.plan", category="engine"):
+            partitions: List[Partition] = partition_points(
+                lattice,
+                points,
+                n_partitions=min(
+                    len(points), options.workers * PARTITIONS_PER_WORKER
+                ),
+                strategy=options.partition_strategy,
+            )
+            cut_edges = partition_cut_edges(
+                lattice, [list(part.points) for part in partitions]
+            )
+        partition_seconds = time.perf_counter() - partition_begin
+
+        max_workers = min(options.workers, len(partitions))
+        outcomes: List[PartitionOutcome] = []
+        submit_offsets: List[float] = []
+        pool = _make_pool(engine, max_workers)
+        try:
+            futures = []
+            for part in partitions:
+                submit_offsets.append(tracer.now() if tracer.enabled else 0.0)
+                futures.append(
+                    pool.submit(
+                        _run_partition,
+                        table,
+                        part.index,
+                        options.algorithm,
+                        options.oracle,
+                        options.memory_entries,
+                        options.min_support,
+                        part.points,
+                        time.monotonic(),
+                        tracer.enabled,
+                        trace_parent,
+                        os.getpid(),
+                    )
+                )
+            outcomes = [future.result() for future in futures]
+        finally:
+            pool.shutdown(wait=True)
+
+        if tracer.enabled:
+            # Absorb process-worker span batches into the parent trace
+            # (thread workers recorded into the shared tracer already and
+            # ship no spans).
+            for offset, outcome in zip(submit_offsets, outcomes):
+                if outcome.spans:
+                    tracer.absorb(
+                        outcome.spans,
+                        parent_id=trace_parent,
+                        shift=offset + outcome.queue_wait_seconds,
+                    )
+                for name, labels, value in outcome.counters:
+                    if value:
+                        tracer.metrics.counter(
+                            name, **dict(labels)
+                        ).inc(value)
+
+        merge_begin = time.perf_counter()
+        with tracer.span(
+            "engine.merge", category="engine", partitions=len(outcomes)
+        ):
+            cuboids = merge_cuboids(outcomes)
+        merge_seconds = time.perf_counter() - merge_begin
+        total_wall = time.perf_counter() - total_begin
+        cost = merge_costs(outcomes, merge_seconds, total_wall)
+
+        by_index = {outcome.index: outcome for outcome in outcomes}
+        stats = tuple(
+            PartitionStats(
+                index=part.index,
+                points=len(part.points),
+                weight=part.weight,
+                worker=by_index[part.index].worker,
+                queue_wait_seconds=by_index[part.index].queue_wait_seconds,
+                wall_seconds=by_index[part.index].wall_seconds,
+                simulated_seconds=by_index[part.index].simulated_seconds,
+            )
+            for part in partitions
+        )
+        metrics = EngineMetrics(
+            engine=engine,
+            strategy=options.partition_strategy,
+            requested_workers=options.workers,
+            workers_used=len({outcome.worker for outcome in outcomes}),
+            partitions=stats,
+            cut_edges=cut_edges,
+            partition_seconds=partition_seconds,
+            merge_seconds=merge_seconds,
+            total_wall_seconds=total_wall,
+        )
+        run_span.annotate(
+            sim_seconds=cost.simulated_seconds,
+            speedup=round(cost.speedup_estimate, 4),
+        )
+        return CubeResult(
+            lattice=lattice,
+            cuboids=cuboids,
+            algorithm=merged_algorithm_name(outcomes),
+            cost=cost,
+            passes=merge_passes(outcomes),
+            aggregate=table.aggregate.function.upper(),
+            metrics=metrics,
+        )

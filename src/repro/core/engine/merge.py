@@ -16,6 +16,7 @@ from repro.core.cube import CostSnapshot, WorkerCost
 from repro.core.groupby import Cuboid
 from repro.core.lattice import LatticePoint
 from repro.errors import CubeError
+from repro.obs import SpanRecord
 
 
 @dataclass(frozen=True)
@@ -31,6 +32,13 @@ class PartitionOutcome:
     worker: str
     queue_wait_seconds: float
     wall_seconds: float
+    # Span records collected by a process worker's local tracer; empty
+    # for thread workers (they record into the shared tracer directly).
+    spans: Tuple[SpanRecord, ...] = ()
+    # Counter series (name, label items, value) from the same local
+    # tracer — sorts, join pairs, algorithm phases — which would
+    # otherwise be lost with the worker process.
+    counters: Tuple[Tuple[str, Tuple[Tuple[str, str], ...], float], ...] = ()
 
     @property
     def simulated_seconds(self) -> float:

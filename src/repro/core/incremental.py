@@ -25,6 +25,7 @@ from repro.core.cube import CubeResult
 from repro.core.groupby import Cuboid
 from repro.core.lattice import LatticePoint
 from repro.errors import CubeError
+from repro import obs
 
 _INVERTIBLE = {"COUNT", "SUM", "AVG"}
 
@@ -61,17 +62,22 @@ class IncrementalCube:
         if not _already_in_table:
             self.table.rows.extend(rows)
         updates = 0
-        for row in rows:
-            for point in self.lattice.points():
-                cells = self._cells[point]
-                for key in self.table.key_combinations(row, point):
-                    state, support = cells.get(key, (self.fn.new(), 0))
-                    cells[key] = (
-                        self.fn.add(state, row.measure),
-                        support + 1,
-                    )
-                    updates += 1
-            self.applied_rows += 1
+        with obs.span(
+            "incremental.insert", category="incremental", rows=len(rows)
+        ) as span:
+            for row in rows:
+                for point in self.lattice.points():
+                    cells = self._cells[point]
+                    for key in self.table.key_combinations(row, point):
+                        state, support = cells.get(key, (self.fn.new(), 0))
+                        cells[key] = (
+                            self.fn.add(state, row.measure),
+                            support + 1,
+                        )
+                        updates += 1
+                self.applied_rows += 1
+            span.annotate(updates=updates)
+        obs.count("x3_incremental_updates_total", updates, op="insert")
         return updates
 
     def delete(self, rows: Iterable[FactRow]) -> int:
@@ -90,23 +96,28 @@ class IncrementalCube:
         if before - len(self.table.rows) != len(rows):
             raise CubeError("attempted to delete facts not in the table")
         updates = 0
-        for row in rows:
-            for point in self.lattice.points():
-                cells = self._cells[point]
-                for key in self.table.key_combinations(row, point):
-                    if key not in cells:
-                        raise CubeError(
-                            "retracting from a non-existent cell"
-                        )
-                    state, support = cells[key]
-                    state = _subtract(name, state, row.measure)
-                    support -= 1
-                    if support <= 0:
-                        del cells[key]
-                    else:
-                        cells[key] = (state, support)
-                    updates += 1
-            self.applied_rows -= 1
+        with obs.span(
+            "incremental.delete", category="incremental", rows=len(rows)
+        ) as span:
+            for row in rows:
+                for point in self.lattice.points():
+                    cells = self._cells[point]
+                    for key in self.table.key_combinations(row, point):
+                        if key not in cells:
+                            raise CubeError(
+                                "retracting from a non-existent cell"
+                            )
+                        state, support = cells[key]
+                        state = _subtract(name, state, row.measure)
+                        support -= 1
+                        if support <= 0:
+                            del cells[key]
+                        else:
+                            cells[key] = (state, support)
+                        updates += 1
+                self.applied_rows -= 1
+            span.annotate(updates=updates)
+        obs.count("x3_incremental_updates_total", updates, op="delete")
         return updates
 
     # ------------------------------------------------------------------

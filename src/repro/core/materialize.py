@@ -31,6 +31,7 @@ from repro.core.lattice import CubeLattice, LatticePoint
 from repro.core.properties import PropertyOracle
 from repro.core.rollup import derivable, rollup
 from repro.errors import CubeError
+from repro import obs
 
 
 @dataclass(frozen=True)
@@ -95,57 +96,64 @@ def select_views(
     best total-service-cost reduction per cell of space, within budget.
     """
     lattice = table.lattice
-    sizes = cuboid_sizes(table, lattice)
-    base_cost = max(1, len(table.rows))
     points = list(lattice.points())
-    chosen: Set[LatticePoint] = set()
-    space_used = 0
+    with obs.span(
+        "materialize.select_views",
+        category="materialize",
+        budget=space_budget,
+        points=len(points),
+    ) as span:
+        sizes = cuboid_sizes(table, lattice)
+        base_cost = max(1, len(table.rows))
+        chosen: Set[LatticePoint] = set()
+        space_used = 0
 
-    if always_include_top and sizes[lattice.top] <= space_budget:
-        chosen.add(lattice.top)
-        space_used += sizes[lattice.top]
+        if always_include_top and sizes[lattice.top] <= space_budget:
+            chosen.add(lattice.top)
+            space_used += sizes[lattice.top]
 
-    def total_cost() -> int:
-        return sum(
-            _service_cost(sizes, base_cost, chosen, lattice, oracle, point)
-            for point in points
-        )
+        def total_cost() -> int:
+            return sum(
+                _service_cost(sizes, base_cost, chosen, lattice, oracle, point)
+                for point in points
+            )
 
-    current = total_cost()
-    while True:
-        best_gain = 0.0
-        best_point: Optional[LatticePoint] = None
-        best_cost = current
-        for candidate in points:
-            if candidate in chosen:
-                continue
-            size = sizes[candidate]
-            if size == 0 or space_used + size > space_budget:
-                continue
-            chosen.add(candidate)
-            candidate_cost = total_cost()
-            chosen.discard(candidate)
-            gain = (current - candidate_cost) / size
-            if gain > best_gain:
-                best_gain = gain
-                best_point = candidate
-                best_cost = candidate_cost
-        if best_point is None:
-            break
-        chosen.add(best_point)
-        space_used += sizes[best_point]
-        current = best_cost
+        current = total_cost()
+        while True:
+            best_gain = 0.0
+            best_point: Optional[LatticePoint] = None
+            best_cost = current
+            for candidate in points:
+                if candidate in chosen:
+                    continue
+                size = sizes[candidate]
+                if size == 0 or space_used + size > space_budget:
+                    continue
+                chosen.add(candidate)
+                candidate_cost = total_cost()
+                chosen.discard(candidate)
+                gain = (current - candidate_cost) / size
+                if gain > best_gain:
+                    best_gain = gain
+                    best_point = candidate
+                    best_cost = candidate_cost
+            if best_point is None:
+                break
+            chosen.add(best_point)
+            space_used += sizes[best_point]
+            current = best_cost
 
-    serving: Dict[LatticePoint, Optional[LatticePoint]] = {}
-    for point in points:
-        best_source: Optional[LatticePoint] = None
-        best_size = base_cost
-        for source in chosen:
-            ok, _ = derivable(lattice, source, point, oracle)
-            if ok and sizes[source] <= best_size:
-                best_source = source
-                best_size = sizes[source]
-        serving[point] = best_source
+        serving: Dict[LatticePoint, Optional[LatticePoint]] = {}
+        for point in points:
+            best_source: Optional[LatticePoint] = None
+            best_size = base_cost
+            for source in chosen:
+                ok, _ = derivable(lattice, source, point, oracle)
+                if ok and sizes[source] <= best_size:
+                    best_source = source
+                    best_size = sizes[source]
+            serving[point] = best_source
+        span.annotate(chosen=len(chosen), space_used=space_used)
     return ViewSelection(
         chosen=tuple(sorted(chosen)),
         space_used=space_used,
@@ -174,14 +182,20 @@ class MaterializedCube:
         self.table = table
         self.selection = selection
         self.oracle = oracle
-        self._result: CubeResult = compute_cube(
-            table,
-            ExecutionOptions(
-                algorithm=algorithm,
-                oracle=oracle,
-                points=tuple(selection.chosen),
-            ),
-        )
+        with obs.span(
+            "materialize.compute",
+            category="materialize",
+            algorithm=algorithm,
+            views=len(selection.chosen),
+        ):
+            self._result: CubeResult = compute_cube(
+                table,
+                ExecutionOptions(
+                    algorithm=algorithm,
+                    oracle=oracle,
+                    points=tuple(selection.chosen),
+                ),
+            )
         self.stats = {"direct": 0, "rolled_up": 0, "recomputed": 0}
 
     # ------------------------------------------------------------------

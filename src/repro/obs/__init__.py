@@ -1,0 +1,140 @@
+"""``repro.obs`` — the unified observability layer.
+
+One subsystem for everything the stack measures:
+
+- **Spans** (:class:`Tracer` / :class:`Span`): a hierarchical, thread-
+  safe trace of where time went — wall seconds *and* the deterministic
+  simulated seconds of the cost model — spanning the parser, the timber
+  storage layer, every cube algorithm and the parallel engine.
+- **Metrics** (:class:`MetricsRegistry`): counters / gauges /
+  histograms absorbing the previously scattered sources
+  (``EngineMetrics``, ``CostSnapshot``, buffer-pool stats, algorithm
+  phase counters) under one Prometheus-style naming scheme.
+- **Exporters**: Chrome ``trace_event`` JSON (``chrome://tracing`` /
+  Perfetto), folded flamegraph stacks, Prometheus exposition text.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.trace() as session:
+        doc = parse(xml_text)
+        table = extract_fact_table(doc, query)
+        result = compute_cube(table, ExecutionOptions(workers=4))
+    session.trace().write_chrome("run.trace.json")
+
+or, when only the cube run matters::
+
+    result = compute_cube(table, ExecutionOptions(trace=True))
+    result.trace.to_chrome_json()
+
+Instrumentation points call the module-level helpers (:func:`span`,
+:func:`count`), which are no-ops bound to a shared null singleton
+unless a tracer is active — tracing off costs one attribute check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    collapsed_stacks,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanRecord,
+    Trace,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "SpanRecord",
+    "Trace",
+    "Tracer",
+    "activate",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "collapsed_stacks",
+    "count",
+    "current_tracer",
+    "enabled",
+    "gauge",
+    "observe",
+    "prometheus_text",
+    "span",
+    "trace",
+]
+
+
+def enabled() -> bool:
+    """Is a live tracer currently active?"""
+    return current_tracer().enabled
+
+
+def span(
+    name: str,
+    category: str = "",
+    cost: Any = None,
+    parent: Optional[int] = None,
+    **attrs: Any,
+):
+    """Open a span on the active tracer (shared no-op when disabled)."""
+    return current_tracer().span(
+        name, category=category, cost=cost, parent=parent, **attrs
+    )
+
+
+def count(name: str, amount: float = 1.0, **labels: Any) -> None:
+    """Bump a counter on the active tracer's registry (no-op when off)."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.metrics.counter(name, **labels).inc(amount)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge on the active tracer's registry (no-op when off)."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.metrics.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Observe into a histogram on the active registry (no-op when off)."""
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.metrics.histogram(name, **labels).observe(value)
+
+
+@contextmanager
+def trace(
+    metrics: Optional[MetricsRegistry] = None,
+) -> Iterator[Tracer]:
+    """Activate a fresh enabled tracer for the ``with`` body.
+
+    Yields the :class:`Tracer`; call ``.trace()`` on it afterwards for
+    the exportable :class:`Trace` report.
+    """
+    tracer = Tracer(enabled=True, metrics=metrics)
+    with activate(tracer):
+        yield tracer

@@ -1,0 +1,162 @@
+"""Trace and metrics exporters.
+
+Three formats, all text, all dependency-free:
+
+- :func:`chrome_trace_json` — the Chrome ``trace_event`` format
+  (``chrome://tracing`` / Perfetto): one ``"X"`` complete event per
+  span, with wall microseconds on the timeline and the simulated-time
+  base tucked into ``args``.
+- :func:`collapsed_stacks` — Brendan Gregg's folded-stack format
+  (``root;child;leaf <weight>``), weight = wall microseconds, directly
+  consumable by ``flamegraph.pl`` or speedscope.
+- :func:`prometheus_text` — the Prometheus exposition format for the
+  metrics registry (``# TYPE`` headers, label sets, histogram buckets).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import SpanRecord
+
+
+def _split_thread(label: str) -> tuple:
+    """``pid-123/worker-0`` -> (123, "worker-0"); best-effort parse."""
+    pid = os.getpid()
+    name = label or "main"
+    if label.startswith("pid-"):
+        head, _, tail = label[4:].partition("/")
+        try:
+            pid = int(head)
+        except ValueError:
+            pass
+        name = tail or "main"
+    return pid, name
+
+
+def chrome_trace_events(
+    records: Sequence[SpanRecord],
+) -> List[Dict[str, object]]:
+    """Spans as ``trace_event`` dicts (complete events + thread names)."""
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, object]] = []
+    for record in records:
+        pid, thread_name = _split_thread(record.thread)
+        if record.thread not in tids:
+            tids[record.thread] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[record.thread],
+                    "args": {"name": thread_name},
+                }
+            )
+        args: Dict[str, object] = dict(record.attrs)
+        if record.sim_duration:
+            args["sim_seconds"] = round(record.sim_duration, 9)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category or "default",
+                "ph": "X",
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tids[record.thread],
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace_json(
+    records: Sequence[SpanRecord],
+    metrics: Optional[MetricsRegistry] = None,
+) -> str:
+    """The full Chrome/Perfetto trace document."""
+    document: Dict[str, object] = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics.as_dict()}
+    return json.dumps(document, indent=None, separators=(",", ":"))
+
+
+def collapsed_stacks(records: Sequence[SpanRecord]) -> str:
+    """Folded flamegraph lines: ``a;b;c <wall microseconds>``."""
+    by_id = {record.span_id: record for record in records}
+    lines: List[str] = []
+    for record in records:
+        stack: List[str] = []
+        cursor: Optional[SpanRecord] = record
+        seen = set()
+        while cursor is not None and cursor.span_id not in seen:
+            seen.add(cursor.span_id)
+            stack.append(cursor.name.replace(";", "_"))
+            cursor = (
+                by_id.get(cursor.parent_id)
+                if cursor.parent_id is not None
+                else None
+            )
+        stack.reverse()
+        # Self time: the span's duration minus its children's — folded
+        # stacks weight each frame by exclusive time.
+        child_time = sum(
+            child.duration
+            for child in records
+            if child.parent_id == record.span_id
+        )
+        weight = max(0.0, record.duration - child_time)
+        micros = int(weight * 1e6)
+        if micros > 0:
+            lines.append(";".join(stack) + f" {micros}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition format (text/plain version 0.0.4)."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for metric in registry.collect():
+        if metric.name not in seen_types:
+            seen_types[metric.name] = metric.kind
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{metric.name}{metric.label_string} "
+                f"{_prom_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            base_labels = list(metric.labels)
+            # bucket_counts are already cumulative (observe() increments
+            # every bucket whose bound covers the value).
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                bucket_labels = base_labels + [("le", _prom_value(bound))]
+                inner = ",".join(
+                    f'{key}="{value}"' for key, value in bucket_labels
+                )
+                lines.append(
+                    f"{metric.name}_bucket{{{inner}}} {count}"
+                )
+            lines.append(
+                f"{metric.name}_sum{metric.label_string} "
+                f"{_prom_value(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{metric.label_string} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,384 @@
+"""Hierarchical span tracing with wall *and* simulated time bases.
+
+A :class:`Tracer` records a tree of :class:`SpanRecord`\\ s.  Span
+nesting is tracked per thread, so worker threads of the parallel engine
+produce correctly parented subtrees inside one coherent trace; process
+workers build a local tracer and ship their (picklable) records back to
+be absorbed into the parent trace.
+
+Zero cost when disabled is a hard requirement: a disabled tracer's
+:meth:`Tracer.span` returns one shared :data:`NULL_SPAN` singleton —
+no span object is allocated, nothing is recorded, and the guard is a
+single attribute check.  Hot loops (per-row, per-page) are never
+instrumented at all; the cost model already counts them and its totals
+are absorbed into the metrics registry after the run.
+
+Every span carries two durations:
+
+- ``duration`` — wall seconds (host-dependent);
+- ``sim_duration`` — deterministic simulated seconds, captured from a
+  :class:`~repro.timber.stats.CostModel` when one is passed, so traces
+  are comparable across machines just like the bench figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _thread_label() -> str:
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
+
+
+@dataclass
+class SpanRecord:
+    """One finished span — plain data, picklable across process pools."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start: float  # seconds since the tracer's epoch (wall clock)
+    duration: float  # wall seconds
+    thread: str
+    sim_start: float = 0.0
+    sim_duration: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class Span:
+    """An open span; use as a context manager."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "_cost",
+        "_start",
+        "_sim_start",
+    )
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        cost: Any,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = tracer._allocate_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._cost = cost
+        self._start = 0.0
+        self._sim_start = 0.0
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if self.parent_id is None:
+            self.parent_id = tracer._current_span_id()
+        tracer._push(self.span_id)
+        if self._cost is not None:
+            self._sim_start = self._cost.simulated_seconds()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        sim_duration = 0.0
+        if self._cost is not None:
+            sim_duration = (
+                self._cost.simulated_seconds() - self._sim_start
+            )
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self, duration, sim_duration)
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out.  One instance."""
+
+    __slots__ = ()
+
+    enabled = False
+    name = ""
+    category = ""
+    span_id = -1
+    parent_id = None
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans (thread-safe) and owns the run's metrics registry."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        cost: Any = None,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ):
+        """Open a span (context manager).  No-op singleton when disabled.
+
+        Args:
+            name: span name (dotted, e.g. ``"engine.merge"``).
+            category: layer tag (``parse`` / ``timber`` / ``algorithm`` /
+                ``engine`` / ...), used by the exporters.
+            cost: a live cost model; when given, the span also measures
+                simulated seconds.
+            parent: explicit parent span id — used when handing work to
+                a thread whose span stack is empty (engine dispatch).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, category, cost, parent, attrs)
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return time.perf_counter() - self._epoch
+
+    def _allocate_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span_id: int) -> None:
+        self._stack().append(span_id)
+
+    def _finish(
+        self, span: Span, duration: float, sim_duration: float
+    ) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        record = SpanRecord(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            category=span.category,
+            start=span._start - self._epoch,
+            duration=duration,
+            thread=_thread_label(),
+            sim_start=span._sim_start,
+            sim_duration=sim_duration,
+            attrs=span.attrs,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+    # reads / merging
+    # ------------------------------------------------------------------
+    def records(self) -> List[SpanRecord]:
+        """Finished spans, ordered by start time."""
+        with self._lock:
+            return sorted(self._records, key=lambda r: (r.start, r.span_id))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def absorb(
+        self,
+        records: Sequence[SpanRecord],
+        parent_id: Optional[int] = None,
+        shift: float = 0.0,
+    ) -> None:
+        """Merge records from another tracer (a process worker).
+
+        Span ids are remapped to fresh ids; records without a parent in
+        the batch are attached under ``parent_id``; start times are
+        shifted by ``shift`` seconds to land on this tracer's timeline.
+        """
+        if not records:
+            return
+        remap: Dict[int, int] = {}
+        for record in records:
+            remap[record.span_id] = self._allocate_id()
+        absorbed = []
+        for record in records:
+            mapped_parent = (
+                remap.get(record.parent_id)
+                if record.parent_id is not None
+                else None
+            )
+            if mapped_parent is None:
+                mapped_parent = parent_id
+            absorbed.append(
+                SpanRecord(
+                    span_id=remap[record.span_id],
+                    parent_id=mapped_parent,
+                    name=record.name,
+                    category=record.category,
+                    start=record.start + shift,
+                    duration=record.duration,
+                    thread=record.thread,
+                    sim_start=record.sim_start,
+                    sim_duration=record.sim_duration,
+                    attrs=record.attrs,
+                )
+            )
+        with self._lock:
+            self._records.extend(absorbed)
+
+    def trace(self) -> "Trace":
+        """Freeze the current spans + metrics into an exportable report."""
+        return Trace(records=tuple(self.records()), metrics=self.metrics)
+
+
+NULL_TRACER = Tracer(enabled=False)
+
+_active: Tracer = NULL_TRACER
+_active_lock = threading.Lock()
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumentation points report to (disabled by default)."""
+    return _active
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the process-wide active tracer.
+
+    Process-wide (not thread-local) on purpose: engine worker threads
+    must report into the same trace as the dispatching thread.  Nested
+    activations restore the previous tracer on exit.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = tracer
+    try:
+        yield tracer
+    finally:
+        with _active_lock:
+            _active = previous
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A finished trace: the span forest plus the unified metrics."""
+
+    records: Tuple[SpanRecord, ...]
+    metrics: MetricsRegistry
+
+    # Exporters live in repro.obs.export; these are the ergonomic fronts.
+    def to_chrome_json(self) -> str:
+        from repro.obs.export import chrome_trace_json
+
+        return chrome_trace_json(self.records, self.metrics)
+
+    def to_collapsed(self) -> str:
+        from repro.obs.export import collapsed_stacks
+
+        return collapsed_stacks(self.records)
+
+    def to_prometheus(self) -> str:
+        from repro.obs.export import prometheus_text
+
+        return prometheus_text(self.metrics)
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_chrome_json())
+
+    # ------------------------------------------------------------------
+    def span_names(self) -> List[str]:
+        return [record.name for record in self.records]
+
+    def categories(self) -> List[str]:
+        return sorted(
+            {record.category for record in self.records if record.category}
+        )
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        return [record for record in self.records if record.name == name]
+
+    def children_of(self, span_id: int) -> List[SpanRecord]:
+        return [
+            record
+            for record in self.records
+            if record.parent_id == span_id
+        ]
+
+    def summary(self, top: int = 10) -> str:
+        """Aggregate per-name totals, busiest first (CLI ``--profile``)."""
+        totals: Dict[str, List[float]] = {}
+        for record in self.records:
+            slot = totals.setdefault(record.name, [0, 0.0, 0.0])
+            slot[0] += 1
+            slot[1] += record.duration
+            slot[2] += record.sim_duration
+        lines = [
+            f"{'span':<28} {'count':>6} {'wall_s':>10} {'sim_s':>10}"
+        ]
+        ranked = sorted(
+            totals.items(), key=lambda item: -item[1][1]
+        )[:top]
+        for name, (count, wall, sim) in ranked:
+            lines.append(
+                f"{name:<28} {count:>6} {wall:>10.4f} {sim:>10.4f}"
+            )
+        return "\n".join(lines)

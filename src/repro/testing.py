@@ -1,0 +1,91 @@
+"""Shared test/benchmark helpers (importable under ``PYTHONPATH=src``).
+
+Both ``tests/conftest.py`` and ``benchmarks/conftest.py`` used to carry
+their own copies of the workload builders; this module is the single
+home.  The conftests keep only the thin ``@pytest.fixture`` wrappers so
+that plain functions stay importable from anywhere (goldens, scripts,
+property tests) without pytest in the loop.
+"""
+
+from __future__ import annotations
+
+from repro.core.cube import ExecutionOptions, compute_cube
+from repro.datagen.workload import WorkloadConfig, build_workload
+
+BENCH_AXES = 4
+BENCH_MEMORY = 4000
+
+
+def small_workload(**overrides):
+    """A fast controlled Treebank workload for algorithm tests."""
+    defaults = dict(
+        kind="treebank",
+        n_facts=80,
+        n_axes=3,
+        density="dense",
+        coverage=True,
+        disjoint=True,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return build_workload(WorkloadConfig(**defaults))
+
+
+def messy_workload(**overrides):
+    """Neither summarizability property holds."""
+    defaults = dict(coverage=False, disjoint=False, seed=9)
+    defaults.update(overrides)
+    return small_workload(**defaults)
+
+
+class PreparedWorkload:
+    """A workload extracted once, reusable across benchmark runs."""
+
+    def __init__(
+        self, config: WorkloadConfig, memory_entries: int = BENCH_MEMORY
+    ):
+        self.config = config
+        self.workload = build_workload(config)
+        self.table = self.workload.fact_table()
+        self.oracle = self.workload.oracle(self.table)
+        self.memory_entries = memory_entries
+
+    def run(self, algorithm: str, workers: int = 1, engine: str = "auto"):
+        return compute_cube(
+            self.table,
+            ExecutionOptions(
+                algorithm=algorithm,
+                oracle=self.oracle,
+                memory_entries=self.memory_entries,
+                workers=workers,
+                engine=engine,
+            ),
+        )
+
+    def simulated(self, algorithm: str) -> float:
+        return self.run(algorithm).simulated_seconds
+
+
+def treebank_workload(
+    density, coverage, disjoint, n_facts=300, n_axes=BENCH_AXES
+):
+    """A prepared Treebank workload in one of the figure settings."""
+    return PreparedWorkload(
+        WorkloadConfig(
+            kind="treebank",
+            n_facts=n_facts,
+            n_axes=n_axes,
+            density=density,
+            coverage=coverage,
+            disjoint=disjoint,
+        )
+    )
+
+
+def bench_once(benchmark, func):
+    """Run a cube computation exactly once under pytest-benchmark.
+
+    Cube runs are deterministic and seconds-long; multiple rounds add
+    nothing but wall time.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.obs import current_tracer
 from repro.timber.buffer_pool import BufferPool
 from repro.timber.node_store import NodeRecord, NodeStore
 from repro.timber.pages import DEFAULT_PAGE_CAPACITY, Disk
@@ -54,7 +55,10 @@ class TimberDB:
     def load(self, source: Union[Document, str], name: str = "") -> int:
         """Load a document (tree or XML text).  Returns the doc id."""
         doc = source if isinstance(source, Document) else parse(source, name=name)
-        doc_id = self.store.load_document(doc)
+        with current_tracer().span(
+            "timber.load", category="timber", cost=self.cost, doc=name
+        ):
+            doc_id = self.store.load_document(doc)
         self._index_dirty = True
         return doc_id
 
@@ -63,13 +67,19 @@ class TimberDB:
 
     def build_index(self) -> None:
         """(Re-)build the tag index; called lazily by index accessors."""
-        self.index.build(self.store)
+        with current_tracer().span(
+            "timber.index.build", category="timber", cost=self.cost
+        ):
+            self.index.build(self.store)
         self._index_dirty = False
         self._value_index_built = False
 
     def build_value_index(self) -> None:
         """(Re-)build the (tag, value) index (lazy, like the tag index)."""
-        self.values.build(self.store)
+        with current_tracer().span(
+            "timber.value_index.build", category="timber", cost=self.cost
+        ):
+            self.values.build(self.store)
         self._value_index_built = True
 
     def _ensure_index(self) -> None:
@@ -132,6 +142,14 @@ class TimberDB:
         out: Dict[str, float] = dict(self.store.stats())
         out.update(self.cost.snapshot())
         return out
+
+    def publish_metrics(self) -> None:
+        """Fold this DB's cost counters (page I/O, buffer hits/misses)
+        into the active observability registry, labelled as the timber
+        component.  No-op when tracing is off."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.metrics.absorb_cost(self.cost, component="timber")
 
     def new_budget(
         self, capacity_entries: Optional[int] = None, fail_on_overflow: bool = False

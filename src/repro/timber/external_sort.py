@@ -19,7 +19,13 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs import current_tracer
 from repro.timber.stats import CostModel, MemoryBudget
+
+SPAN_MIN_ITEMS = 32
+"""Sorts below this size are counted but not individually spanned —
+BUC's recursion produces thousands of tiny sorts that would drown the
+trace without telling a story."""
 
 
 def quicksort_cost(n: int) -> int:
@@ -44,7 +50,25 @@ def sorted_with_cost(
     Returns a new sorted list.
     """
     n = len(items)
-    if budget is None or n <= budget.capacity_entries:
+    external = budget is not None and n > budget.capacity_entries
+    tracer = current_tracer()
+    if tracer.enabled:
+        kind = "external" if external else "quicksort"
+        tracer.metrics.counter("x3_sorts_total", kind=kind).inc()
+        tracer.metrics.counter("x3_sorted_items_total", kind=kind).inc(n)
+        if external or n >= SPAN_MIN_ITEMS:
+            with tracer.span(
+                "timber.sort",
+                category="timber",
+                cost=cost,
+                n=n,
+                kind=kind,
+            ):
+                if external:
+                    return _external_sort(items, cost, budget, key)
+                cost.charge_cpu(quicksort_cost(n))
+                return sorted(items, key=key)
+    if not external:
         cost.charge_cpu(quicksort_cost(n))
         return sorted(items, key=key)
     return _external_sort(items, cost, budget, key)

@@ -77,6 +77,29 @@ def join_pairs(
     parent_child: bool = False,
 ) -> List[JoinPair]:
     """Materialized convenience wrapper over :func:`stack_tree_join`."""
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        kind = "parent_child" if parent_child else "ancestor_descendant"
+        with tracer.span(
+            "timber.structural_join",
+            category="timber",
+            cost=cost,
+            kind=kind,
+            ancestors=len(ancestors),
+            descendants=len(descendants),
+        ) as span:
+            pairs = list(
+                stack_tree_join(
+                    ancestors, descendants, cost, parent_child=parent_child
+                )
+            )
+            span.annotate(pairs=len(pairs))
+        tracer.metrics.counter("x3_join_pairs_total", join="structural").inc(
+            len(pairs)
+        )
+        return pairs
     return list(
         stack_tree_join(ancestors, descendants, cost, parent_child=parent_child)
     )

@@ -201,7 +201,21 @@ def twig_join(db: TimberDB, pattern: TreePattern) -> List[TwigMatch]:
     :func:`repro.patterns.match.match_db`: a CHILD root axis anchors at
     document roots.
     """
-    matches = HolisticTwigJoin(db, pattern).run()
-    if pattern.root_axis is EdgeAxis.CHILD:
-        matches = [match for match in matches if match[0].level == 0]
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    with tracer.span(
+        "timber.twig_join",
+        category="timber",
+        cost=db.cost,
+        pattern_nodes=len(list(pattern.nodes())),
+    ) as span:
+        matches = HolisticTwigJoin(db, pattern).run()
+        if pattern.root_axis is EdgeAxis.CHILD:
+            matches = [match for match in matches if match[0].level == 0]
+        span.annotate(matches=len(matches))
+    if tracer.enabled:
+        tracer.metrics.counter("x3_join_pairs_total", join="twig").inc(
+            len(matches)
+        )
     return matches

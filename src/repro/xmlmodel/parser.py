@@ -304,7 +304,12 @@ class XmlParser:
 
 def parse(text: str, name: str = "") -> Document:
     """Parse an XML string into a :class:`Document`."""
-    return XmlParser(text, name=name).parse()
+    from repro.obs import current_tracer
+
+    with current_tracer().span(
+        "xml.parse", category="parse", doc=name, chars=len(text)
+    ):
+        return XmlParser(text, name=name).parse()
 
 
 def parse_file(path: str, name: Optional[str] = None) -> Document:

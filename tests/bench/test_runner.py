@@ -59,3 +59,23 @@ class TestScalingFlag:
         out = capsys.readouterr().out
         assert "scaling" in out
         assert "BUC" in out
+
+
+class TestTraceOut:
+    def test_figure_run_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        code = main(
+            [
+                "--figure", "fig4", "--scale", "0.25", "--axes", "2",
+                "--trace-out", str(target),
+            ]
+        )
+        assert code == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert events
+        categories = {e["cat"] for e in events}
+        assert "algorithm" in categories and "engine" in categories

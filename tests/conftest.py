@@ -1,4 +1,9 @@
-"""Shared fixtures: the running example and small controlled workloads."""
+"""Shared fixtures: the running example and small controlled workloads.
+
+The workload builders themselves live in :mod:`repro.testing` (one copy,
+also used by ``benchmarks/conftest.py``); this file only binds them as
+pytest fixtures.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +11,8 @@ import pytest
 
 from repro.core.extract import extract_fact_table
 from repro.datagen.publications import figure1_document, query1
-from repro.datagen.workload import WorkloadConfig, build_workload
+from repro.testing import messy_workload as _messy_workload
+from repro.testing import small_workload
 
 
 @pytest.fixture()
@@ -24,21 +30,6 @@ def fig1_table(fig1_doc, q1):
     return extract_fact_table(fig1_doc, q1)
 
 
-def small_workload(**overrides):
-    """A fast controlled Treebank workload for algorithm tests."""
-    defaults = dict(
-        kind="treebank",
-        n_facts=80,
-        n_axes=3,
-        density="dense",
-        coverage=True,
-        disjoint=True,
-        seed=5,
-    )
-    defaults.update(overrides)
-    return build_workload(WorkloadConfig(**defaults))
-
-
 @pytest.fixture()
 def regular_workload():
     return small_workload()
@@ -47,4 +38,4 @@ def regular_workload():
 @pytest.fixture()
 def messy_workload():
     """Neither summarizability property holds."""
-    return small_workload(coverage=False, disjoint=False, seed=9)
+    return _messy_workload()

@@ -111,3 +111,41 @@ class TestExport:
         assert cube.total_cells() > 0
         year_point = lattice.point_by_description("$n:LND, $p:LND, $y:rigid")
         assert cube.cuboids[year_point][("2003",)] == 2.0
+
+
+class TestProfile:
+    def test_profile_prints_span_summary(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (top spans by wall time):" in out
+        assert "engine.run" in out
+        assert "xml.parse" in out
+        assert "profile totals:" in out
+
+    def test_profile_trace_out_writes_chrome_json(
+        self, inputs, tmp_path, capsys
+    ):
+        import json
+
+        query, data = inputs
+        target = tmp_path / "trace.json"
+        code = main(
+            [
+                "--query", query, data,
+                "--profile", "--trace-out", str(target),
+            ]
+        )
+        assert code == 0
+        document = json.loads(target.read_text())
+        categories = {
+            e["cat"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"parse", "engine"} <= categories
+
+    def test_trace_out_without_profile_rejected(self, inputs, capsys):
+        query, data = inputs
+        target = "/tmp/never-written.json"
+        code = main(["--query", query, data, "--trace-out", target])
+        assert code == 1
+        assert "--profile" in capsys.readouterr().err

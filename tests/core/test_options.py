@@ -81,6 +81,28 @@ class TestComputeCubeShim:
             result = compute_cube(fig1_table, "NAIVE")
         assert result.algorithm == "NAIVE"
 
+    def test_legacy_call_warns_exactly_once_with_identical_results(
+        self, fig1_table
+    ):
+        """One legacy call → exactly one DeprecationWarning, and the
+        shim's result is indistinguishable from the options path."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = compute_cube(fig1_table, "BUC", min_support=1.0)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "ExecutionOptions" in str(deprecations[0].message)
+
+        modern = compute_cube(
+            fig1_table,
+            ExecutionOptions(algorithm="BUC", min_support=1.0),
+        )
+        assert legacy.same_contents(modern)
+        assert legacy.algorithm == modern.algorithm
+        assert legacy.aggregate == modern.aggregate
+
     def test_mixing_options_and_legacy_rejected(self, fig1_table):
         with pytest.raises(CubeError):
             compute_cube(

@@ -1,0 +1,97 @@
+"""End-to-end tracing: one traced pipeline, one coherent Chrome trace.
+
+The acceptance bar for the observability layer: a traced 2-worker engine
+run exports a single well-formed ``trace_event`` JSON containing spans
+from at least four layers — XML parsing, timber storage I/O, the cube
+algorithm, and the engine's partition/merge stages.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.cube import ExecutionOptions, compute_cube
+from repro.datagen.publications import figure1_document
+from repro.testing import small_workload
+from repro.timber.database import TimberDB
+from repro.xmlmodel.parser import parse
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture()
+def traced_pipeline():
+    """Parse → timber load → 2-worker cube run, all under one tracer."""
+    xml_text = serialize(figure1_document())
+    table = small_workload().fact_table()
+    with obs.trace() as tracer:
+        doc = parse(xml_text, name="e2e")
+        db = TimberDB()
+        db.load(doc, name="e2e")
+        db.postings("publication")  # forces the index build
+        db.publish_metrics()
+        result = compute_cube(
+            table,
+            ExecutionOptions(algorithm="TD", workers=2, engine="thread"),
+        )
+    return tracer.trace(), result
+
+
+class TestEndToEndTrace:
+    def test_four_layers_present(self, traced_pipeline):
+        trace, _ = traced_pipeline
+        categories = set(trace.categories())
+        assert {"parse", "timber", "algorithm", "engine"} <= categories
+
+    def test_single_coherent_tree(self, traced_pipeline):
+        trace, _ = traced_pipeline
+        ids = {record.span_id for record in trace.records}
+        assert len(ids) == len(trace.records)  # ids unique
+        for record in trace.records:
+            assert record.parent_id is None or record.parent_id in ids
+
+    def test_worker_partitions_parented_under_engine_run(
+        self, traced_pipeline
+    ):
+        trace, _ = traced_pipeline
+        (run,) = trace.spans_named("engine.run")
+        partitions = trace.spans_named("engine.partition")
+        assert len(partitions) >= 2  # 2-worker run
+        assert all(p.parent_id == run.span_id for p in partitions)
+        # the worker threads reported into the same trace
+        assert len({p.thread for p in partitions}) >= 2
+
+    def test_chrome_export_well_formed(self, traced_pipeline):
+        trace, _ = traced_pipeline
+        document = json.loads(trace.to_chrome_json())
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(trace.records)
+        for event in complete:
+            assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["dur"] >= 0
+        exported_cats = {e["cat"] for e in complete}
+        assert {"parse", "timber", "algorithm", "engine"} <= exported_cats
+
+    def test_result_trace_attached(self, traced_pipeline):
+        _, result = traced_pipeline
+        assert result.trace is not None
+        assert "engine.run" in result.trace.span_names()
+
+    def test_prometheus_and_collapsed_exports_nonempty(
+        self, traced_pipeline
+    ):
+        trace, _ = traced_pipeline
+        prom = trace.to_prometheus()
+        assert "# TYPE x3_cost_cpu_ops_total counter" in prom
+        assert trace.to_collapsed().strip()
+
+
+class TestDisabledOverhead:
+    def test_untraced_run_allocates_no_spans(self):
+        table = small_workload().fact_table()
+        before = len(obs.NULL_TRACER)
+        result = compute_cube(table, ExecutionOptions(algorithm="BUC"))
+        assert result.trace is None
+        assert len(obs.NULL_TRACER) == before
+        assert obs.current_tracer().enabled is False

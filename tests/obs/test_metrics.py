@@ -1,0 +1,132 @@
+"""Unit tests for the central metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.timber.stats import CostModel
+
+
+class TestCounter:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x3_things_total", kind="a")
+        b = registry.counter("x3_things_total", kind="a")
+        assert a is b
+        assert registry.counter("x3_things_total", kind="b") is not a
+
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x3_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_rejected(self):
+        counter = Counter("x3_things_total", ())
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("x3_level", ())
+        gauge.set(4)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        histogram = Histogram("x3_seconds", (), buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(100.0)
+        # bounds: (0.1, 1.0, +Inf); every bucket counts values <= bound.
+        assert histogram.bounds == (0.1, 1.0, math.inf)
+        assert histogram.bucket_counts == [1, 2, 3]
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(100.55)
+        assert histogram.mean == pytest.approx(100.55 / 3)
+
+    def test_inf_bucket_always_appended(self):
+        histogram = Histogram("x3_seconds", (), buckets=(1.0, 2.0))
+        assert histogram.bounds[-1] == math.inf
+
+
+class TestRegistryReads:
+    def test_value_and_total(self):
+        registry = MetricsRegistry()
+        registry.counter("x3_ops_total", algorithm="BUC").inc(3)
+        registry.counter("x3_ops_total", algorithm="TD").inc(4)
+        assert registry.value("x3_ops_total", algorithm="BUC") == 3
+        assert registry.value("x3_ops_total", algorithm="NOPE") is None
+        assert registry.total("x3_ops_total") == 7
+        assert registry.total("absent") == 0.0
+
+    def test_as_dict_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("x3_ops_total", algorithm="BUC").inc(3)
+        registry.gauge("x3_level").set(2)
+        assert registry.as_dict() == {
+            'x3_ops_total{algorithm="BUC"}': 3.0,
+            "x3_level": 2.0,
+        }
+        assert len(registry) == 2
+
+    def test_collect_is_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        names = [(m.kind, m.name) for m in registry.collect()]
+        assert names == sorted(names)
+
+
+class TestAbsorption:
+    def test_absorb_cost_from_mapping(self):
+        registry = MetricsRegistry()
+        registry.absorb_cost(
+            {"cpu_ops": 10, "page_reads": 2, "buffer_hits": 5},
+            algorithm="BUC",
+        )
+        assert registry.value("x3_cost_cpu_ops_total", algorithm="BUC") == 10
+        assert registry.value("x3_cost_page_reads_total", algorithm="BUC") == 2
+        assert registry.value("x3_buffer_hits_total", algorithm="BUC") == 5
+        # zero-valued sources create no series
+        assert registry.value("x3_cost_page_writes_total", algorithm="BUC") is None
+
+    def test_absorb_cost_from_live_model(self):
+        cost = CostModel()
+        cost.charge_cpu(7)
+        cost.charge_read(3)
+        registry = MetricsRegistry()
+        registry.absorb_cost(cost)
+        assert registry.total("x3_cost_cpu_ops_total") == 7
+        assert registry.total("x3_cost_page_reads_total") == 3
+        assert registry.total("x3_cost_simulated_seconds_total") == pytest.approx(
+            cost.simulated_seconds()
+        )
+
+    def test_absorb_phases(self):
+        registry = MetricsRegistry()
+        registry.absorb_phases(
+            {"base_scans": 4, "td_rollups": 0}, algorithm="TD"
+        )
+        assert registry.value("x3_algo_base_scans_total", algorithm="TD") == 4
+        # zero phases are skipped
+        assert registry.value("x3_algo_td_rollups_total", algorithm="TD") is None
+
+    def test_merge_combines_all_kinds(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("x3_ops_total").inc(1)
+        b.counter("x3_ops_total").inc(2)
+        b.gauge("x3_level").set(9)
+        b.histogram("x3_seconds").observe(0.3)
+        a.merge(b)
+        assert a.total("x3_ops_total") == 3
+        assert a.value("x3_level") == 9
+        merged = a.histogram("x3_seconds")
+        assert merged.count == 1
+        assert merged.sum == pytest.approx(0.3)

@@ -1,0 +1,227 @@
+"""Unit tests for the hierarchical span tracer."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+
+class FakeCost:
+    """A stand-in cost model with a controllable simulated clock."""
+
+    def __init__(self):
+        self.seconds = 0.0
+
+    def simulated_seconds(self):
+        return self.seconds
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        # Zero allocations: every disabled span() call returns the one
+        # module-level singleton, identically.
+        first = tracer.span("a", category="x", anything=1)
+        second = tracer.span("b")
+        assert first is NULL_SPAN
+        assert second is NULL_SPAN
+        assert first.enabled is False
+
+    def test_disabled_span_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert len(tracer) == 0
+        assert tracer.records() == []
+
+    def test_null_span_annotate_is_noop(self):
+        assert NULL_SPAN.annotate(x=1) is NULL_SPAN
+
+    def test_default_active_tracer_is_disabled(self):
+        assert current_tracer().enabled is False
+        assert obs.enabled() is False
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        before = len(NULL_TRACER.metrics)
+        obs.count("x3_nope_total", 5)
+        obs.gauge("x3_nope", 1)
+        obs.observe("x3_nope_seconds", 0.1)
+        assert len(NULL_TRACER.metrics) == before
+        assert obs.span("x") is NULL_SPAN
+
+
+class TestNesting:
+    def test_parent_child_from_thread_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = {r.name: r for r in tracer.records()}
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["outer"].parent_id is None
+
+    def test_explicit_parent_wins(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        with tracer.span("adopted", parent=root.span_id):
+            pass
+        records = {r.name: r for r in tracer.records()}
+        assert records["adopted"].parent_id == root.span_id
+
+    def test_records_sorted_by_start(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.records()] == ["a", "b", "c"]
+
+    def test_attrs_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("s", category="engine", points=4) as span:
+            span.annotate(groups=7)
+        record = tracer.records()[0]
+        assert record.category == "engine"
+        assert record.attrs == {"points": 4, "groups": 7}
+
+    def test_error_attr_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        assert tracer.records()[0].attrs["error"] == "RuntimeError"
+
+
+class TestSimulatedTime:
+    def test_sim_duration_from_cost_model(self):
+        tracer = Tracer()
+        cost = FakeCost()
+        cost.seconds = 1.0
+        with tracer.span("work", cost=cost):
+            cost.seconds = 3.5
+        record = tracer.records()[0]
+        assert record.sim_start == 1.0
+        assert record.sim_duration == pytest.approx(2.5)
+
+    def test_no_cost_means_zero_sim(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.records()[0].sim_duration == 0.0
+
+
+class TestActivation:
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        assert current_tracer() is not tracer
+        with activate(tracer):
+            assert current_tracer() is tracer
+            assert obs.enabled()
+        assert current_tracer().enabled is False
+
+    def test_nested_activation_restores_previous(self):
+        outer, inner = Tracer(), Tracer()
+        with activate(outer):
+            with activate(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+    def test_obs_trace_contextmanager(self):
+        with obs.trace() as tracer:
+            with obs.span("hello", category="test"):
+                pass
+            obs.count("x3_hello_total", 2)
+        report = tracer.trace()
+        assert report.span_names() == ["hello"]
+        assert report.metrics.total("x3_hello_total") == 2
+
+    def test_worker_threads_share_the_active_tracer(self):
+        with obs.trace() as tracer:
+            with obs.span("dispatch") as root:
+                def work():
+                    with obs.span("worker", parent=root.span_id):
+                        pass
+                threads = [threading.Thread(target=work) for _ in range(2)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        records = tracer.records()
+        workers = [r for r in records if r.name == "worker"]
+        assert len(workers) == 2
+        assert all(r.parent_id == root.span_id for r in workers)
+        # two distinct worker thread labels, one dispatcher label
+        assert len({r.thread for r in workers}) == 2
+
+
+class TestAbsorb:
+    def test_absorb_remaps_ids_and_shifts_time(self):
+        parent = Tracer()
+        with parent.span("engine.run") as run:
+            pass
+        shipped = [
+            SpanRecord(
+                span_id=1,
+                parent_id=None,
+                name="engine.partition",
+                category="engine",
+                start=0.0,
+                duration=0.5,
+                thread="pid-1/worker",
+            ),
+            SpanRecord(
+                span_id=2,
+                parent_id=1,
+                name="algo.BUC",
+                category="algorithm",
+                start=0.1,
+                duration=0.4,
+                thread="pid-1/worker",
+            ),
+        ]
+        parent.absorb(shipped, parent_id=run.span_id, shift=10.0)
+        records = {r.name: r for r in parent.records()}
+        top = records["engine.partition"]
+        child = records["algo.BUC"]
+        assert top.parent_id == run.span_id
+        assert child.parent_id == top.span_id
+        assert top.span_id != 1  # remapped to a fresh id
+        assert top.start == pytest.approx(10.0)
+        assert child.start == pytest.approx(10.1)
+
+    def test_absorb_empty_is_noop(self):
+        tracer = Tracer()
+        tracer.absorb([], parent_id=None, shift=1.0)
+        assert len(tracer) == 0
+
+
+class TestTraceReport:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("a", category="engine"):
+            with tracer.span("b", category="algorithm"):
+                pass
+        return tracer.trace()
+
+    def test_helpers(self):
+        report = self._traced()
+        assert report.span_names() == ["a", "b"]
+        assert report.categories() == ["algorithm", "engine"]
+        assert len(report.spans_named("a")) == 1
+        a = report.spans_named("a")[0]
+        assert [r.name for r in report.children_of(a.span_id)] == ["b"]
+
+    def test_summary_lists_every_name(self):
+        text = self._traced().summary()
+        assert "a" in text and "b" in text
+        assert "wall_s" in text and "sim_s" in text

@@ -1,0 +1,8 @@
+"""Mark every property-based test ``prop`` (deselect with ``-m 'not prop'``)."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.prop)
