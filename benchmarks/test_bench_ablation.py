@@ -11,7 +11,7 @@ A3 — buffer sensitivity: the memory budget drives external-sort I/O in
 
 import pytest
 
-from benchmarks.conftest import PreparedWorkload, bench_once
+from benchmarks.conftest import bench_once
 from repro.core.cube import compute_cube
 from repro.core.extract import extract_fact_table
 from repro.datagen.workload import WorkloadConfig, build_workload

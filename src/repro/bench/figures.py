@@ -14,7 +14,7 @@ density and the summarizability regime, all of which are preserved.  Use
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import AlgorithmRun, run_config

@@ -22,7 +22,7 @@ we, recording ``correct=False``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.bindings import FactTable

@@ -1,0 +1,204 @@
+"""The CI performance-regression gate (``python -m repro.bench.perfgate``).
+
+Collects a small battery of **modeled** performance metrics — the
+deterministic cost-model numbers the whole benchmark suite is built on,
+host-independent by construction — and compares them against a baseline
+committed to the repository.  A metric that regresses by more than the
+tolerance (default 25%) fails the build; improvements merely update the
+report.
+
+Metrics:
+
+- ``engine_serial_seconds`` — simulated seconds of a serial NAIVE run
+  over the standard dense/covered/disjoint workload;
+- ``engine_parallel_critical_path_seconds`` — the busiest worker's
+  simulated seconds under the 4-worker thread engine (the engine's
+  modeled latency);
+- ``engine_modeled_speedup`` — serial work over critical path;
+- ``serve_cold_seconds`` — total modeled cost of the standard serve
+  replay with a zero cache budget (every request recomputes);
+- ``serve_warm_seconds`` — the same replay with a full-lattice budget;
+- ``serve_hit_rate`` — fraction of replayed requests answered above the
+  recompute tier at the standard budget.
+
+Refresh the committed baseline after an intentional perf change::
+
+    python -m repro.bench.perfgate --update \
+        --baseline benchmarks/baselines/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.serve import CubeServer
+from repro.serve.cli import sample_points
+from repro.testing import treebank_workload
+
+#: Metric name -> direction; "lower" fails when the value grows, and
+#: "higher" fails when it shrinks.
+METRIC_DIRECTIONS = {
+    "engine_serial_seconds": "lower",
+    "engine_parallel_critical_path_seconds": "lower",
+    "engine_modeled_speedup": "higher",
+    "serve_cold_seconds": "lower",
+    "serve_warm_seconds": "lower",
+    "serve_hit_rate": "higher",
+}
+
+WORKERS = 4
+REPLAY_REQUESTS = 80
+REPLAY_SEED = 13
+
+
+def collect_metrics() -> Dict[str, float]:
+    """Run the gate workloads and return the modeled metric values."""
+    prepared = treebank_workload("dense", coverage=True, disjoint=True)
+    serial = prepared.run("NAIVE", workers=1)
+    parallel = prepared.run("NAIVE", workers=WORKERS, engine="thread")
+
+    table = prepared.table
+    replay = sample_points(table.lattice, REPLAY_REQUESTS, REPLAY_SEED)
+
+    def replay_stats(cache_cells: int):
+        server = CubeServer(table, prepared.oracle, cache_cells=cache_cells)
+        for point in replay:
+            server.cuboid(point)
+        return server.stats()
+
+    from repro.core.materialize import cuboid_sizes
+
+    total_cells = sum(cuboid_sizes(table, table.lattice).values())
+    cold = replay_stats(0)
+    warm = replay_stats(total_cells)
+
+    return {
+        "engine_serial_seconds": serial.cost.simulated_seconds,
+        "engine_parallel_critical_path_seconds": (
+            parallel.cost.parallel_simulated_seconds
+        ),
+        "engine_modeled_speedup": parallel.cost.speedup_estimate,
+        "serve_cold_seconds": cold.modeled_cost_seconds,
+        "serve_warm_seconds": warm.modeled_cost_seconds,
+        "serve_hit_rate": warm.hit_rate,
+    }
+
+
+def compare(
+    metrics: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float,
+) -> List[str]:
+    """Human-readable failure messages for every regressed metric."""
+    failures = []
+    for name, value in sorted(metrics.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            continue  # a metric new since the baseline cannot regress
+        direction = METRIC_DIRECTIONS[name]
+        if direction == "lower":
+            limit = reference * (1.0 + tolerance)
+            if value > limit:
+                failures.append(
+                    f"{name}: {value:.6f} exceeds baseline "
+                    f"{reference:.6f} by more than {tolerance:.0%}"
+                )
+        else:
+            limit = reference * (1.0 - tolerance)
+            if value < limit:
+                failures.append(
+                    f"{name}: {value:.6f} fell below baseline "
+                    f"{reference:.6f} by more than {tolerance:.0%}"
+                )
+    return failures
+
+
+def load_baseline(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return {
+        name: float(value)
+        for name, value in document["metrics"].items()
+    }
+
+
+def write_report(path: str, metrics: Dict[str, float]) -> None:
+    payload = {
+        "metrics": metrics,
+        "directions": METRIC_DIRECTIONS,
+        "workload": {
+            "kind": "treebank",
+            "density": "dense",
+            "coverage": True,
+            "disjoint": True,
+        },
+        "replay": {"requests": REPLAY_REQUESTS, "seed": REPLAY_SEED},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perfgate",
+        description="Modeled-performance regression gate for CI.",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/BENCH_baseline.json",
+        help="committed baseline JSON to compare against",
+    )
+    parser.add_argument(
+        "--out", help="also write the collected metrics to this path"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression per metric (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with the collected metrics and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = collect_metrics()
+    for name, value in sorted(metrics.items()):
+        print(f"{name:45s} {value:.6f}")
+    if args.out:
+        write_report(args.out, metrics)
+        print(f"wrote {args.out}")
+    if args.update:
+        write_report(args.baseline, metrics)
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except OSError as error:
+        print(
+            f"error: cannot read baseline ({error}); run with --update "
+            f"to create it",
+            file=sys.stderr,
+        )
+        return 1
+    failures = compare(metrics, baseline, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate OK: {len(metrics)} metrics within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

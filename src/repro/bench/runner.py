@@ -118,8 +118,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"wrote Chrome trace ({len(report.records)} spans) to"
             f" {args.trace_out}"
         )
+        problem = validate_trace_file(args.trace_out)
+        if problem is not None:
+            print(f"trace INVALID: {problem}", file=sys.stderr)
+            return 1
         return status
     return _run(args)
+
+
+def validate_trace_file(path: str) -> Optional[str]:
+    """Check a written Chrome trace is well-formed and non-trivial.
+
+    Returns ``None`` when the file holds at least one complete
+    (``ph == "X"``) span, otherwise a description of the problem.  This
+    is the gate CI relies on: a benchmark run that silently produced an
+    empty or malformed trace must fail the job, not upload garbage.
+    """
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        return f"cannot read {path}: {error}"
+    except json.JSONDecodeError as error:
+        return f"{path} is not valid JSON: {error}"
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return f"{path} has no traceEvents array"
+    spans = [
+        event
+        for event in events
+        if isinstance(event, dict) and event.get("ph") == "X"
+    ]
+    if not spans:
+        return f"{path} contains no complete spans"
+    print(f"smoke trace OK: {len(spans)} spans")
+    return None
 
 
 def _run(args: argparse.Namespace) -> int:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.bench.harness import AlgorithmRun, run_config
+from repro.bench.harness import run_config
 from repro.datagen.workload import WorkloadConfig
 
 DEFAULT_SCALES: Tuple[int, ...] = (100, 200, 400, 800)

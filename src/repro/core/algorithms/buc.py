@@ -30,7 +30,7 @@ partitioning axis belongs to *several* partitions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.algorithms.base import CubeAlgorithm, ExecutionContext
 from repro.core.bindings import FactRow

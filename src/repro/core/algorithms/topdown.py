@@ -31,7 +31,7 @@ rows* instead of the base data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.algorithms.base import CubeAlgorithm, ExecutionContext
 from repro.core.groupby import Cuboid, augmented_keys, strip_null_groups

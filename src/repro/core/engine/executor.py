@@ -38,7 +38,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.core.bindings import FactTable

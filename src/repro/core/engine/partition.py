@@ -22,7 +22,7 @@ count -> same partitions, independent of dict order or hashing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.lattice import CubeLattice, LatticePoint
 from repro.errors import CubeError

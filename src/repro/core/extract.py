@@ -18,11 +18,10 @@ Two backends:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.core.axes import AxisSpec, PathStep
 from repro.core.bindings import AnnotatedValue, FactRow, FactTable
-from repro.core.lattice import CubeLattice
 from repro.core.query import X3Query
 from repro.patterns.pattern import EdgeAxis
 from repro.timber.database import TimberDB

@@ -17,7 +17,7 @@ algebraic aggregates stay exact and fully-retracted groups disappear.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.aggregates import AggregateFunction
 from repro.core.bindings import FactRow, FactTable, GroupKey
@@ -28,6 +28,55 @@ from repro.errors import CubeError
 from repro import obs
 
 _INVERTIBLE = {"COUNT", "SUM", "AVG"}
+
+
+# ----------------------------------------------------------------------
+# shared write-path helpers (used here and by repro.serve.CubeServer)
+# ----------------------------------------------------------------------
+def ingest_rows(table: FactTable, rows: Sequence[FactRow]) -> None:
+    """Append delta facts to the table (the insert half of maintenance)."""
+    table.rows.extend(rows)
+
+
+def retract_rows(table: FactTable, rows: Sequence[FactRow]) -> None:
+    """Remove delta facts from the table, validating they all exist.
+
+    Replaces ``table.rows`` with a fresh list (never mutates the old one
+    in place), so concurrent readers holding a snapshot reference keep a
+    consistent view — the serving layer relies on this.
+    """
+    removed_ids = {row.fact_id for row in rows}
+    before = len(table.rows)
+    remaining = [
+        row for row in table.rows if row.fact_id not in removed_ids
+    ]
+    if before - len(remaining) != len(rows):
+        raise CubeError("attempted to delete facts not in the table")
+    table.rows = remaining
+
+
+def affected_points(
+    table: FactTable,
+    rows: Sequence[FactRow],
+    points: Iterable[LatticePoint],
+) -> Set[LatticePoint]:
+    """The subset of ``points`` whose cuboids a delta batch touches.
+
+    A fact changes a cuboid iff it participates in it, so points where
+    no delta row participates need neither patching nor invalidation —
+    this is what lets the serving layer evict *exactly* the affected
+    lattice points instead of flushing its whole cache.
+    """
+    return {
+        point
+        for point in points
+        if any(table.participates(row, point) for row in rows)
+    }
+
+
+def invertible(aggregate_name: str) -> bool:
+    """Can deletions be applied by subtracting contributions?"""
+    return aggregate_name.upper() in _INVERTIBLE
 
 
 class IncrementalCube:
@@ -60,7 +109,7 @@ class IncrementalCube:
         of cell updates performed."""
         rows = list(rows)
         if not _already_in_table:
-            self.table.rows.extend(rows)
+            ingest_rows(self.table, rows)
         updates = 0
         with obs.span(
             "incremental.insert", category="incremental", rows=len(rows)
@@ -83,18 +132,12 @@ class IncrementalCube:
     def delete(self, rows: Iterable[FactRow]) -> int:
         """Retract facts (COUNT/SUM/AVG only)."""
         name = self.table.aggregate.function.upper()
-        if name not in _INVERTIBLE:
+        if not invertible(name):
             raise CubeError(
                 f"{name} is not invertible; deletion requires recompute"
             )
         rows = list(rows)
-        removed_ids = {row.fact_id for row in rows}
-        before = len(self.table.rows)
-        self.table.rows = [
-            row for row in self.table.rows if row.fact_id not in removed_ids
-        ]
-        if before - len(self.table.rows) != len(rows):
-            raise CubeError("attempted to delete facts not in the table")
+        retract_rows(self.table, rows)
         updates = 0
         with obs.span(
             "incremental.delete", category="incremental", rows=len(rows)

@@ -22,7 +22,7 @@ algorithms, so the ablation benchmark can quantify the trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.bindings import FactTable
 from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
@@ -56,11 +56,18 @@ class ViewSelection:
 
 
 def cuboid_sizes(
-    table: FactTable, lattice: CubeLattice
+    table: FactTable,
+    lattice: CubeLattice,
+    points: Optional[Iterable[LatticePoint]] = None,
 ) -> Dict[LatticePoint, int]:
-    """Exact cell counts per cuboid (the advisor's space estimates)."""
+    """Exact cell counts per cuboid (the advisor's space estimates).
+
+    ``points`` restricts the census to a subset — the serving layer uses
+    this to refresh size estimates for just the lattice points a write
+    batch touched instead of re-scanning the whole lattice.
+    """
     sizes: Dict[LatticePoint, int] = {}
-    for point in lattice.points():
+    for point in points if points is not None else lattice.points():
         keys = set()
         for row in table.rows:
             keys.update(table.key_combinations(row, point))

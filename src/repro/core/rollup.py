@@ -18,7 +18,7 @@ a safe API over a computed :class:`~repro.core.cube.CubeResult`:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.cube import CubeResult
 from repro.core.groupby import Cuboid
@@ -85,6 +85,38 @@ def derivable(
     return True, "drop-only move from a disjoint, covering cuboid"
 
 
+#: Aggregates whose finalized cells can be re-aggregated by summation.
+ROLLUP_AGGREGATES = ("COUNT", "SUM")
+
+
+def rollup_cuboid(
+    lattice: CubeLattice,
+    source_cuboid: Cuboid,
+    source: LatticePoint,
+    target: LatticePoint,
+) -> Cuboid:
+    """Aggregate raw source cells down to ``target`` (no soundness check).
+
+    The arithmetic core of :func:`rollup`, shared with the serving layer
+    (:mod:`repro.serve`), which derives answers from *cached* cuboids
+    rather than a full :class:`CubeResult`.  Only valid for the
+    distributive aggregates in :data:`ROLLUP_AGGREGATES`; callers are
+    responsible for the :func:`derivable` check.
+    """
+    source_kept = lattice.kept_axes(source)
+    target_kept = set(lattice.kept_axes(target))
+    keep = [
+        index
+        for index, axis in enumerate(source_kept)
+        if axis in target_kept
+    ]
+    out_states: Dict[Tuple, float] = {}
+    for key, value in source_cuboid.items():
+        new_key = tuple(key[index] for index in keep)
+        out_states[new_key] = out_states.get(new_key, 0.0) + value
+    return dict(out_states)
+
+
 def rollup(
     cube: CubeResult,
     source: LatticePoint,
@@ -97,7 +129,7 @@ def rollup(
     Raises :class:`CubeError` when the derivation is unsound, unless
     ``unsafe=True`` (useful to demonstrate the paper's wrong answers).
     """
-    if cube.aggregate not in ("COUNT", "SUM"):
+    if cube.aggregate not in ROLLUP_AGGREGATES:
         raise CubeError(
             f"roll-up over finalized cells needs a distributive "
             f"aggregate; {cube.aggregate} requires partial states "
@@ -109,18 +141,7 @@ def rollup(
             f"cannot roll up {cube.lattice.describe(source)} -> "
             f"{cube.lattice.describe(target)}: {reason}"
         )
-    source_kept = cube.lattice.kept_axes(source)
-    target_kept = set(cube.lattice.kept_axes(target))
-    keep = [
-        index
-        for index, axis in enumerate(source_kept)
-        if axis in target_kept
-    ]
-    out_states: Dict[Tuple, float] = {}
-    for key, value in cube.cuboid(source).items():
-        new_key = tuple(key[index] for index in keep)
-        out_states[new_key] = out_states.get(new_key, 0.0) + value
-    return dict(out_states)
+    return rollup_cuboid(cube.lattice, cube.cuboid(source), source, target)
 
 
 def slice_cuboid(

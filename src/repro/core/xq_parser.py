@@ -19,7 +19,7 @@ binding introduces; every axis path must be relative to it.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.core.aggregates import AggregateSpec
 from repro.core.axes import AxisSpec

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
 
 from repro.core.aggregates import AggregateSpec
 from repro.core.axes import AxisSpec

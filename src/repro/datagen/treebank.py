@@ -28,8 +28,8 @@ property it promised to hold), matching the paper's controlled inputs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.aggregates import AggregateSpec
 from repro.core.axes import AxisSpec

@@ -9,7 +9,7 @@ workload carries a DTD so the oracle is schema-derived.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.bindings import FactTable

@@ -18,7 +18,7 @@ is uncontended.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 LabelItems = Tuple[Tuple[str, str], ...]
 

@@ -21,7 +21,7 @@ Comments are skipped.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import DtdParseError
 from repro.schema.dtd import AttributeDecl, Cardinality, Dtd, ElementDecl

@@ -1,0 +1,33 @@
+"""``repro.serve`` — the concurrent cube-serving layer.
+
+Turns the one-shot materialization story of paper Sec. 3.6 into a
+runtime: :class:`CubeServer` answers cuboid/cell/slice/dice queries
+from the cheapest *sound* source (cache, materialized view, guarded
+roll-up, incremental cube, engine recompute), backed by the cost-aware
+:class:`CuboidCache` and single-flight miss deduplication, and stays
+exact under concurrent incremental writes.
+
+Typical use::
+
+    from repro.serve import CubeServer
+
+    server = CubeServer(table, oracle, cache_cells=4096, view_cells=512)
+    server.warm()
+    cuboid = server.cuboid("$n:rigid, $p:LND, $y:rigid")
+    server.insert(delta_rows)         # caches patched or evicted soundly
+    print(server.stats().summary())
+"""
+
+from repro.serve.cache import CacheEntryInfo, CacheStats, CuboidCache
+from repro.serve.server import CubeServer, ServeStats, TIERS
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "CacheEntryInfo",
+    "CacheStats",
+    "CubeServer",
+    "CuboidCache",
+    "ServeStats",
+    "SingleFlight",
+    "TIERS",
+]

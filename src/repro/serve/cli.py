@@ -1,0 +1,249 @@
+"""The ``x3-serve`` command line tool: serve cube queries over XML files.
+
+Usage::
+
+    x3-serve --query query.xq data.xml
+    x3-serve --query query.xq data.xml --requests 200 --cache-cells 2048
+    x3-serve --query query.xq data.xml --view-cells 512 --warm
+    x3-serve --query query.xq data.xml --cuboid '$n:LND, $y:rigid'
+
+Without ``--cuboid`` the tool replays a deterministic, skewed request
+workload (``--requests`` samples over the lattice, biased towards fine
+cuboids like real dashboards) against a :class:`repro.serve.CubeServer`
+and reports the resolution-tier breakdown, cache behaviour and modeled
+cost against cold recomputation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core.cube import ENGINE_CHOICES, ExecutionOptions
+from repro.core.extract import extract_fact_table
+from repro.core.properties import PropertyOracle
+from repro.core.xq_parser import parse_x3_query
+from repro.errors import X3Error
+from repro.serve.server import TIERS, CubeServer
+from repro.xmlmodel.parser import parse_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="x3-serve",
+        description=(
+            "Serve X^3 cube queries (cache + views + sound roll-up + "
+            "engine recompute) over XML files."
+        ),
+    )
+    parser.add_argument("files", nargs="+", help="XML input files")
+    parser.add_argument(
+        "--query", required=True, help="file holding the X^3 FLWOR text"
+    )
+    parser.add_argument(
+        "--cache-cells",
+        type=int,
+        default=4096,
+        help="cuboid cache budget in cells (default 4096; 0 disables)",
+    )
+    parser.add_argument(
+        "--view-cells",
+        type=int,
+        default=0,
+        help="materialized-view space budget in cells (default 0: no"
+        " views)",
+    )
+    parser.add_argument(
+        "--oracle",
+        choices=("data", "none"),
+        default="data",
+        help="property oracle for sound roll-ups: 'data' measures the"
+        " fact table, 'none' is pessimistic (no roll-up tier)",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-fill the cache with the best-fitting cuboids",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="replayed requests (default 100)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="replay sampling seed (default 7)",
+    )
+    parser.add_argument(
+        "--cuboid",
+        action="append",
+        metavar="DESC",
+        help="serve and print one cuboid instead of replaying, e.g."
+        " '$n:LND, $y:rigid'; repeatable",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows shown per printed cuboid (default 10)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="NAIVE",
+        help="recompute algorithm (default NAIVE)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker pool for recomputes (default 1)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="execution engine for recomputes (default auto)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the serving session and print a span summary",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="with --profile: write a Chrome trace_event JSON file",
+    )
+    return parser
+
+
+def sample_points(lattice, n: int, seed: int) -> List:
+    """A deterministic skewed request mix: finer points drawn more often
+    (dashboards hammer detailed cuboids), with a long tail over the rest.
+    """
+    points = lattice.topo_finer_first()
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(points))]
+    return rng.choices(points, weights=weights, k=n)
+
+
+def _print_cuboid(server: CubeServer, description: str, top: int) -> None:
+    lattice = server.lattice
+    point = lattice.point_by_description(description)
+    cuboid = server.cuboid(point)
+    print(f"-- {lattice.describe(point)} ({len(cuboid)} groups)")
+    rows = sorted(cuboid.items(), key=lambda item: (-item[1], item[0]))
+    for key, value in rows[:top]:
+        label = ", ".join(part if part is not None else "-" for part in key)
+        print(f"   ({label}): {value:g}")
+    if len(rows) > top:
+        print(f"   ... {len(rows) - top} more")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.trace_out and not args.profile:
+        print("error: --trace-out requires --profile", file=sys.stderr)
+        return 1
+    from repro import obs
+
+    session = obs.trace() if args.profile else None
+    tracer = session.__enter__() if session is not None else None
+    try:
+        try:
+            with open(args.query, "r", encoding="utf-8") as handle:
+                query = parse_x3_query(handle.read())
+            docs = [parse_file(path) for path in args.files]
+            table = extract_fact_table(docs, query)
+        except (OSError, X3Error) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+        oracle = (
+            PropertyOracle.from_data(table)
+            if args.oracle == "data"
+            else None
+        )
+        try:
+            server = CubeServer(
+                table,
+                oracle,
+                options=ExecutionOptions(
+                    algorithm=args.algorithm,
+                    workers=args.workers,
+                    engine=args.engine,
+                ),
+                cache_cells=args.cache_cells,
+                view_cells=args.view_cells,
+            )
+            if args.warm:
+                warmed = server.warm()
+                print(
+                    f"warmed {len(warmed)} cuboids "
+                    f"({server.cache.used_cells} cells)"
+                )
+            if args.cuboid:
+                for description in args.cuboid:
+                    try:
+                        _print_cuboid(server, description, args.top)
+                    except KeyError as error:
+                        print(
+                            f"error: unknown cuboid {error}",
+                            file=sys.stderr,
+                        )
+                        return 1
+            else:
+                for point in sample_points(
+                    table.lattice, args.requests, args.seed
+                ):
+                    server.cuboid(point)
+        except X3Error as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+        stats = server.stats()
+        print(
+            f"{len(table)} facts, {table.lattice.size()} cuboids, "
+            f"cache {stats.cache_used_cells}/{stats.cache_budget_cells}"
+            f" cells, {stats.view_points} views"
+        )
+        print(f"serve: {stats.summary()}")
+        print(
+            "tiers: "
+            + ", ".join(
+                f"{tier}={stats.tiers.get(tier, 0)}" for tier in TIERS
+            )
+        )
+        cache = stats.cache
+        print(
+            f"cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['evictions']} evictions, "
+            f"{cache['rejections']} rejections"
+        )
+        if stats.singleflight_shared:
+            print(
+                f"single-flight: {stats.singleflight_shared} deduplicated"
+                f" of {stats.singleflight_led} computes"
+            )
+    finally:
+        if session is not None:
+            session.__exit__(None, None, None)
+
+    if tracer is not None:
+        report = tracer.trace()
+        print("profile (top spans by wall time):")
+        for line in report.summary(top=args.top).splitlines():
+            print(f"   {line}")
+        if args.trace_out:
+            report.write_chrome(args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

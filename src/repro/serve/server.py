@@ -1,0 +1,638 @@
+"""A thread-safe, cache-backed query server over one fact table.
+
+:class:`CubeServer` is the runtime counterpart of the one-shot
+materialization advisor (paper Sec. 3.6): where
+:class:`repro.core.materialize.MaterializedCube` freezes a view
+selection once, the server keeps answering ``cuboid``/``cell``/
+``slice``/``dice`` queries across time, caching what traffic proves
+hot and staying correct under concurrent incremental updates.
+
+Every request resolves through the **sound-source ladder**, cheapest
+first, each rung guarded by the summarizability rules of Sec. 2/3:
+
+1. **cache** — the cuboid is resident in the cost-aware
+   :class:`~repro.serve.cache.CuboidCache`;
+2. **view** — the cuboid is one of the materialized views chosen by
+   :func:`repro.core.materialize.select_views`;
+3. **rollup** — some cached/materialized *finer* cuboid soundly derives
+   it: the move is drop-only and the
+   :class:`~repro.core.properties.PropertyOracle` proves the source
+   disjoint (no double counting) and covering (no lost facts);
+4. **incremental** — when the server wraps an
+   :class:`~repro.core.incremental.IncrementalCube`, its maintained
+   cells answer directly;
+5. **recompute** — the parallel engine computes the cuboid from a row
+   snapshot (identical concurrent misses are deduplicated single-flight
+   so a stampede computes once).
+
+Writes go through the same delta machinery as
+:class:`~repro.core.incremental.IncrementalCube`: deltas patch cached
+cuboids in place when the aggregate allows it exactly (the patch is a
+continuation of the same left fold the algorithms run, so answers stay
+bit-identical to recomputation), otherwise exactly the affected lattice
+points are evicted.
+
+Reads are versioned: the returned cuboid is correct for the table
+version reported alongside it, and an in-flight recompute whose version
+was overtaken by a write is served to its waiters (still correct at
+*their* snapshot) but never admitted to the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
+from repro.core.bindings import FactRow, FactTable, GroupKey
+from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
+from repro.core.groupby import Cuboid
+from repro.core.incremental import (
+    IncrementalCube,
+    affected_points,
+    ingest_rows,
+    retract_rows,
+)
+from repro.core.lattice import LatticePoint
+from repro.core.materialize import ViewSelection, cuboid_sizes, select_views
+from repro.core.properties import PropertyOracle
+from repro.core.rollup import (
+    ROLLUP_AGGREGATES,
+    derivable,
+    dice_cuboid,
+    rollup_cuboid,
+    slice_cuboid,
+)
+from repro.errors import CubeError
+from repro.serve.cache import CuboidCache
+from repro.serve.singleflight import SingleFlight
+from repro.timber.stats import CostModel
+
+#: Tier names, in ladder order.
+TIERS = ("cache", "view", "rollup", "incremental", "recompute")
+
+#: Aggregates whose finalized cells can absorb an inserted fact exactly
+#: (finalize-then-fold equals fold-then-finalize for them).
+_PATCH_INSERT = {"COUNT", "SUM", "MIN", "MAX"}
+
+#: Aggregates whose finalized cells can absorb a deletion exactly.  Only
+#: COUNT qualifies: its value *is* the group's support, so fully
+#: retracted groups are detectable and removed.  SUM could subtract the
+#: measure but cannot tell a zero-sum group from a retracted one.
+_PATCH_DELETE = {"COUNT"}
+
+# Modeled serve-side costs, on the cost model's simulated-seconds scale.
+_CPU_OP_SECONDS = CostModel.cpu_op_cost
+
+PointSpec = Union[LatticePoint, str]
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """A consistent snapshot of the server's counters."""
+
+    requests: int
+    tiers: Dict[str, int]
+    modeled_cost_seconds: float
+    cold_cost_seconds: float
+    cache: Dict[str, int]
+    cache_used_cells: int
+    cache_budget_cells: int
+    view_points: int
+    stale_views: int
+    singleflight_led: int
+    singleflight_shared: int
+    writes: int
+    patched_points: int
+    evicted_points: int
+    version: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered without touching base data
+        (anything above the recompute tier)."""
+        if not self.requests:
+            return 0.0
+        return 1.0 - self.tiers.get("recompute", 0) / self.requests
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Cold recompute cost over the cost actually paid."""
+        if self.modeled_cost_seconds <= 0.0:
+            return 1.0
+        return self.cold_cost_seconds / self.modeled_cost_seconds
+
+    def summary(self) -> str:
+        tier_text = ", ".join(
+            f"{tier}={self.tiers.get(tier, 0)}"
+            for tier in TIERS
+            if self.tiers.get(tier, 0)
+        )
+        return (
+            f"{self.requests} requests ({tier_text}); "
+            f"hit rate {self.hit_rate:.0%}; modeled "
+            f"{self.modeled_cost_seconds:.4f}s vs cold "
+            f"{self.cold_cost_seconds:.4f}s "
+            f"({self.modeled_speedup:.1f}x)"
+        )
+
+
+@dataclass
+class _Counters:
+    requests: int = 0
+    tiers: Dict[str, int] = field(
+        default_factory=lambda: {tier: 0 for tier in TIERS}
+    )
+    modeled_cost_seconds: float = 0.0
+    cold_cost_seconds: float = 0.0
+    writes: int = 0
+    patched_points: int = 0
+    evicted_points: int = 0
+
+
+class CubeServer:
+    """Concurrent cube serving over one :class:`FactTable`.
+
+    Args:
+        table: the fact table to serve (shared with ``incremental`` when
+            one is given).
+        oracle: property oracle proving disjointness/coverage for the
+            rollup tier and the view advisor; ``None`` is the pessimistic
+            oracle, which disables rollups (never unsound, never fast).
+        options: engine configuration for recomputes and view
+            materialization (algorithm, workers, engine, ...).  The
+            ``points`` field is managed by the server and must be unset.
+        cache_cells: budget of the cuboid cache, in cells.
+        view_cells: when > 0 (and no explicit ``selection``), run the
+            Sec. 3.6 advisor with this space budget and materialize its
+            chosen views at startup.
+        selection: an explicit advisor outcome to materialize.
+        incremental: serve reads from this maintained cube as the tier
+            before recompute, and route writes through it.  Its table
+            must be the served table.
+    """
+
+    def __init__(
+        self,
+        table: FactTable,
+        oracle: Optional[PropertyOracle] = None,
+        *,
+        options: Optional[ExecutionOptions] = None,
+        cache_cells: int = 4096,
+        view_cells: int = 0,
+        selection: Optional[ViewSelection] = None,
+        incremental: Optional[IncrementalCube] = None,
+    ) -> None:
+        self.table = table
+        self.lattice = table.lattice
+        self.oracle = oracle or PropertyOracle.from_flags(
+            table.lattice, False, False
+        )
+        if options is not None and options.points is not None:
+            raise CubeError(
+                "ExecutionOptions.points is managed by CubeServer; "
+                "leave it unset"
+            )
+        self.options = options or ExecutionOptions()
+        if incremental is not None and incremental.table is not table:
+            raise CubeError(
+                "the IncrementalCube must maintain the served table"
+            )
+        self._incremental = incremental
+        self._aggregate = table.aggregate.function.upper()
+        self._point_set = frozenset(table.lattice.points())
+        self._lock = threading.RLock()
+        self._version = 0
+        self._counters = _Counters()
+        self.cache = CuboidCache(cache_cells)
+        self._flight = SingleFlight()
+        # modeled recompute cost per point, measured on first recompute
+        self._measured_cost: Dict[LatticePoint, float] = {}
+        self._sizes: Optional[Dict[LatticePoint, int]] = None
+        self._views: Dict[LatticePoint, Cuboid] = {}
+        self._stale_views: Set[LatticePoint] = set()
+        self.selection = selection
+        if selection is None and view_cells > 0:
+            self.selection = select_views(table, self.oracle, view_cells)
+        if self.selection is not None and self.selection.chosen:
+            self._materialize_views(self.selection.chosen)
+
+    # ------------------------------------------------------------------
+    # point resolution helpers
+    # ------------------------------------------------------------------
+    def resolve_point(self, spec: PointSpec) -> LatticePoint:
+        """Accept a lattice point or its description string."""
+        if isinstance(spec, str):
+            return self.lattice.point_by_description(spec)
+        return spec
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def snapshot(self) -> Tuple[int, Tuple[FactRow, ...]]:
+        """The current (version, rows) pair, atomically."""
+        with self._lock:
+            return self._version, tuple(self.table.rows)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def cuboid(self, spec: PointSpec) -> Cuboid:
+        return self.cuboid_versioned(spec)[0]
+
+    def cuboid_versioned(self, spec: PointSpec) -> Tuple[Cuboid, int]:
+        """One cuboid plus the table version it is exact for."""
+        point = self.resolve_point(spec)
+        if point not in self._point_set:
+            raise CubeError(
+                f"point {point!r} is not in this cube's lattice"
+            )
+        with obs.span(
+            "serve.request",
+            category="serve",
+            point=self.lattice.describe(point),
+        ) as span:
+            cuboid, version, tier, cost = self._resolve(point)
+            span.annotate(tier=tier, cells=len(cuboid))
+        obs.count("x3_serve_requests_total", tier=tier)
+        with self._lock:
+            self._counters.requests += 1
+            self._counters.tiers[tier] += 1
+            self._counters.modeled_cost_seconds += cost
+            self._counters.cold_cost_seconds += self._cold_cost(point)
+        return cuboid, version
+
+    def cell(self, spec: PointSpec, key: GroupKey) -> Optional[float]:
+        return self.cuboid(spec).get(key)
+
+    def slice(self, spec: PointSpec, axis_index: int, value: str) -> Cuboid:
+        """Classic OLAP slice over the resolved cuboid (``axis_index``
+        counts the point's *kept* axes)."""
+        return slice_cuboid(self.cuboid(spec), axis_index, value)
+
+    def dice(
+        self, spec: PointSpec, predicates: Dict[int, Sequence[str]]
+    ) -> Cuboid:
+        return dice_cuboid(self.cuboid(spec), predicates)
+
+    # ------------------------------------------------------------------
+    # the sound-source ladder
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, point: LatticePoint
+    ) -> Tuple[Cuboid, int, str, float]:
+        with self._lock:
+            version = self._version
+            hit = self.cache.get(point)
+            if hit is not None:
+                obs.count("x3_serve_cache_hits_total")
+                return dict(hit), version, "cache", self._touch_cost(hit)
+            obs.count("x3_serve_cache_misses_total")
+            view = self._fresh_view(point)
+            if view is not None:
+                return dict(view), version, "view", self._touch_cost(view)
+            rolled = self._try_rollup(point)
+            if rolled is not None:
+                cuboid, cost = rolled
+                self.cache.put(point, cuboid, cost)
+                return dict(cuboid), version, "rollup", cost
+            if self._incremental is not None:
+                cuboid = self._incremental.cuboid(point)
+                self.cache.put(point, cuboid, self._touch_cost(cuboid))
+                return (
+                    dict(cuboid),
+                    version,
+                    "incremental",
+                    self._touch_cost(cuboid),
+                )
+            snapshot_rows = list(self.table.rows)
+        # Recompute outside the lock, deduplicated per (point, version).
+        (cuboid, cost), shared = self._flight.do(
+            (point, version),
+            lambda: self._recompute(snapshot_rows, point),
+        )
+        if shared:
+            obs.count("x3_serve_singleflight_shared_total")
+        with self._lock:
+            if self._version == version:
+                self.cache.put(point, cuboid, cost)
+                if point in self._stale_views:
+                    self._views[point] = dict(cuboid)
+                    self._stale_views.discard(point)
+        return dict(cuboid), version, "recompute", cost
+
+    def _fresh_view(self, point: LatticePoint) -> Optional[Cuboid]:
+        if point in self._stale_views:
+            return None
+        return self._views.get(point)
+
+    def _try_rollup(
+        self, point: LatticePoint
+    ) -> Optional[Tuple[Cuboid, float]]:
+        """Derive ``point`` from the smallest sound cached/view source."""
+        if self._aggregate not in ROLLUP_AGGREGATES:
+            return None
+        best: Optional[Tuple[int, Cuboid, LatticePoint]] = None
+        candidates: List[Tuple[LatticePoint, Cuboid]] = [
+            (source, cuboid)
+            for source, cuboid in self._views.items()
+            if source not in self._stale_views
+        ]
+        for source in self.cache.points():
+            cuboid = self.cache.peek(source)
+            if cuboid is not None:
+                candidates.append((source, cuboid))
+        for source, cuboid in candidates:
+            if source == point:
+                continue
+            ok, _ = derivable(self.lattice, source, point, self.oracle)
+            if not ok:
+                continue
+            if best is None or len(cuboid) < best[0]:
+                best = (len(cuboid), cuboid, source)
+        if best is None:
+            return None
+        size, source_cuboid, source = best
+        with obs.span(
+            "serve.rollup",
+            category="serve",
+            source=self.lattice.describe(source),
+            target=self.lattice.describe(point),
+        ):
+            out = rollup_cuboid(
+                self.lattice, source_cuboid, source, point
+            )
+        obs.count("x3_serve_rollups_total")
+        cost = (size + len(out)) * _CPU_OP_SECONDS
+        return out, cost
+
+    def _recompute(
+        self, rows: List[FactRow], point: LatticePoint
+    ) -> Tuple[Cuboid, float]:
+        snapshot = FactTable(self.lattice, rows, self.table.aggregate)
+        with obs.span(
+            "serve.recompute",
+            category="serve",
+            point=self.lattice.describe(point),
+            rows=len(rows),
+        ):
+            result: CubeResult = compute_cube(
+                snapshot, self.options.replace(points=(point,))
+            )
+        cost = result.cost.simulated_seconds
+        with self._lock:
+            self._measured_cost[point] = cost
+        return result.cuboids[point], cost
+
+    # ------------------------------------------------------------------
+    # modeled costs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch_cost(cuboid: Cuboid) -> float:
+        return max(1, len(cuboid)) * _CPU_OP_SECONDS
+
+    def _cold_cost(self, point: LatticePoint) -> float:
+        """What answering from base would have cost (modeled)."""
+        measured = self._measured_cost.get(point)
+        if measured is not None:
+            return measured
+        # Deterministic estimate before any measurement exists: one scan
+        # of the fact table charging one op per row-axis touch.
+        kept = len(self.lattice.kept_axes(point))
+        return len(self.table.rows) * (kept + 1) * _CPU_OP_SECONDS
+
+    # ------------------------------------------------------------------
+    # views and warmup
+    # ------------------------------------------------------------------
+    def _materialize_views(
+        self, points: Sequence[LatticePoint]
+    ) -> None:
+        with obs.span(
+            "serve.materialize_views",
+            category="serve",
+            views=len(points),
+        ):
+            result = compute_cube(
+                self.table, self.options.replace(points=tuple(points))
+            )
+        share = result.cost.simulated_seconds / max(1, len(points))
+        for view_point in points:
+            self._views[view_point] = dict(result.cuboids[view_point])
+            self._measured_cost.setdefault(view_point, share)
+
+    def sizes(self) -> Dict[LatticePoint, int]:
+        """Exact per-point cell counts (cached; recomputed after writes
+        only when asked again)."""
+        with self._lock:
+            if self._sizes is None:
+                self._sizes = cuboid_sizes(self.table, self.lattice)
+            return dict(self._sizes)
+
+    def warm(
+        self,
+        points: Optional[Sequence[PointSpec]] = None,
+        budget_cells: Optional[int] = None,
+    ) -> List[LatticePoint]:
+        """Pre-fill the cache with the best cuboids that fit.
+
+        Candidates (default: the whole lattice) are ranked by modeled
+        benefit density — recompute cost saved per cell — and admitted
+        greedily within ``budget_cells`` (default: the cache budget).
+        The chosen cuboids are computed in one engine run, so a parallel
+        configuration warms in parallel.  Returns the warmed points.
+        """
+        budget = (
+            self.cache.budget_cells if budget_cells is None else budget_cells
+        )
+        candidates = (
+            [self.resolve_point(spec) for spec in points]
+            if points is not None
+            else list(self.lattice.points())
+        )
+        sizes = self.sizes()
+        ranked = sorted(
+            candidates,
+            key=lambda p: (
+                -self._cold_cost(p) / max(1, sizes[p]),
+                p,
+            ),
+        )
+        chosen: List[LatticePoint] = []
+        space = 0
+        for candidate in ranked:
+            size = max(1, sizes[candidate])
+            if space + size > budget:
+                continue
+            if candidate in self._views and candidate not in self._stale_views:
+                continue  # already served above the cache tier
+            chosen.append(candidate)
+            space += size
+        if not chosen:
+            return []
+        with self._lock:
+            version = self._version
+            snapshot_rows = list(self.table.rows)
+        snapshot = FactTable(self.lattice, snapshot_rows, self.table.aggregate)
+        with obs.span(
+            "serve.warm", category="serve", points=len(chosen)
+        ):
+            result = compute_cube(
+                snapshot, self.options.replace(points=tuple(chosen))
+            )
+        share = result.cost.simulated_seconds / len(chosen)
+        warmed: List[LatticePoint] = []
+        with self._lock:
+            if self._version != version:
+                return []  # a write overtook the warmup; stay cold
+            for point in chosen:
+                self._measured_cost.setdefault(point, share)
+                if self.cache.put(
+                    point,
+                    dict(result.cuboids[point]),
+                    self._measured_cost[point],
+                ):
+                    warmed.append(point)
+        return warmed
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, rows: Sequence[FactRow]) -> int:
+        """Ingest delta facts; returns the new table version."""
+        rows = list(rows)
+        with self._lock, obs.span(
+            "serve.insert", category="serve", rows=len(rows)
+        ):
+            if self._incremental is not None:
+                self._incremental.insert(rows)
+            else:
+                ingest_rows(self.table, rows)
+            if self._aggregate in _PATCH_INSERT:
+                self._patch_cached(rows, op="insert")
+            else:
+                self._evict_affected(rows)
+            return self._finish_write()
+
+    def delete(self, rows: Sequence[FactRow]) -> int:
+        """Retract delta facts; returns the new table version.
+
+        With an attached :class:`IncrementalCube` the aggregate must be
+        invertible (its rule); without one, any aggregate works — the
+        affected cuboids are evicted and recomputed on demand.
+        """
+        rows = list(rows)
+        with self._lock, obs.span(
+            "serve.delete", category="serve", rows=len(rows)
+        ):
+            if self._incremental is not None:
+                self._incremental.delete(rows)
+            else:
+                retract_rows(self.table, rows)
+            if self._aggregate in _PATCH_DELETE:
+                self._patch_cached(rows, op="delete")
+            else:
+                self._evict_affected(rows)
+            return self._finish_write()
+
+    def _finish_write(self) -> int:
+        self._version += 1
+        self._counters.writes += 1
+        self._sizes = None  # size census is stale now
+        obs.count("x3_serve_writes_total")
+        return self._version
+
+    def _cached_points(self) -> List[LatticePoint]:
+        return self.cache.points() + [
+            point
+            for point in self._views
+            if point not in self._stale_views
+        ]
+
+    def _patch_cached(self, rows: List[FactRow], op: str) -> None:
+        """Fold/unfold a delta batch into every resident cuboid."""
+        affected = affected_points(self.table, rows, self._cached_points())
+        for point in affected:
+            self.cache.mutate(
+                point, lambda cuboid, p=point: self._apply_delta(
+                    cuboid, rows, p, op
+                )
+            )
+            if point in self._views and point not in self._stale_views:
+                self._apply_delta(self._views[point], rows, point, op)
+            self._counters.patched_points += 1
+        obs.count(
+            "x3_serve_patched_points_total", len(affected), op=op
+        )
+
+    def _apply_delta(
+        self,
+        cuboid: Cuboid,
+        rows: List[FactRow],
+        point: LatticePoint,
+        op: str,
+    ) -> None:
+        name = self._aggregate
+        for row in rows:
+            for key in self.table.key_combinations(row, point):
+                if op == "insert":
+                    if key not in cuboid:
+                        cuboid[key] = self._first_value(row.measure)
+                    elif name == "COUNT":
+                        cuboid[key] += 1.0
+                    elif name == "SUM":
+                        cuboid[key] += row.measure
+                    elif name == "MIN":
+                        cuboid[key] = min(cuboid[key], row.measure)
+                    else:  # MAX
+                        cuboid[key] = max(cuboid[key], row.measure)
+                else:  # delete — only COUNT reaches here
+                    remaining = cuboid.get(key, 0.0) - 1.0
+                    if remaining <= 0.0:
+                        cuboid.pop(key, None)
+                    else:
+                        cuboid[key] = remaining
+
+    def _first_value(self, measure: float) -> float:
+        if self._aggregate == "COUNT":
+            return 1.0
+        return measure  # SUM/MIN/MAX of a single fact
+
+    def _evict_affected(self, rows: List[FactRow]) -> None:
+        """Evict exactly the lattice points the delta touches."""
+        affected = affected_points(
+            self.table,
+            rows,
+            self.cache.points() + list(self._views),
+        )
+        for point in affected:
+            if self.cache.invalidate(point):
+                self._counters.evicted_points += 1
+            if point in self._views:
+                self._stale_views.add(point)
+        obs.count("x3_serve_invalidated_points_total", len(affected))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServeStats:
+        with self._lock:
+            return ServeStats(
+                requests=self._counters.requests,
+                tiers=dict(self._counters.tiers),
+                modeled_cost_seconds=self._counters.modeled_cost_seconds,
+                cold_cost_seconds=self._counters.cold_cost_seconds,
+                cache=self.cache.stats.as_dict(),
+                cache_used_cells=self.cache.used_cells,
+                cache_budget_cells=self.cache.budget_cells,
+                view_points=len(self._views),
+                stale_views=len(self._stale_views),
+                singleflight_led=self._flight.led_total,
+                singleflight_shared=self._flight.shared_total,
+                writes=self._counters.writes,
+                patched_points=self._counters.patched_points,
+                evicted_points=self._counters.evicted_points,
+                version=self._version,
+            )

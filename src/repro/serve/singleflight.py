@@ -1,0 +1,86 @@
+"""Single-flight deduplication of identical concurrent computations.
+
+When a popular cuboid falls out of the cache, a burst of requests for it
+must not stampede the recompute path: the first caller (the *leader*)
+computes, everyone else arriving with the same key blocks on the shared
+call and receives the same result (or the same exception).  Keys include
+the server's table version, so a flight started before a write is never
+joined by a request that must observe the write.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+
+class _Call:
+    """One in-flight computation and its eventual outcome."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.joiners = 0
+
+
+class SingleFlight:
+    """Per-key in-flight call deduplication (Go's ``singleflight``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: Dict[Hashable, _Call] = {}
+        self._shared_total = 0
+        self._led_total = 0
+
+    # ------------------------------------------------------------------
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent ``key``.
+
+        Returns ``(result, shared)`` where ``shared`` is True when this
+        caller joined another caller's flight instead of computing.
+        Exceptions raised by the leader propagate to every caller.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is not None:
+                call.joiners += 1
+                self._shared_total += 1
+                leader = False
+            else:
+                call = _Call()
+                self._calls[key] = call
+                self._led_total += 1
+                leader = True
+        if not leader:
+            call.done.wait()
+            if call.error is not None:
+                raise call.error
+            return call.result, True
+        try:
+            call.result = fn()
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.done.set()
+        return call.result, False
+
+    # ------------------------------------------------------------------
+    @property
+    def shared_total(self) -> int:
+        """Calls answered by joining another caller's flight."""
+        with self._lock:
+            return self._shared_total
+
+    @property
+    def led_total(self) -> int:
+        """Calls that actually executed their function."""
+        with self._lock:
+            return self._led_total
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._calls)

@@ -10,7 +10,7 @@ scans in TIMBER.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.timber.buffer_pool import BufferPool
 from repro.timber.node_store import NodeRecord, NodeStore

@@ -12,7 +12,7 @@ read through the buffer pool, so lookups are charged I/O.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.timber.buffer_pool import BufferPool
 from repro.timber.node_store import NodeStore

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.advisor import Recommendation, choose_algorithm, recommend_for_table
+from repro.core.advisor import (  # noqa: F401  (choose_algorithm re-exported)
+    Recommendation,
+    choose_algorithm,
+    recommend_for_table,
+)
 from repro.core.bindings import FactTable
 from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
 from repro.core.extract import extract_from_documents

@@ -1,0 +1,130 @@
+"""Unit tests for the CI perf-regression gate."""
+
+import json
+import pathlib
+
+import pytest
+
+import repro.bench.perfgate as perfgate
+from repro.bench.perfgate import (
+    METRIC_DIRECTIONS,
+    compare,
+    load_baseline,
+    main,
+    write_report,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+COMMITTED_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "BENCH_baseline.json"
+)
+
+FAKE_METRICS = {
+    "engine_serial_seconds": 1.0,
+    "engine_parallel_critical_path_seconds": 0.5,
+    "engine_modeled_speedup": 2.0,
+    "serve_cold_seconds": 4.0,
+    "serve_warm_seconds": 0.1,
+    "serve_hit_rate": 0.9,
+}
+
+
+class TestCompare:
+    def test_identical_metrics_pass(self):
+        assert compare(FAKE_METRICS, dict(FAKE_METRICS), 0.25) == []
+
+    def test_lower_is_better_regression_fails(self):
+        worse = dict(FAKE_METRICS, engine_serial_seconds=1.3)
+        failures = compare(worse, FAKE_METRICS, 0.25)
+        assert len(failures) == 1
+        assert "engine_serial_seconds" in failures[0]
+
+    def test_lower_is_better_improvement_passes(self):
+        better = dict(FAKE_METRICS, engine_serial_seconds=0.2)
+        assert compare(better, FAKE_METRICS, 0.25) == []
+
+    def test_higher_is_better_regression_fails(self):
+        worse = dict(FAKE_METRICS, serve_hit_rate=0.5)
+        failures = compare(worse, FAKE_METRICS, 0.25)
+        assert len(failures) == 1
+        assert "serve_hit_rate" in failures[0]
+
+    def test_higher_is_better_improvement_passes(self):
+        better = dict(FAKE_METRICS, engine_modeled_speedup=3.5)
+        assert compare(better, FAKE_METRICS, 0.25) == []
+
+    def test_within_tolerance_passes(self):
+        slightly_worse = dict(FAKE_METRICS, serve_cold_seconds=4.9)
+        assert compare(slightly_worse, FAKE_METRICS, 0.25) == []
+
+    def test_metric_missing_from_baseline_ignored(self):
+        baseline = dict(FAKE_METRICS)
+        del baseline["serve_hit_rate"]
+        assert compare(FAKE_METRICS, baseline, 0.25) == []
+
+
+class TestReportRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "report.json"
+        write_report(str(path), FAKE_METRICS)
+        assert load_baseline(str(path)) == FAKE_METRICS
+        document = json.loads(path.read_text())
+        assert document["directions"] == METRIC_DIRECTIONS
+
+
+class TestCommittedBaseline:
+    def test_exists_and_covers_every_metric(self):
+        baseline = load_baseline(str(COMMITTED_BASELINE))
+        assert set(baseline) == set(METRIC_DIRECTIONS)
+        assert all(value > 0 for value in baseline.values())
+
+
+class TestMain:
+    @pytest.fixture()
+    def fake_collect(self, monkeypatch):
+        monkeypatch.setattr(
+            perfgate, "collect_metrics", lambda: dict(FAKE_METRICS)
+        )
+
+    def test_pass_against_matching_baseline(
+        self, fake_collect, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        write_report(str(baseline), FAKE_METRICS)
+        out = tmp_path / "BENCH_3.json"
+        code = main(
+            ["--baseline", str(baseline), "--out", str(out)]
+        )
+        assert code == 0
+        assert "perf gate OK" in capsys.readouterr().out
+        assert json.loads(out.read_text())["metrics"] == FAKE_METRICS
+
+    def test_fails_on_regression(self, fake_collect, tmp_path, capsys):
+        regressed = dict(FAKE_METRICS, serve_cold_seconds=1.0)
+        baseline = tmp_path / "baseline.json"
+        write_report(str(baseline), regressed)
+        assert main(["--baseline", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_update_writes_baseline(self, fake_collect, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code = main(["--baseline", str(baseline), "--update"])
+        assert code == 0
+        assert load_baseline(str(baseline)) == FAKE_METRICS
+
+    def test_missing_baseline_is_an_error(
+        self, fake_collect, tmp_path, capsys
+    ):
+        code = main(["--baseline", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "--update" in capsys.readouterr().err
+
+    def test_wider_tolerance_tolerates(self, fake_collect, tmp_path):
+        regressed = dict(FAKE_METRICS, serve_cold_seconds=2.5)
+        baseline = tmp_path / "baseline.json"
+        write_report(str(baseline), regressed)
+        assert main(["--baseline", str(baseline)]) == 1
+        assert (
+            main(["--baseline", str(baseline), "--tolerance", "0.75"])
+            == 0
+        )

@@ -79,3 +79,49 @@ class TestTraceOut:
         assert events
         categories = {e["cat"] for e in events}
         assert "algorithm" in categories and "engine" in categories
+
+
+class TestTraceValidation:
+    def test_valid_trace_accepted(self, tmp_path, capsys):
+        from repro.bench.runner import validate_trace_file
+
+        target = tmp_path / "trace.json"
+        target.write_text(
+            '{"traceEvents": [{"ph": "X", "name": "s", "cat": "c",'
+            ' "ts": 0, "dur": 1, "pid": 1, "tid": 1}]}'
+        )
+        assert validate_trace_file(str(target)) is None
+        assert "smoke trace OK: 1 spans" in capsys.readouterr().out
+
+    def test_malformed_json_rejected(self, tmp_path):
+        from repro.bench.runner import validate_trace_file
+
+        target = tmp_path / "trace.json"
+        target.write_text("{not json")
+        assert "not valid JSON" in validate_trace_file(str(target))
+
+    def test_missing_file_rejected(self, tmp_path):
+        from repro.bench.runner import validate_trace_file
+
+        problem = validate_trace_file(str(tmp_path / "absent.json"))
+        assert "cannot read" in problem
+
+    def test_empty_trace_rejected(self, tmp_path):
+        from repro.bench.runner import validate_trace_file
+
+        target = tmp_path / "trace.json"
+        target.write_text('{"traceEvents": []}')
+        assert "no complete spans" in validate_trace_file(str(target))
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        from repro.bench.runner import validate_trace_file
+
+        target = tmp_path / "trace.json"
+        target.write_text('{"spans": 3}')
+        assert "traceEvents" in validate_trace_file(str(target))
+
+    def test_smoke_with_trace_out_validates(self, tmp_path, capsys):
+        target = tmp_path / "smoke-trace.json"
+        assert main(["--smoke", "--trace-out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke trace OK" in out

@@ -1,7 +1,5 @@
 """Unit tests for the shared algorithm machinery."""
 
-import pytest
-
 from repro.core.algorithms.base import (
     DEFAULT_MEMORY_ENTRIES,
     ENTRIES_PER_PAGE,

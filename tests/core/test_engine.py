@@ -4,8 +4,6 @@ metrics, and result-identity with the direct serial path."""
 import pytest
 
 from repro.core.cube import (
-    CostSnapshot,
-    CubeResult,
     ExecutionOptions,
     compute_cube,
 )

@@ -1,7 +1,5 @@
 """Unit tests for schema-driven lattice pruning (Sec. 3.7)."""
 
-import pytest
-
 from repro.core.cube import compute_cube
 from repro.core.extract import extract_fact_table
 from repro.core.prune import (

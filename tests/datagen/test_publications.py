@@ -2,7 +2,6 @@
 
 from repro.datagen.publications import (
     QUERY1_TEXT,
-    figure1_document,
     query1,
     random_publications,
 )

@@ -1,0 +1,206 @@
+"""Unit tests for the cost-aware cuboid cache (GreedyDual-Size)."""
+
+import pytest
+
+from repro.errors import CubeError
+from repro.serve.cache import CuboidCache, entry_totals
+
+P1 = (0, 0)
+P2 = (0, 1)
+P3 = (1, 0)
+P4 = (1, 1)
+
+
+def cuboid_of(cells):
+    return {("k%d" % i,): float(i) for i in range(cells)}
+
+
+class TestBasics:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(CubeError):
+            CuboidCache(-1)
+
+    def test_put_then_get(self):
+        cache = CuboidCache(10)
+        cuboid = cuboid_of(3)
+        assert cache.put(P1, cuboid, cost=1.0)
+        assert cache.get(P1) == cuboid
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_miss_counts(self):
+        cache = CuboidCache(10)
+        assert cache.get(P1) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_peek_touches_nothing(self):
+        cache = CuboidCache(10)
+        cache.put(P1, cuboid_of(2), cost=1.0)
+        before = cache.stats.as_dict()
+        assert cache.peek(P1) == cuboid_of(2)
+        assert cache.peek(P2) is None
+        assert cache.stats.as_dict() == before
+
+    def test_contains_len_points(self):
+        cache = CuboidCache(10)
+        cache.put(P1, cuboid_of(2), cost=1.0)
+        cache.put(P2, cuboid_of(3), cost=1.0)
+        assert P1 in cache and P2 in cache and P3 not in cache
+        assert len(cache) == 2
+        assert set(cache.points()) == {P1, P2}
+        assert entry_totals(cache) == (2, 5)
+
+    def test_empty_cuboid_counts_one_cell(self):
+        cache = CuboidCache(10)
+        cache.put(P1, {}, cost=1.0)
+        assert cache.used_cells == 1
+
+    def test_zero_budget_rejects_everything(self):
+        cache = CuboidCache(0)
+        assert not cache.put(P1, cuboid_of(1), cost=100.0)
+        assert cache.stats.rejections == 1
+        assert len(cache) == 0
+
+
+class TestReplacement:
+    def test_put_replaces_same_point(self):
+        cache = CuboidCache(10)
+        cache.put(P1, cuboid_of(2), cost=1.0)
+        cache.put(P1, cuboid_of(5), cost=1.0)
+        assert len(cache) == 1
+        assert cache.used_cells == 5
+        assert cache.peek(P1) == cuboid_of(5)
+
+    def test_oversized_put_also_drops_stale_version(self):
+        cache = CuboidCache(4)
+        cache.put(P1, cuboid_of(2), cost=1.0)
+        assert not cache.put(P1, cuboid_of(9), cost=1.0)
+        assert P1 not in cache
+        assert cache.used_cells == 0
+
+    def test_uniform_costs_degrade_to_lru(self):
+        cache = CuboidCache(2)
+        cache.put(P1, cuboid_of(1), cost=1.0)
+        cache.put(P2, cuboid_of(1), cost=1.0)
+        cache.get(P1)  # refresh P1: P2 is now least valuable
+        cache.put(P3, cuboid_of(1), cost=1.0)
+        assert P1 in cache and P3 in cache and P2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_expensive_entry_survives_cheap_newcomers(self):
+        cache = CuboidCache(2)
+        cache.put(P1, cuboid_of(1), cost=100.0)
+        cache.put(P2, cuboid_of(1), cost=0.1)
+        cache.put(P3, cuboid_of(1), cost=0.1)  # evicts P2, not P1
+        assert P1 in cache and P3 in cache and P2 not in cache
+
+    def test_worthless_newcomer_rejects_itself(self):
+        cache = CuboidCache(2)
+        cache.put(P1, cuboid_of(1), cost=10.0)
+        cache.put(P2, cuboid_of(1), cost=10.0)
+        admitted = cache.put(P3, cuboid_of(2), cost=0.001)
+        assert not admitted
+        assert P1 in cache and P2 in cache and P3 not in cache
+        assert cache.stats.rejections == 1
+        assert cache.stats.evictions == 0
+
+    def test_clock_rises_with_evictions(self):
+        """After churn, long-resident entries eventually age out: the
+        clock inherits evicted priorities so newcomers outrank entries
+        that were valuable long ago but never touched since."""
+        cache = CuboidCache(2)
+        cache.put(P1, cuboid_of(1), cost=5.0)
+        cache.put(P2, cuboid_of(1), cost=1.0)
+        for _ in range(8):  # churn the second slot with modest costs
+            cache.put(P3, cuboid_of(1), cost=2.0)
+            cache.put(P4, cuboid_of(1), cost=2.0)
+        assert P1 not in cache  # aged out despite the highest cost
+
+    def test_eviction_accounting_is_exact(self):
+        cache = CuboidCache(7)
+        cache.put(P1, cuboid_of(3), cost=1.0)
+        cache.put(P2, cuboid_of(3), cost=1.0)
+        cache.put(P3, cuboid_of(4), cost=5.0)
+        assert cache.used_cells <= 7
+        assert cache.used_cells == sum(
+            info.size for info in cache.entries()
+        )
+
+
+class TestInvalidation:
+    def test_invalidate(self):
+        cache = CuboidCache(10)
+        cache.put(P1, cuboid_of(4), cost=1.0)
+        assert cache.invalidate(P1)
+        assert not cache.invalidate(P1)
+        assert cache.used_cells == 0
+        assert cache.stats.invalidations == 1
+
+    def test_clear(self):
+        cache = CuboidCache(10)
+        cache.put(P1, cuboid_of(2), cost=1.0)
+        cache.put(P2, cuboid_of(2), cost=1.0)
+        assert cache.clear() == 2
+        assert len(cache) == 0 and cache.used_cells == 0
+
+
+class TestMutate:
+    def test_mutate_patches_in_place(self):
+        cache = CuboidCache(10)
+        cache.put(P1, {("a",): 1.0}, cost=1.0)
+
+        def patch(cuboid):
+            cuboid[("a",)] += 1.0
+            cuboid[("b",)] = 1.0
+
+        assert cache.mutate(P1, patch)
+        assert cache.peek(P1) == {("a",): 2.0, ("b",): 1.0}
+        assert cache.used_cells == 2
+        assert cache.stats.patches == 1
+
+    def test_mutate_absent_point(self):
+        cache = CuboidCache(10)
+        assert not cache.mutate(P1, lambda cuboid: None)
+
+    def test_mutate_growth_rebalances_budget(self):
+        cache = CuboidCache(4)
+        cache.put(P1, cuboid_of(2), cost=0.5)
+        cache.put(P2, cuboid_of(2), cost=50.0)
+
+        def grow(cuboid):
+            for i in range(3):
+                cuboid[("new%d" % i,)] = 1.0
+
+        survived = cache.mutate(P1, grow)
+        assert cache.used_cells <= 4
+        # P1 grew to 5 cells; something had to go, and the cheap grown
+        # entry is the natural victim.
+        assert not survived
+        assert P2 in cache
+
+
+class TestEntryInfo:
+    def test_entries_report_sizes_costs_hits(self):
+        cache = CuboidCache(10)
+        cache.put(P1, cuboid_of(3), cost=2.0)
+        cache.get(P1)
+        cache.get(P1)
+        (info,) = list(cache.entries())
+        assert info.point == P1
+        assert info.size == 3
+        assert info.cost == 2.0
+        assert info.hits == 2
+        assert info.priority > 0
+
+    def test_stats_dict_keys(self):
+        cache = CuboidCache(10)
+        assert set(cache.stats.as_dict()) == {
+            "hits",
+            "misses",
+            "insertions",
+            "evictions",
+            "rejections",
+            "invalidations",
+            "patches",
+        }

@@ -1,0 +1,133 @@
+"""Unit tests for the x3-serve CLI."""
+
+import json
+
+import pytest
+
+from repro.datagen.publications import QUERY1_TEXT, figure1_document
+from repro.serve.cli import main
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture()
+def inputs(tmp_path):
+    query_path = tmp_path / "query.xq"
+    query_path.write_text(QUERY1_TEXT)
+    data_path = tmp_path / "data.xml"
+    data_path.write_text(serialize(figure1_document()))
+    return str(query_path), str(data_path)
+
+
+class TestReplay:
+    def test_default_replay(self, inputs, capsys):
+        query, data = inputs
+        assert main(["--query", query, data, "--requests", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "4 facts, 30 cuboids" in out
+        assert "50 requests" in out
+        assert "hit rate" in out
+        assert "tiers: cache=" in out
+
+    def test_replay_is_deterministic(self, inputs, capsys):
+        query, data = inputs
+        args = ["--query", query, data, "--requests", "40", "--seed", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_tiny_cache_recomputes_more(self, inputs, capsys):
+        query, data = inputs
+        assert (
+            main(
+                [
+                    "--query", query, data,
+                    "--requests", "40", "--cache-cells", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cache=0," in out.split("tiers: ")[1]
+
+    def test_views_and_warm(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "--query", query, data,
+                "--requests", "30", "--view-cells", "40", "--warm",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmed" in out
+        assert "views" in out
+
+
+class TestCuboidMode:
+    def test_prints_requested_cuboid(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "--query", query, data,
+                "--cuboid", "$n:LND, $p:LND, $y:rigid",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(2003): 2" in out
+
+    def test_unknown_cuboid(self, inputs, capsys):
+        query, data = inputs
+        assert (
+            main(["--query", query, data, "--cuboid", "$n:warp"]) == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_summary_and_trace(self, inputs, tmp_path, capsys):
+        query, data = inputs
+        target = tmp_path / "trace.json"
+        code = main(
+            [
+                "--query", query, data, "--requests", "10",
+                "--profile", "--trace-out", str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile (top spans by wall time):" in out
+        assert "serve.request" in out
+        document = json.loads(target.read_text())
+        assert any(
+            event["ph"] == "X" and event["name"] == "serve.request"
+            for event in document["traceEvents"]
+        )
+
+    def test_trace_out_requires_profile(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            ["--query", query, data, "--trace-out", "/tmp/never.json"]
+        )
+        assert code == 1
+        assert "--profile" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_query_file(self, inputs, capsys):
+        _, data = inputs
+        assert main(["--query", "/nope/query.xq", data]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_xml(self, tmp_path, inputs, capsys):
+        query, _ = inputs
+        broken = tmp_path / "broken.xml"
+        broken.write_text("<a><b></a>")
+        assert main(["--query", query, str(broken)]) == 1
+
+    def test_unknown_algorithm(self, inputs, capsys):
+        query, data = inputs
+        assert (
+            main(["--query", query, data, "--algorithm", "WARP"]) == 1
+        )

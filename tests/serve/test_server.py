@@ -1,0 +1,468 @@
+"""Integration tests for :class:`repro.serve.CubeServer`.
+
+The contract under test throughout: every answer the server produces —
+whatever tier resolved it, whatever writes happened before it — is
+bit-identical to a serial NAIVE recomputation over the table rows at
+the version reported with the answer.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.bindings import FactTable
+from repro.core.cube import ExecutionOptions, compute_cube
+from repro.core.incremental import IncrementalCube, split_rows
+from repro.core.rollup import derivable
+from repro.errors import CubeError
+from repro.serve import CubeServer, TIERS
+from repro.testing import messy_workload, small_workload
+
+
+def fresh(**overrides):
+    workload = small_workload(**overrides)
+    table = workload.fact_table()
+    return table, workload.oracle(table)
+
+
+def reference_cuboid(table, rows, point):
+    """Serial NAIVE recompute of one cuboid over the given rows."""
+    snapshot = FactTable(table.lattice, list(rows), table.aggregate)
+    result = compute_cube(
+        snapshot, ExecutionOptions(algorithm="NAIVE", points=(point,))
+    )
+    return result.cuboids[point]
+
+
+def with_aggregate(table, function):
+    spec = (
+        AggregateSpec()
+        if function == "COUNT"
+        else AggregateSpec(function, "@m")
+    )
+    return FactTable(table.lattice, list(table.rows), aggregate=spec)
+
+
+def assert_serves_exactly(server, table):
+    for point in table.lattice.points():
+        expected = reference_cuboid(table, table.rows, point)
+        assert server.cuboid(point) == expected, table.lattice.describe(
+            point
+        )
+
+
+class TestBitIdentity:
+    def test_cold_server(self):
+        table, oracle = fresh()
+        assert_serves_exactly(CubeServer(table, oracle), table)
+
+    def test_all_tiers_mixed(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, cache_cells=64, view_cells=40)
+        for _ in range(3):  # repeats route through cache/view/rollup
+            assert_serves_exactly(server, table)
+
+    def test_zero_cache(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, cache_cells=0)
+        assert_serves_exactly(server, table)
+        assert server.stats().tiers["recompute"] == server.stats().requests
+
+    def test_messy_workload_no_unsound_rollups(self):
+        workload = messy_workload()
+        table = workload.fact_table()
+        server = CubeServer(table, workload.oracle(table))
+        for _ in range(2):
+            assert_serves_exactly(server, table)
+        assert server.stats().tiers["rollup"] == 0
+
+    @pytest.mark.parametrize("function", ["SUM", "MIN", "MAX", "AVG"])
+    def test_other_aggregates(self, function):
+        table, oracle = fresh(n_facts=40)
+        table = with_aggregate(table, function)
+        server = CubeServer(table, oracle)
+        for _ in range(2):
+            assert_serves_exactly(server, table)
+
+    def test_after_warm(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, cache_cells=4096)
+        warmed = server.warm()
+        assert warmed
+        assert_serves_exactly(server, table)
+
+    def test_parallel_recompute_options(self):
+        table, oracle = fresh()
+        server = CubeServer(
+            table,
+            oracle,
+            options=ExecutionOptions(workers=2, engine="thread"),
+        )
+        assert_serves_exactly(server, table)
+
+
+class TestLadder:
+    def test_second_request_hits_cache(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        server.cuboid(point)
+        server.cuboid(point)
+        tiers = server.stats().tiers
+        assert tiers["recompute"] == 1 and tiers["cache"] == 1
+
+    def test_views_answer_view_tier(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, view_cells=600)
+        assert server.selection is not None and server.selection.chosen
+        view_point = server.selection.chosen[0]
+        server.cuboid(view_point)
+        assert server.stats().tiers["view"] == 1
+
+    def test_rollup_tier_derives_from_cached_finer(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        finest = table.lattice.top
+        server.cuboid(finest)
+        coarser = next(
+            point
+            for point in table.lattice.topo_finer_first()
+            if point != finest
+            and derivable(table.lattice, finest, point, oracle)[0]
+        )
+        cuboid = server.cuboid(coarser)
+        assert server.stats().tiers["rollup"] == 1
+        assert cuboid == reference_cuboid(table, table.rows, coarser)
+
+    def test_pessimistic_oracle_never_rolls_up(self):
+        table, _ = fresh()
+        server = CubeServer(table, oracle=None)
+        for point in table.lattice.points():
+            server.cuboid(point)
+        assert server.stats().tiers["rollup"] == 0
+
+    def test_incremental_tier(self):
+        table, _ = fresh()
+        cube = IncrementalCube(table)
+        server = CubeServer(
+            table, oracle=None, cache_cells=0, incremental=cube
+        )
+        point = table.lattice.top
+        assert server.cuboid(point) == reference_cuboid(
+            table, table.rows, point
+        )
+        assert server.stats().tiers["incremental"] == 1
+        assert server.stats().tiers["recompute"] == 0
+
+    def test_tier_names_are_stable(self):
+        assert TIERS == (
+            "cache",
+            "view",
+            "rollup",
+            "incremental",
+            "recompute",
+        )
+
+
+class TestQuerySurface:
+    def test_resolve_by_description(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        description = table.lattice.describe(table.lattice.top)
+        assert server.cuboid(description) == server.cuboid(
+            table.lattice.top
+        )
+
+    def test_cell(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        cuboid = server.cuboid(point)
+        key = next(iter(cuboid))
+        assert server.cell(point, key) == cuboid[key]
+        assert server.cell(point, ("no", "such", "key")) is None
+
+    def test_slice_restricts_one_axis(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        cuboid = server.cuboid(point)
+        value = next(iter(cuboid))[0]
+        sliced = server.slice(point, 0, value)
+        assert sliced == {
+            key[1:]: cell
+            for key, cell in cuboid.items()
+            if key[0] == value
+        }
+
+    def test_dice_restricts_many_axes(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        cuboid = server.cuboid(point)
+        key = next(iter(cuboid))
+        diced = server.dice(point, {0: [key[0]], 1: [key[1]]})
+        assert key in diced
+        assert all(
+            k[0] == key[0] and k[1] == key[1] for k in diced
+        )
+
+    def test_unknown_point_rejected(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        with pytest.raises(CubeError):
+            server.cuboid((99, 99, 99))
+
+    def test_returned_cuboids_are_copies(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        first = server.cuboid(point)
+        first[("tampered",)] = 1.0
+        assert ("tampered",) not in server.cuboid(point)
+
+
+class TestConstruction:
+    def test_points_option_is_reserved(self):
+        table, oracle = fresh()
+        with pytest.raises(CubeError):
+            CubeServer(
+                table,
+                oracle,
+                options=ExecutionOptions(
+                    points=(table.lattice.top,)
+                ),
+            )
+
+    def test_incremental_must_share_table(self):
+        table, _ = fresh()
+        other, _ = fresh(seed=11)
+        with pytest.raises(CubeError):
+            CubeServer(table, incremental=IncrementalCube(other))
+
+
+class TestWarm:
+    def test_warm_fills_cache_within_budget(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, cache_cells=4096)
+        warmed = server.warm()
+        assert warmed
+        assert server.cache.used_cells <= 4096
+        for point in warmed:
+            assert point in server.cache
+
+    def test_warmed_requests_avoid_recompute(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, cache_cells=100000)
+        server.warm()
+        assert_serves_exactly(server, table)
+        stats = server.stats()
+        assert stats.tiers["recompute"] == 0
+        assert stats.hit_rate == 1.0
+        assert stats.modeled_speedup > 1.0
+
+    def test_warm_respects_explicit_budget(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle, cache_cells=100000)
+        sizes = server.sizes()
+        smallest = min(sizes.values())
+        warmed = server.warm(budget_cells=smallest)
+        assert sum(sizes[point] for point in warmed) <= smallest
+
+
+class TestWrites:
+    @pytest.mark.parametrize(
+        "function", ["COUNT", "SUM", "MIN", "MAX", "AVG"]
+    )
+    def test_insert_stays_exact(self, function):
+        table, oracle = fresh(n_facts=60)
+        table = with_aggregate(table, function)
+        initial, delta = split_rows(table, 0.7)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        server = CubeServer(live, oracle)
+        assert_serves_exactly(server, live)  # populate the cache
+        server.insert(delta)
+        assert_serves_exactly(server, live)
+
+    @pytest.mark.parametrize("function", ["COUNT", "SUM", "AVG"])
+    def test_delete_stays_exact(self, function):
+        table, oracle = fresh(n_facts=60)
+        table = with_aggregate(table, function)
+        keep, churn = split_rows(table, 0.7)
+        live = FactTable(table.lattice, list(table.rows), table.aggregate)
+        server = CubeServer(live, oracle)
+        assert_serves_exactly(server, live)
+        server.delete(list(churn))
+        assert_serves_exactly(server, live)
+
+    def test_count_insert_patches_instead_of_evicting(self):
+        table, oracle = fresh(n_facts=60)
+        initial, delta = split_rows(table, 0.7)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        server = CubeServer(live, oracle)
+        assert_serves_exactly(server, live)
+        cached_before = len(server.cache)
+        server.insert(delta)
+        stats = server.stats()
+        assert stats.patched_points > 0
+        assert stats.evicted_points == 0
+        assert len(server.cache) == cached_before
+
+    def test_sum_delete_evicts_affected(self):
+        table, oracle = fresh(n_facts=60)
+        table = with_aggregate(table, "SUM")
+        live = FactTable(table.lattice, list(table.rows), table.aggregate)
+        server = CubeServer(live, oracle)
+        assert_serves_exactly(server, live)
+        server.delete(list(table.rows[:5]))
+        stats = server.stats()
+        assert stats.evicted_points > 0
+        assert stats.patched_points == 0
+
+    def test_writes_bump_version(self):
+        table, oracle = fresh(n_facts=40)
+        initial, delta = split_rows(table, 0.5)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        server = CubeServer(live, oracle)
+        assert server.version == 0
+        assert server.insert(delta[:1]) == 1
+        assert server.delete(delta[:1]) == 2
+        assert server.version == 2
+
+    def test_views_follow_writes(self):
+        table, oracle = fresh(n_facts=60)
+        initial, delta = split_rows(table, 0.7)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        server = CubeServer(live, oracle, view_cells=600)
+        assert server.selection is not None and server.selection.chosen
+        server.insert(delta)
+        assert_serves_exactly(server, live)
+
+    def test_delete_unknown_row_rejected(self):
+        table, oracle = fresh(n_facts=40)
+        initial, delta = split_rows(table, 0.5)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        server = CubeServer(live, oracle)
+        with pytest.raises(CubeError):
+            server.delete(delta[:1])  # never inserted
+
+    def test_routed_through_incremental(self):
+        table, oracle = fresh(n_facts=60)
+        initial, delta = split_rows(table, 0.7)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        cube = IncrementalCube(live)
+        server = CubeServer(live, oracle, incremental=cube)
+        applied_before = cube.applied_rows
+        server.insert(delta)
+        assert cube.applied_rows == applied_before + len(delta)
+        assert_serves_exactly(server, live)
+        server.delete(delta)
+        assert_serves_exactly(server, live)
+
+
+class TestConcurrency:
+    def test_stampede_recomputes_once(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        release = threading.Event()
+        original = server._recompute
+
+        def gated(rows, target):
+            assert release.wait(timeout=5.0)
+            return original(rows, target)
+
+        server._recompute = gated
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(server.cuboid(point))
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(2000):
+            if server._flight.shared_total == 3:
+                break
+            threading.Event().wait(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        expected = reference_cuboid(table, table.rows, point)
+        assert results == [expected] * 4
+        assert server.stats().singleflight_led == 1
+        assert server.stats().singleflight_shared == 3
+        assert server.stats().tiers["recompute"] == 4
+
+    def test_overtaken_recompute_not_admitted(self):
+        table, oracle = fresh(n_facts=60)
+        initial, delta = split_rows(table, 0.8)
+        live = FactTable(table.lattice, list(initial), table.aggregate)
+        server = CubeServer(live, oracle)
+        point = live.lattice.top
+        release = threading.Event()
+        entered = threading.Event()
+        original = server._recompute
+
+        def gated(rows, target):
+            entered.set()
+            assert release.wait(timeout=5.0)
+            return original(rows, target)
+
+        server._recompute = gated
+        outcome = {}
+
+        def read():
+            outcome["cuboid"], outcome["version"] = (
+                server.cuboid_versioned(point)
+            )
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        assert entered.wait(timeout=5.0)
+        server.insert(delta)  # overtakes the in-flight recompute
+        release.set()
+        reader.join(timeout=10.0)
+
+        # Correct for the snapshot it started from...
+        assert outcome["version"] == 0
+        assert outcome["cuboid"] == reference_cuboid(
+            live, initial, point
+        )
+        # ...but never admitted: the next read recomputes fresh.
+        server._recompute = original
+        assert server.cuboid(point) == reference_cuboid(
+            live, live.rows, point
+        )
+
+
+class TestStats:
+    def test_summary_mentions_tiers_and_costs(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        server.cuboid(point)
+        server.cuboid(point)
+        text = server.stats().summary()
+        assert "2 requests" in text
+        assert "cache=1" in text and "recompute=1" in text
+        assert "hit rate 50%" in text
+
+    def test_modeled_cost_below_cold_on_hits(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.top
+        for _ in range(5):
+            server.cuboid(point)
+        stats = server.stats()
+        assert stats.modeled_cost_seconds < stats.cold_cost_seconds
+        assert stats.modeled_speedup > 1.0
+
+    def test_empty_server_stats(self):
+        table, oracle = fresh()
+        stats = CubeServer(table, oracle).stats()
+        assert stats.requests == 0
+        assert stats.hit_rate == 0.0
+        assert stats.version == 0

@@ -1,0 +1,110 @@
+"""Unit tests for single-flight call deduplication."""
+
+import threading
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+class TestSequential:
+    def test_runs_and_returns(self):
+        flight = SingleFlight()
+        result, shared = flight.do("k", lambda: 42)
+        assert result == 42 and shared is False
+        assert flight.led_total == 1 and flight.shared_total == 0
+
+    def test_sequential_calls_each_execute(self):
+        flight = SingleFlight()
+        calls = []
+        for _ in range(3):
+            flight.do("k", lambda: calls.append(1))
+        assert len(calls) == 3
+        assert flight.led_total == 3 and flight.shared_total == 0
+
+    def test_exception_propagates_and_clears(self):
+        flight = SingleFlight()
+        with pytest.raises(ValueError):
+            flight.do("k", self._boom)
+        assert flight.in_flight() == 0
+        result, _ = flight.do("k", lambda: "recovered")
+        assert result == "recovered"
+
+    @staticmethod
+    def _boom():
+        raise ValueError("boom")
+
+
+class TestConcurrent:
+    def test_stampede_computes_once(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        executions = []
+
+        def compute():
+            executions.append(1)
+            # Hold the flight open until every joiner has registered.
+            assert release.wait(timeout=5.0)
+            return "value"
+
+        results = []
+
+        def request():
+            results.append(flight.do("key", compute))
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # The three non-leaders each bump shared_total *before* blocking.
+        for _ in range(2000):
+            if flight.shared_total == 3:
+                break
+            threading.Event().wait(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        assert len(executions) == 1
+        assert flight.led_total == 1 and flight.shared_total == 3
+        assert [value for value, _ in results] == ["value"] * 4
+        assert sorted(shared for _, shared in results) == [
+            False,
+            True,
+            True,
+            True,
+        ]
+
+    def test_leader_error_reaches_joiners(self):
+        flight = SingleFlight()
+        release = threading.Event()
+
+        def compute():
+            assert release.wait(timeout=5.0)
+            raise RuntimeError("leader failed")
+
+        errors = []
+
+        def request():
+            try:
+                flight.do("key", compute)
+            except RuntimeError as error:
+                errors.append(str(error))
+
+        threads = [threading.Thread(target=request) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for _ in range(2000):
+            if flight.shared_total == 2:
+                break
+            threading.Event().wait(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert errors == ["leader failed"] * 3
+
+    def test_distinct_keys_are_independent(self):
+        flight = SingleFlight()
+        a, _ = flight.do("a", lambda: 1)
+        b, _ = flight.do("b", lambda: 2)
+        assert (a, b) == (1, 2)
+        assert flight.led_total == 2 and flight.shared_total == 0

@@ -1,0 +1,114 @@
+"""Concurrency stress test: readers race a writer through CubeServer.
+
+One writer thread drives interleaved insert/delete batches while reader
+threads hammer cuboid queries.  Every versioned answer a reader gets
+must equal a serial NAIVE recomputation over the exact rows the table
+held at that version — the server's linearizability-per-snapshot
+contract.  Runs in CI (marked slow) because this is where cache
+patching, eviction, single-flight and versioning all collide.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core.bindings import FactTable
+from repro.core.incremental import IncrementalCube, split_rows
+from repro.serve import CubeServer
+from repro.testing import small_workload
+from tests.serve.test_server import reference_cuboid
+
+READERS = 4
+READS_PER_READER = 30
+WRITE_BATCHES = 12
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("attach_incremental", [False, True])
+def test_concurrent_reads_match_serial_recompute(attach_incremental):
+    table = small_workload(n_facts=120, seed=21).fact_table()
+    initial, churn = split_rows(table, 0.5)
+    live = FactTable(table.lattice, list(initial), table.aggregate)
+    oracle = small_workload(n_facts=120, seed=21).oracle(live)
+    incremental = IncrementalCube(live) if attach_incremental else None
+    server = CubeServer(
+        live, oracle, cache_cells=256, incremental=incremental
+    )
+
+    # Only the writer mutates; it records the exact rows at each version.
+    rows_at_version = {0: tuple(initial)}
+    write_error = []
+
+    def writer():
+        rng = random.Random(77)
+        resident = []
+        try:
+            for _ in range(WRITE_BATCHES):
+                insert_now = rng.sample(
+                    [row for row in churn if row not in resident],
+                    k=min(4, len(churn) - len(resident)),
+                )
+                if insert_now:
+                    version = server.insert(insert_now)
+                    resident.extend(insert_now)
+                    rows_at_version[version] = tuple(live.rows)
+                if resident and rng.random() < 0.5:
+                    victim = resident.pop(rng.randrange(len(resident)))
+                    version = server.delete([victim])
+                    rows_at_version[version] = tuple(live.rows)
+        except Exception as error:  # pragma: no cover - failure path
+            write_error.append(error)
+
+    points = list(live.lattice.points())
+    observations = []
+    observations_lock = threading.Lock()
+    read_errors = []
+
+    def reader(seed):
+        rng = random.Random(seed)
+        local = []
+        try:
+            for _ in range(READS_PER_READER):
+                point = rng.choice(points)
+                cuboid, version = server.cuboid_versioned(point)
+                local.append((point, version, cuboid))
+        except Exception as error:  # pragma: no cover - failure path
+            read_errors.append(error)
+        with observations_lock:
+            observations.extend(local)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader, args=(seed,))
+        for seed in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+
+    assert not write_error, write_error
+    assert not read_errors, read_errors
+    assert len(observations) == READERS * READS_PER_READER
+
+    # Verify each distinct (point, version) once against serial NAIVE.
+    expected_cache = {}
+    for point, version, cuboid in observations:
+        assert version in rows_at_version, (
+            "server reported a version the writer never produced"
+        )
+        key = (point, version)
+        if key not in expected_cache:
+            expected_cache[key] = reference_cuboid(
+                live, rows_at_version[version], point
+            )
+        assert cuboid == expected_cache[key], (
+            f"answer at version {version} for "
+            f"{live.lattice.describe(point)} diverged from serial "
+            f"recompute"
+        )
+
+    # The race actually exercised the write path.
+    stats = server.stats()
+    assert stats.writes > 0
+    assert stats.requests >= READERS * READS_PER_READER

@@ -3,7 +3,6 @@
 from repro.patterns.match import match_db
 from repro.patterns.parse import parse_pattern
 from repro.timber.database import TimberDB
-from repro.xmlmodel.parser import parse
 
 
 def db_of(*docs):

@@ -1,6 +1,6 @@
 """Unit tests for serialization and round-tripping."""
 
-from repro.xmlmodel.nodes import Element, Document
+from repro.xmlmodel.nodes import Element
 from repro.xmlmodel.parser import parse
 from repro.xmlmodel.serializer import escape_attr, escape_text, serialize
 
