@@ -294,21 +294,28 @@ class CubeServer:
             view = self._fresh_view(point)
             if view is not None:
                 return dict(view), version, "view", self._touch_cost(view)
-            rolled = self._try_rollup(point)
-            if rolled is not None:
-                cuboid, cost = rolled
-                self.cache.put(point, cuboid, cost)
-                return dict(cuboid), version, "rollup", cost
-            if self._incremental is not None:
-                cuboid = self._incremental.cuboid(point)
-                self.cache.put(point, cuboid, self._touch_cost(cuboid))
-                return (
-                    dict(cuboid),
-                    version,
-                    "incremental",
-                    self._touch_cost(cuboid),
-                )
-            snapshot_rows = list(self.table.rows)
+            source = self._rollup_source(point)
+            if source is None:
+                if self._incremental is not None:
+                    # Fresh dict from the maintained cells; the cache
+                    # gets its own private copy so later in-place
+                    # patches never reach the caller's object.
+                    cuboid = self._incremental.cuboid(point)
+                    cost = self._touch_cost(cuboid)
+                    self.cache.put(point, dict(cuboid), cost)
+                    return cuboid, version, "incremental", cost
+                snapshot_rows = list(self.table.rows)
+        if source is not None:
+            # Rollup arithmetic runs outside the lock on a source copied
+            # under it; admit only if no write overtook the derivation.
+            source_point, source_cuboid = source
+            cuboid, cost = self._rollup_from(
+                source_point, source_cuboid, point
+            )
+            with self._lock:
+                if self._version == version:
+                    self.cache.put(point, dict(cuboid), cost)
+            return cuboid, version, "rollup", cost
         # Recompute outside the lock, deduplicated per (point, version).
         (cuboid, cost), shared = self._flight.do(
             (point, version),
@@ -316,12 +323,17 @@ class CubeServer:
         )
         if shared:
             obs.count("x3_serve_singleflight_shared_total")
-        with self._lock:
-            if self._version == version:
-                self.cache.put(point, cuboid, cost)
-                if point in self._stale_views:
-                    self._views[point] = dict(cuboid)
-                    self._stale_views.discard(point)
+        else:
+            # Only the flight leader admits, and the cache receives a
+            # private copy: the flight result itself stays immutable, so
+            # every waiter's dict() copy below is race-free even after
+            # a concurrent write starts patching the cached copy.
+            with self._lock:
+                if self._version == version:
+                    self.cache.put(point, dict(cuboid), cost)
+                    if point in self._stale_views:
+                        self._views[point] = dict(cuboid)
+                        self._stale_views.discard(point)
         return dict(cuboid), version, "recompute", cost
 
     def _fresh_view(self, point: LatticePoint) -> Optional[Cuboid]:
@@ -329,10 +341,12 @@ class CubeServer:
             return None
         return self._views.get(point)
 
-    def _try_rollup(
+    def _rollup_source(
         self, point: LatticePoint
-    ) -> Optional[Tuple[Cuboid, float]]:
-        """Derive ``point`` from the smallest sound cached/view source."""
+    ) -> Optional[Tuple[LatticePoint, Cuboid]]:
+        """Pick the smallest sound cached/view source for ``point`` and
+        return a private copy of it.  Call with the server lock held;
+        the copy lets the rollup arithmetic itself run outside it."""
         if self._aggregate not in ROLLUP_AGGREGATES:
             return None
         best: Optional[Tuple[int, Cuboid, LatticePoint]] = None
@@ -355,7 +369,16 @@ class CubeServer:
                 best = (len(cuboid), cuboid, source)
         if best is None:
             return None
-        size, source_cuboid, source = best
+        _, source_cuboid, source = best
+        return source, dict(source_cuboid)
+
+    def _rollup_from(
+        self,
+        source: LatticePoint,
+        source_cuboid: Cuboid,
+        point: LatticePoint,
+    ) -> Tuple[Cuboid, float]:
+        """Derive ``point`` from an already-copied source cuboid."""
         with obs.span(
             "serve.rollup",
             category="serve",
@@ -366,7 +389,7 @@ class CubeServer:
                 self.lattice, source_cuboid, source, point
             )
         obs.count("x3_serve_rollups_total")
-        cost = (size + len(out)) * _CPU_OP_SECONDS
+        cost = (len(source_cuboid) + len(out)) * _CPU_OP_SECONDS
         return out, cost
 
     def _recompute(
@@ -453,10 +476,19 @@ class CubeServer:
             else list(self.lattice.points())
         )
         sizes = self.sizes()
+        with self._lock:
+            # Rank against one consistent snapshot of view/cost state;
+            # the version check before admission below bounds staleness.
+            fresh_views = frozenset(
+                view
+                for view in self._views
+                if view not in self._stale_views
+            )
+            cold_costs = {p: self._cold_cost(p) for p in candidates}
         ranked = sorted(
             candidates,
             key=lambda p: (
-                -self._cold_cost(p) / max(1, sizes[p]),
+                -cold_costs[p] / max(1, sizes[p]),
                 p,
             ),
         )
@@ -466,7 +498,7 @@ class CubeServer:
             size = max(1, sizes[candidate])
             if space + size > budget:
                 continue
-            if candidate in self._views and candidate not in self._stale_views:
+            if candidate in fresh_views:
                 continue  # already served above the cache tier
             chosen.append(candidate)
             space += size
