@@ -38,12 +38,20 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from repro.obs.events import (
+    EventLog,
+    EvictionRecord,
+    RequestEvent,
+    RungDecision,
+    WriteEvent,
+)
 from repro.obs.export import (
     chrome_trace_events,
     chrome_trace_json,
     collapsed_stacks,
     prometheus_text,
 )
+from repro.obs.live import LiveTelemetry, WindowSnapshot
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -63,15 +71,22 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "EventLog",
+    "EvictionRecord",
     "Gauge",
     "Histogram",
+    "LiveTelemetry",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
+    "RequestEvent",
+    "RungDecision",
     "Span",
     "SpanRecord",
     "Trace",
     "Tracer",
+    "WindowSnapshot",
+    "WriteEvent",
     "activate",
     "chrome_trace_events",
     "chrome_trace_json",

@@ -1,0 +1,279 @@
+"""Live serving telemetry: sliding windows, SLO burn, hottest points.
+
+The batch side of ``repro.obs`` aggregates counters after a run; this
+module watches a *serving* session while it runs.  One
+:class:`LiveTelemetry` instance absorbs every
+:class:`~repro.obs.events.RequestEvent` and cache audit record the
+server emits and maintains, per configured sliding window:
+
+- streaming latency quantiles (p50/p95/p99) on both time bases —
+  modeled simulated seconds (host-independent, the same scale the
+  bench figures use) and wall seconds;
+- the hit ratio (requests answered above the recompute rung);
+- eviction churn (cache-state changes inside the window);
+- SLO burn: the fraction of requests over the latency threshold,
+  scaled by the error budget ``1 - slo_target`` (a burn rate of 1.0
+  spends the budget exactly; above 1.0 the SLO is burning down).
+
+Everything is mirrored into a :class:`~repro.obs.metrics.MetricsRegistry`
+— cumulative histograms per ladder rung plus per-window gauges — so the
+existing Prometheus exporter (:func:`repro.obs.export.prometheus_text`)
+serves the numbers without new plumbing.  The clock is injectable, so
+tests drive the windows deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import EvictionRecord, RequestEvent
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram bounds tuned to modeled serve latencies (cache touches sit
+#: around 1e-5 simulated seconds; cold recomputes around 1e-2..1e0).
+SERVE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    float("inf"),
+)
+
+#: The quantiles every window reports.
+WINDOW_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    rank = math.ceil(q * len(ordered))
+    return ordered[min(len(ordered), max(1, rank)) - 1]
+
+
+@dataclass(frozen=True)
+class _Sample:
+    """One request, reduced to what the windows need."""
+
+    at: float  #: clock timestamp
+    tier: str
+    point: str
+    modeled: float
+    wall: float
+    hit: bool  #: answered above the recompute rung
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Everything one sliding window knows, frozen at a point in time."""
+
+    window_seconds: float
+    requests: int
+    hit_ratio: float
+    modeled_quantiles: Dict[float, float]  #: q -> modeled seconds
+    wall_quantiles: Dict[float, float]  #: q -> wall seconds
+    tiers: Dict[str, int]
+    evictions: int  #: cache-state churn events inside the window
+    slo_violations: int
+    slo_burn_rate: float
+    top_points: Tuple[Tuple[str, int], ...]  #: hottest points, desc.
+
+    def quantile_label(self, q: float) -> str:
+        return f"p{int(round(q * 100)):02d}"
+
+
+class LiveTelemetry:
+    """Streaming serving telemetry over configurable sliding windows.
+
+    Args:
+        windows: window lengths in clock seconds, shortest first.
+        slo_modeled_seconds: per-request modeled-latency threshold the
+            SLO promises to stay under.
+        slo_target: fraction of requests that must meet the threshold
+            (0.99 leaves a 1% error budget).
+        registry: the metrics registry to mirror into; a private one is
+            created when omitted.
+        clock: monotonic time source (injectable for tests).
+        top_k: hottest lattice points reported per window.
+        max_samples: hard cap on retained samples, bounding memory even
+            under traffic far faster than the longest window.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[float] = (60.0, 300.0),
+        *,
+        slo_modeled_seconds: float = 0.01,
+        slo_target: float = 0.99,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        top_k: int = 5,
+        max_samples: int = 65536,
+    ) -> None:
+        if not windows:
+            raise ValueError("at least one window is required")
+        if any(w <= 0 for w in windows):
+            raise ValueError(f"window lengths must be positive: {windows}")
+        if not 0.0 < slo_target < 1.0:
+            raise ValueError(
+                f"slo_target must be in (0, 1), got {slo_target}"
+            )
+        self.windows = tuple(sorted(windows))
+        self.slo_modeled_seconds = slo_modeled_seconds
+        self.slo_target = slo_target
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._clock = clock
+        self.top_k = top_k
+        self._max_samples = max_samples
+        self._lock = threading.Lock()
+        self._samples: Deque[_Sample] = deque(maxlen=max_samples)
+        self._churn: Deque[Tuple[float, str]] = deque(maxlen=max_samples)
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def record(self, event: RequestEvent) -> None:
+        """Absorb one request event into windows and registry."""
+        now = self._clock()
+        hit = event.tier != "recompute"
+        sample = _Sample(
+            at=now,
+            tier=event.tier,
+            point=event.point,
+            modeled=event.modeled_seconds,
+            wall=event.wall_seconds,
+            hit=hit,
+        )
+        with self._lock:
+            self._samples.append(sample)
+            self._prune(now)
+        registry = self.registry
+        registry.counter(
+            "x3_serve_requests_total", tier=event.tier
+        ).inc()
+        registry.histogram(
+            "x3_serve_request_modeled_seconds",
+            buckets=SERVE_LATENCY_BUCKETS,
+            tier=event.tier,
+        ).observe(event.modeled_seconds)
+        registry.histogram(
+            "x3_serve_request_wall_seconds",
+            buckets=SERVE_LATENCY_BUCKETS,
+            tier=event.tier,
+        ).observe(event.wall_seconds)
+        if event.modeled_seconds > self.slo_modeled_seconds:
+            registry.counter("x3_serve_slo_violations_total").inc()
+
+    def record_eviction(self, record: EvictionRecord) -> None:
+        """Absorb one cache audit record (churn gauge + counter)."""
+        now = self._clock()
+        with self._lock:
+            self._churn.append((now, record.kind))
+            self._prune(now)
+        self.registry.counter(
+            "x3_serve_cache_audit_total", kind=record.kind
+        ).inc()
+
+    def _prune(self, now: float) -> None:
+        """Drop samples older than the longest window (lock held)."""
+        horizon = now - self.windows[-1]
+        while self._samples and self._samples[0].at < horizon:
+            self._samples.popleft()
+        while self._churn and self._churn[0][0] < horizon:
+            self._churn.popleft()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def snapshot(self, window_seconds: Optional[float] = None) -> WindowSnapshot:
+        """Frozen stats for one window (default: the shortest)."""
+        window = (
+            self.windows[0] if window_seconds is None else window_seconds
+        )
+        now = self._clock()
+        horizon = now - window
+        with self._lock:
+            samples = [s for s in self._samples if s.at >= horizon]
+            churn = sum(1 for at, _ in self._churn if at >= horizon)
+        modeled = [s.modeled for s in samples]
+        walls = [s.wall for s in samples]
+        tiers: Dict[str, int] = dict(Counter(s.tier for s in samples))
+        hits = sum(1 for s in samples if s.hit)
+        violations = sum(
+            1 for m in modeled if m > self.slo_modeled_seconds
+        )
+        budget = 1.0 - self.slo_target
+        burn = (
+            (violations / len(samples)) / budget if samples else 0.0
+        )
+        hottest = Counter(s.point for s in samples).most_common(self.top_k)
+        return WindowSnapshot(
+            window_seconds=window,
+            requests=len(samples),
+            hit_ratio=(hits / len(samples)) if samples else 0.0,
+            modeled_quantiles={
+                q: percentile(modeled, q) for q in WINDOW_QUANTILES
+            },
+            wall_quantiles={
+                q: percentile(walls, q) for q in WINDOW_QUANTILES
+            },
+            tiers=tiers,
+            evictions=churn,
+            slo_violations=violations,
+            slo_burn_rate=burn,
+            top_points=tuple(hottest),
+        )
+
+    def snapshots(self) -> List[WindowSnapshot]:
+        """One snapshot per configured window, shortest first."""
+        return [self.snapshot(window) for window in self.windows]
+
+    # ------------------------------------------------------------------
+    # registry export
+    # ------------------------------------------------------------------
+    def refresh_gauges(self) -> List[WindowSnapshot]:
+        """Recompute every window and mirror it into gauge series.
+
+        Called before scraping (``prometheus()``) so the exported
+        gauges describe the windows *now*, not at the last request.
+        Returns the snapshots so callers can reuse them for rendering.
+        """
+        snapshots = self.snapshots()
+        registry = self.registry
+        for snap in snapshots:
+            label = f"{snap.window_seconds:g}s"
+            for q in WINDOW_QUANTILES:
+                registry.gauge(
+                    "x3_serve_window_modeled_latency_seconds",
+                    window=label,
+                    quantile=snap.quantile_label(q),
+                ).set(snap.modeled_quantiles[q])
+                registry.gauge(
+                    "x3_serve_window_wall_latency_seconds",
+                    window=label,
+                    quantile=snap.quantile_label(q),
+                ).set(snap.wall_quantiles[q])
+            registry.gauge(
+                "x3_serve_window_requests", window=label
+            ).set(float(snap.requests))
+            registry.gauge(
+                "x3_serve_window_hit_ratio", window=label
+            ).set(snap.hit_ratio)
+            registry.gauge(
+                "x3_serve_window_eviction_churn", window=label
+            ).set(float(snap.evictions))
+            registry.gauge(
+                "x3_serve_window_slo_burn_rate", window=label
+            ).set(snap.slo_burn_rate)
+        return snapshots

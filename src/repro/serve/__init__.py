@@ -19,7 +19,7 @@ Typical use::
 """
 
 from repro.serve.cache import CacheEntryInfo, CacheStats, CuboidCache
-from repro.serve.server import CubeServer, ServeStats, TIERS
+from repro.serve.server import CubeServer, Explanation, ServeStats, TIERS
 from repro.serve.singleflight import SingleFlight
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "CacheStats",
     "CubeServer",
     "CuboidCache",
+    "Explanation",
     "ServeStats",
     "SingleFlight",
     "TIERS",

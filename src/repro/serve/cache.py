@@ -85,26 +85,50 @@ class CacheEntryInfo:
     hits: int
 
 
+#: Audit callback: ``(kind, point, priority, cells)`` where ``kind`` is
+#: ``admitted`` / ``evicted`` / ``rejected`` / ``invalidated``,
+#: ``priority`` the entry's GreedyDual priority at that moment and
+#: ``cells`` its resident size.  Invoked with the cache lock held, so
+#: observers must not call back into the cache.
+AuditObserver = Callable[[str, LatticePoint, float, int], None]
+
+
 class CuboidCache:
     """Cost-aware LRU over cuboids, budgeted in cells.
 
     Args:
         budget_cells: maximum total resident cells; ``0`` disables
             caching entirely (every ``put`` is rejected).
+        observer: optional audit hook receiving every cache-state
+            change (admission, budget eviction with the victim's
+            GreedyDual priority and cells freed, admission rejection,
+            write-path invalidation) — the serving layer routes these
+            into its request log, so evictions are never silent.
     """
 
-    def __init__(self, budget_cells: int) -> None:
+    def __init__(
+        self,
+        budget_cells: int,
+        observer: Optional[AuditObserver] = None,
+    ) -> None:
         if budget_cells < 0:
             raise CubeError(
                 f"cache budget must be >= 0 cells, got {budget_cells}"
             )
         self.budget_cells = budget_cells
+        self.observer = observer
         self._entries: Dict[LatticePoint, _Entry] = {}
         self._clock = 0.0
         self._sequence = 0
         self._used_cells = 0
         self._lock = threading.Lock()
         self.stats = CacheStats()
+
+    def _audit(
+        self, kind: str, point: LatticePoint, priority: float, cells: int
+    ) -> None:
+        if self.observer is not None:
+            self.observer(kind, point, priority, cells)
 
     # ------------------------------------------------------------------
     # reads
@@ -180,6 +204,7 @@ class CuboidCache:
             if size > self.budget_cells:
                 # A stale smaller version must not linger either.
                 self.stats.rejections += 1
+                self._audit("rejected", point, 0.0, size)
                 return False
             self._sequence += 1
             entry = _Entry(
@@ -203,9 +228,19 @@ class CuboidCache:
                     admitted = False
                     self.stats.rejections += 1
                     self.stats.insertions -= 1
+                    self._audit(
+                        "rejected", victim_point, victim.priority,
+                        victim.size,
+                    )
                 else:
                     self.stats.evictions += 1
                     obs.count("x3_serve_cache_evictions_total")
+                    self._audit(
+                        "evicted", victim_point, victim.priority,
+                        victim.size,
+                    )
+            if admitted:
+                self._audit("admitted", point, entry.priority, entry.size)
             return admitted
 
     def invalidate(self, point: LatticePoint) -> bool:
@@ -216,6 +251,7 @@ class CuboidCache:
                 return False
             self._used_cells -= entry.size
             self.stats.invalidations += 1
+            self._audit("invalidated", point, entry.priority, entry.size)
             return True
 
     def clear(self) -> int:
@@ -251,6 +287,9 @@ class CuboidCache:
                 self._clock = max(self._clock, victim.priority)
                 self.stats.evictions += 1
                 obs.count("x3_serve_cache_evictions_total")
+                self._audit(
+                    "evicted", victim_point, victim.priority, victim.size
+                )
             return point in self._entries
 
     # ------------------------------------------------------------------

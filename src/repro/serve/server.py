@@ -41,8 +41,19 @@ was overtaken by a write is served to its waiters (still correct at
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro import obs
 from repro.core.bindings import FactRow, FactTable, GroupKey
@@ -65,6 +76,14 @@ from repro.core.rollup import (
     slice_cuboid,
 )
 from repro.errors import CubeError
+from repro.obs.events import (
+    EventLog,
+    EvictionRecord,
+    RequestEvent,
+    RungDecision,
+    WriteEvent,
+)
+from repro.obs.live import LiveTelemetry
 from repro.serve.cache import CuboidCache
 from repro.serve.singleflight import SingleFlight
 from repro.timber.stats import CostModel
@@ -138,6 +157,43 @@ class ServeStats:
         )
 
 
+@dataclass(frozen=True)
+class Explanation:
+    """The ladder decision tree for one query, *without* executing it.
+
+    Produced by :meth:`CubeServer.explain`: every rung of the
+    sound-source ladder (DESIGN.md Sec. 5c) in order, each with the
+    verdict the server would reach right now — taken, rejected (with
+    the disjoint/covered proof verdicts where the rollup rung is
+    concerned), or not reached because a cheaper rung answers first.
+    """
+
+    point: str  #: described lattice point
+    kind: str  #: query kind the explanation is for
+    version: int  #: table version the plan is valid at
+    tier: str  #: the rung the query would resolve at
+    rungs: Tuple[RungDecision, ...]
+
+    def render(self) -> str:
+        """Human-readable decision tree (the ``x3-serve explain`` body)."""
+        lines = [
+            f"explain {self.kind} {self.point} @ version "
+            f"{self.version} -> {self.tier}"
+        ]
+        for index, decision in enumerate(self.rungs, start=1):
+            if decision.taken:
+                mark = "*"
+            elif decision.reason.startswith("not reached"):
+                mark = "."
+            else:
+                mark = "x"
+            lines.append(
+                f"  {index}. {decision.rung:<11} {mark} {decision.reason}"
+            )
+        lines.append("  (sound-source ladder, DESIGN.md Sec. 5c)")
+        return "\n".join(lines)
+
+
 @dataclass
 class _Counters:
     requests: int = 0
@@ -171,6 +227,11 @@ class CubeServer:
         incremental: serve reads from this maintained cube as the tier
             before recompute, and route writes through it.  Its table
             must be the served table.
+        event_log_capacity: ring-buffer size of the structured request
+            log (every query and write emits one typed event).
+        telemetry: sliding-window telemetry sink; a default
+            :class:`~repro.obs.live.LiveTelemetry` is created when
+            omitted.
     """
 
     def __init__(
@@ -183,6 +244,8 @@ class CubeServer:
         view_cells: int = 0,
         selection: Optional[ViewSelection] = None,
         incremental: Optional[IncrementalCube] = None,
+        event_log_capacity: int = 4096,
+        telemetry: Optional[LiveTelemetry] = None,
     ) -> None:
         self.table = table
         self.lattice = table.lattice
@@ -205,7 +268,10 @@ class CubeServer:
         self._lock = threading.RLock()
         self._version = 0
         self._counters = _Counters()
-        self.cache = CuboidCache(cache_cells)
+        self.events = EventLog(event_log_capacity)
+        self.telemetry = telemetry if telemetry is not None else LiveTelemetry()
+        self._audit_local = threading.local()
+        self.cache = CuboidCache(cache_cells, observer=self._on_cache_audit)
         self._flight = SingleFlight()
         # modeled recompute cost per point, measured on first recompute
         self._measured_cost: Dict[LatticePoint, float] = {}
@@ -238,74 +304,287 @@ class CubeServer:
             return self._version, tuple(self.table.rows)
 
     # ------------------------------------------------------------------
+    # cache audit plumbing
+    # ------------------------------------------------------------------
+    def _on_cache_audit(
+        self, kind: str, point: LatticePoint, priority: float, cells: int
+    ) -> None:
+        """CuboidCache observer: route every cache-state change into the
+        current operation's audit trail (when one is being captured) and
+        the live telemetry.  Called with the cache lock held."""
+        record = EvictionRecord(
+            kind=kind,
+            point=self.lattice.describe(point),
+            priority=priority,
+            cells=cells,
+        )
+        sink = getattr(self._audit_local, "sink", None)
+        if sink is not None:
+            sink.append(record)
+        self.telemetry.record_eviction(record)
+
+    @contextmanager
+    def _capture_audit(self) -> Iterator[List[EvictionRecord]]:
+        """Collect this thread's cache audit records for one operation."""
+        records: List[EvictionRecord] = []
+        previous = getattr(self._audit_local, "sink", None)
+        self._audit_local.sink = records
+        try:
+            yield records
+        finally:
+            self._audit_local.sink = previous
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
     def cuboid(self, spec: PointSpec) -> Cuboid:
         return self.cuboid_versioned(spec)[0]
 
-    def cuboid_versioned(self, spec: PointSpec) -> Tuple[Cuboid, int]:
+    def cuboid_versioned(
+        self, spec: PointSpec, *, kind: str = "cuboid"
+    ) -> Tuple[Cuboid, int]:
         """One cuboid plus the table version it is exact for."""
         point = self.resolve_point(spec)
         if point not in self._point_set:
             raise CubeError(
                 f"point {point!r} is not in this cube's lattice"
             )
+        described = self.lattice.describe(point)
+        started = time.perf_counter()
         with obs.span(
             "serve.request",
             category="serve",
-            point=self.lattice.describe(point),
+            point=described,
         ) as span:
-            cuboid, version, tier, cost = self._resolve(point)
+            with self._capture_audit() as audit:
+                cuboid, version, tier, cost, rungs = self._resolve(point)
             span.annotate(tier=tier, cells=len(cuboid))
+        wall = time.perf_counter() - started
         obs.count("x3_serve_requests_total", tier=tier)
         with self._lock:
             self._counters.requests += 1
             self._counters.tiers[tier] += 1
             self._counters.modeled_cost_seconds += cost
-            self._counters.cold_cost_seconds += self._cold_cost(point)
+            cold = self._cold_cost(point)
+            self._counters.cold_cost_seconds += cold
+        event = self.events.append(
+            RequestEvent(
+                seq=0,
+                kind=kind,
+                point=described,
+                tier=tier,
+                version=version,
+                modeled_seconds=cost,
+                cold_seconds=cold,
+                wall_seconds=wall,
+                cells=len(cuboid),
+                rungs=rungs,
+                cache_audit=tuple(audit),
+            )
+        )
+        self.telemetry.record(event)
         return cuboid, version
 
     def cell(self, spec: PointSpec, key: GroupKey) -> Optional[float]:
-        return self.cuboid(spec).get(key)
+        return self.cuboid_versioned(spec, kind="cell")[0].get(key)
 
     def slice(self, spec: PointSpec, axis_index: int, value: str) -> Cuboid:
         """Classic OLAP slice over the resolved cuboid (``axis_index``
         counts the point's *kept* axes)."""
-        return slice_cuboid(self.cuboid(spec), axis_index, value)
+        return slice_cuboid(
+            self.cuboid_versioned(spec, kind="slice")[0], axis_index, value
+        )
 
     def dice(
         self, spec: PointSpec, predicates: Dict[int, Sequence[str]]
     ) -> Cuboid:
-        return dice_cuboid(self.cuboid(spec), predicates)
+        return dice_cuboid(
+            self.cuboid_versioned(spec, kind="dice")[0], predicates
+        )
+
+    # ------------------------------------------------------------------
+    # explain — the ladder decision tree, without executing
+    # ------------------------------------------------------------------
+    def explain(
+        self, spec: PointSpec, *, kind: str = "cuboid"
+    ) -> Explanation:
+        """Which ladder rung *would* answer this query right now, and
+        why every cheaper rung was rejected — without executing the
+        query, touching cache priorities, or emitting events.
+
+        The verdict agrees with the rung :meth:`cuboid` records in the
+        request log when no write intervenes, because both walk the
+        same decision procedure over the same locked snapshot.
+        """
+        point = self.resolve_point(spec)
+        if point not in self._point_set:
+            raise CubeError(
+                f"point {point!r} is not in this cube's lattice"
+            )
+        rungs: List[RungDecision] = []
+        with self._lock:
+            version = self._version
+            hit = self.cache.peek(point)
+            if hit is not None:
+                rungs.append(
+                    RungDecision(
+                        "cache", True,
+                        f"resident in cache ({len(hit)} cells)",
+                    )
+                )
+            else:
+                rungs.append(RungDecision("cache", False, "not resident"))
+                view = self._fresh_view(point)
+                if view is not None:
+                    rungs.append(
+                        RungDecision(
+                            "view", True,
+                            f"materialized view ({len(view)} cells)",
+                        )
+                    )
+                else:
+                    rungs.append(
+                        RungDecision("view", False, self._view_reason(point))
+                    )
+                    source, reason = self._rollup_source(point)
+                    if source is not None:
+                        rungs.append(RungDecision("rollup", True, reason))
+                    else:
+                        rungs.append(RungDecision("rollup", False, reason))
+                        if self._incremental is not None:
+                            rungs.append(
+                                RungDecision(
+                                    "incremental", True,
+                                    "maintained cells answer directly",
+                                )
+                            )
+                        else:
+                            rungs.append(
+                                RungDecision(
+                                    "incremental", False,
+                                    "no IncrementalCube attached",
+                                )
+                            )
+                            rungs.append(
+                                RungDecision(
+                                    "recompute", True,
+                                    self._recompute_reason(
+                                        len(self.table.rows)
+                                    ),
+                                )
+                            )
+        completed = self._finish_rungs(rungs)
+        tier = next(d.rung for d in completed if d.taken)
+        return Explanation(
+            point=self.lattice.describe(point),
+            kind=kind,
+            version=version,
+            tier=tier,
+            rungs=completed,
+        )
+
+    @staticmethod
+    def _recompute_reason(rows: int) -> str:
+        return (
+            f"engine recompute over a {rows}-row snapshot "
+            "(the base operator; always sound)"
+        )
+
+    def _view_reason(self, point: LatticePoint) -> str:
+        if point in self._stale_views:
+            return "materialized view is stale (invalidated by a write)"
+        if not self._views:
+            return "no materialized views configured"
+        return "not among the advisor-chosen views"
+
+    @staticmethod
+    def _finish_rungs(
+        rungs: List[RungDecision],
+    ) -> Tuple[RungDecision, ...]:
+        """Pad the decision trail with not-reached entries so every
+        event and explanation lists all five rungs, in ladder order."""
+        examined = {decision.rung for decision in rungs}
+        taken = next(
+            (decision.rung for decision in rungs if decision.taken), "?"
+        )
+        padded = list(rungs)
+        for tier in TIERS:
+            if tier not in examined:
+                padded.append(
+                    RungDecision(
+                        tier, False, f"not reached (resolved at {taken})"
+                    )
+                )
+        padded.sort(key=lambda decision: TIERS.index(decision.rung))
+        return tuple(padded)
 
     # ------------------------------------------------------------------
     # the sound-source ladder
     # ------------------------------------------------------------------
     def _resolve(
         self, point: LatticePoint
-    ) -> Tuple[Cuboid, int, str, float]:
+    ) -> Tuple[Cuboid, int, str, float, Tuple[RungDecision, ...]]:
+        rungs: List[RungDecision] = []
         with self._lock:
             version = self._version
             hit = self.cache.get(point)
             if hit is not None:
                 obs.count("x3_serve_cache_hits_total")
-                return dict(hit), version, "cache", self._touch_cost(hit)
+                rungs.append(
+                    RungDecision(
+                        "cache", True,
+                        f"resident in cache ({len(hit)} cells)",
+                    )
+                )
+                return (
+                    dict(hit), version, "cache", self._touch_cost(hit),
+                    self._finish_rungs(rungs),
+                )
             obs.count("x3_serve_cache_misses_total")
+            rungs.append(RungDecision("cache", False, "not resident"))
             view = self._fresh_view(point)
             if view is not None:
-                return dict(view), version, "view", self._touch_cost(view)
-            source = self._rollup_source(point)
+                rungs.append(
+                    RungDecision(
+                        "view", True,
+                        f"materialized view ({len(view)} cells)",
+                    )
+                )
+                return (
+                    dict(view), version, "view", self._touch_cost(view),
+                    self._finish_rungs(rungs),
+                )
+            rungs.append(
+                RungDecision("view", False, self._view_reason(point))
+            )
+            source, rollup_reason = self._rollup_source(point)
             if source is None:
+                rungs.append(RungDecision("rollup", False, rollup_reason))
                 if self._incremental is not None:
+                    rungs.append(
+                        RungDecision(
+                            "incremental", True,
+                            "maintained cells answer directly",
+                        )
+                    )
                     # Fresh dict from the maintained cells; the cache
                     # gets its own private copy so later in-place
                     # patches never reach the caller's object.
                     cuboid = self._incremental.cuboid(point)
                     cost = self._touch_cost(cuboid)
                     self.cache.put(point, dict(cuboid), cost)
-                    return cuboid, version, "incremental", cost
+                    return (
+                        cuboid, version, "incremental", cost,
+                        self._finish_rungs(rungs),
+                    )
+                rungs.append(
+                    RungDecision(
+                        "incremental", False, "no IncrementalCube attached"
+                    )
+                )
                 snapshot_rows = list(self.table.rows)
         if source is not None:
+            rungs.append(RungDecision("rollup", True, rollup_reason))
             # Rollup arithmetic runs outside the lock on a source copied
             # under it; admit only if no write overtook the derivation.
             source_point, source_cuboid = source
@@ -315,7 +594,14 @@ class CubeServer:
             with self._lock:
                 if self._version == version:
                     self.cache.put(point, dict(cuboid), cost)
-            return cuboid, version, "rollup", cost
+            return (
+                cuboid, version, "rollup", cost, self._finish_rungs(rungs)
+            )
+        rungs.append(
+            RungDecision(
+                "recompute", True, self._recompute_reason(len(snapshot_rows))
+            )
+        )
         # Recompute outside the lock, deduplicated per (point, version).
         (cuboid, cost), shared = self._flight.do(
             (point, version),
@@ -334,7 +620,10 @@ class CubeServer:
                     if point in self._stale_views:
                         self._views[point] = dict(cuboid)
                         self._stale_views.discard(point)
-        return dict(cuboid), version, "recompute", cost
+        return (
+            dict(cuboid), version, "recompute", cost,
+            self._finish_rungs(rungs),
+        )
 
     def _fresh_view(self, point: LatticePoint) -> Optional[Cuboid]:
         if point in self._stale_views:
@@ -343,13 +632,21 @@ class CubeServer:
 
     def _rollup_source(
         self, point: LatticePoint
-    ) -> Optional[Tuple[LatticePoint, Cuboid]]:
-        """Pick the smallest sound cached/view source for ``point`` and
-        return a private copy of it.  Call with the server lock held;
-        the copy lets the rollup arithmetic itself run outside it."""
+    ) -> Tuple[Optional[Tuple[LatticePoint, Cuboid]], str]:
+        """Pick the smallest sound cached/view source for ``point``.
+
+        Returns ``((source, private copy), reason)`` on success or
+        ``(None, reason)`` where the reason carries the per-candidate
+        rejection verdicts of the Sec. 2 disjoint/covered proofs.  Call
+        with the server lock held; the copy lets the rollup arithmetic
+        itself run outside it.
+        """
         if self._aggregate not in ROLLUP_AGGREGATES:
-            return None
-        best: Optional[Tuple[int, Cuboid, LatticePoint]] = None
+            return None, (
+                f"{self._aggregate} is not distributive; finalized "
+                "cells cannot be re-aggregated"
+            )
+        best: Optional[Tuple[int, Cuboid, LatticePoint, str]] = None
         candidates: List[Tuple[LatticePoint, Cuboid]] = [
             (source, cuboid)
             for source, cuboid in self._views.items()
@@ -359,18 +656,39 @@ class CubeServer:
             cuboid = self.cache.peek(source)
             if cuboid is not None:
                 candidates.append((source, cuboid))
+        rejected: List[str] = []
         for source, cuboid in candidates:
             if source == point:
                 continue
-            ok, _ = derivable(self.lattice, source, point, self.oracle)
+            ok, why = derivable(self.lattice, source, point, self.oracle)
             if not ok:
+                rejected.append(
+                    f"{self.lattice.describe(source)}: {why} "
+                    f"[disjoint={self.oracle.disjoint(source)} "
+                    f"covered={self.oracle.covered(source)}]"
+                )
                 continue
             if best is None or len(cuboid) < best[0]:
-                best = (len(cuboid), cuboid, source)
+                best = (len(cuboid), cuboid, source, why)
         if best is None:
-            return None
-        _, source_cuboid, source = best
-        return source, dict(source_cuboid)
+            if not rejected:
+                return None, (
+                    "no resident cuboid (cache or view) to derive from"
+                )
+            shown = "; ".join(rejected[:3])
+            more = len(rejected) - 3
+            if more > 0:
+                shown += f"; ... {more} more"
+            return None, (
+                f"no sound source among {len(rejected)} resident "
+                f"cuboid(s): {shown}"
+            )
+        size, source_cuboid, source, why = best
+        reason = (
+            f"derive from {self.lattice.describe(source)} "
+            f"({size} cells): {why} [disjoint=True covered=True]"
+        )
+        return (source, dict(source_cuboid)), reason
 
     def _rollup_from(
         self,
@@ -534,19 +852,7 @@ class CubeServer:
     # ------------------------------------------------------------------
     def insert(self, rows: Sequence[FactRow]) -> int:
         """Ingest delta facts; returns the new table version."""
-        rows = list(rows)
-        with self._lock, obs.span(
-            "serve.insert", category="serve", rows=len(rows)
-        ):
-            if self._incremental is not None:
-                self._incremental.insert(rows)
-            else:
-                ingest_rows(self.table, rows)
-            if self._aggregate in _PATCH_INSERT:
-                self._patch_cached(rows, op="insert")
-            else:
-                self._evict_affected(rows)
-            return self._finish_write()
+        return self._write(list(rows), op="insert")
 
     def delete(self, rows: Sequence[FactRow]) -> int:
         """Retract delta facts; returns the new table version.
@@ -555,19 +861,48 @@ class CubeServer:
         invertible (its rule); without one, any aggregate works — the
         affected cuboids are evicted and recomputed on demand.
         """
-        rows = list(rows)
-        with self._lock, obs.span(
-            "serve.delete", category="serve", rows=len(rows)
-        ):
-            if self._incremental is not None:
-                self._incremental.delete(rows)
-            else:
-                retract_rows(self.table, rows)
-            if self._aggregate in _PATCH_DELETE:
-                self._patch_cached(rows, op="delete")
-            else:
-                self._evict_affected(rows)
-            return self._finish_write()
+        return self._write(list(rows), op="delete")
+
+    def _write(self, rows: List[FactRow], op: str) -> int:
+        patchable = (
+            _PATCH_INSERT if op == "insert" else _PATCH_DELETE
+        )
+        started = time.perf_counter()
+        with self._capture_audit() as audit:
+            with self._lock, obs.span(
+                f"serve.{op}", category="serve", rows=len(rows)
+            ):
+                if self._incremental is not None:
+                    if op == "insert":
+                        self._incremental.insert(rows)
+                    else:
+                        self._incremental.delete(rows)
+                elif op == "insert":
+                    ingest_rows(self.table, rows)
+                else:
+                    retract_rows(self.table, rows)
+                patched_before = self._counters.patched_points
+                evicted_before = self._counters.evicted_points
+                if self._aggregate in patchable:
+                    self._patch_cached(rows, op=op)
+                else:
+                    self._evict_affected(rows)
+                patched = self._counters.patched_points - patched_before
+                evicted = self._counters.evicted_points - evicted_before
+                version = self._finish_write()
+        self.events.append(
+            WriteEvent(
+                seq=0,
+                op=op,
+                rows=len(rows),
+                version=version,
+                patched_points=patched,
+                evicted_points=evicted,
+                wall_seconds=time.perf_counter() - started,
+                cache_audit=tuple(audit),
+            )
+        )
+        return version
 
     def _finish_write(self) -> int:
         self._version += 1
@@ -649,6 +984,14 @@ class CubeServer:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def prometheus(self) -> str:
+        """Prometheus exposition text of the live serving telemetry,
+        with the sliding-window gauges refreshed at call time."""
+        from repro.obs.export import prometheus_text
+
+        self.telemetry.refresh_gauges()
+        return prometheus_text(self.telemetry.registry)
+
     def stats(self) -> ServeStats:
         with self._lock:
             return ServeStats(

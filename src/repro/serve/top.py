@@ -1,0 +1,221 @@
+"""``x3-top`` — a live terminal dashboard over a cube-serving session.
+
+Like ``top`` for the sound-source ladder: the tool replays the same
+deterministic skewed workload as ``x3-serve`` against a
+:class:`~repro.serve.server.CubeServer` and renders, per sliding
+window, the latency quantiles (modeled and wall), hit ratio, eviction
+churn and SLO burn rate, plus the tier breakdown, the hottest lattice
+points and the cache residency table.
+
+Two modes:
+
+- one-shot (default): replay everything, print the final dashboard;
+- ``--watch``: redraw the dashboard every ``--interval`` requests
+  while the replay runs (ANSI clear between frames), ``top``-style.
+
+``--html`` additionally writes the standalone HTML serving report
+(:func:`repro.bench.report.format_serving_html`) and ``--jsonl`` dumps
+the structured request log, so one command produces the artifacts CI
+attaches to a smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import X3Error
+from repro.obs.live import WINDOW_QUANTILES, LiveTelemetry, WindowSnapshot
+from repro.serve.cli import (
+    add_workload_args,
+    build_server,
+    load_table,
+    sample_points,
+)
+from repro.serve.server import TIERS, CubeServer
+
+#: ANSI "clear screen, cursor home" prefix used between watch frames.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _bar(value: int, peak: int, width: int = 24) -> str:
+    if peak <= 0 or value <= 0:
+        return ""
+    return "#" * max(1, int(width * value / peak))
+
+
+def render_dashboard(
+    server: CubeServer,
+    snapshots: Optional[List[WindowSnapshot]] = None,
+    residency_rows: int = 10,
+) -> str:
+    """The full ``x3-top`` screen as a string (shared with tests and
+    the HTML report)."""
+    stats = server.stats()
+    if snapshots is None:
+        snapshots = server.telemetry.refresh_gauges()
+    lines: List[str] = []
+    lines.append(
+        f"x3-top — cube serving @ version {stats.version}: "
+        f"{stats.requests} requests, hit rate {stats.hit_rate:.0%}, "
+        f"modeled {stats.modeled_cost_seconds:.4f}s vs cold "
+        f"{stats.cold_cost_seconds:.4f}s "
+        f"({stats.modeled_speedup:.1f}x), {stats.writes} writes"
+    )
+    lines.append("")
+    header = (
+        f"{'window':<8} {'req':>6} "
+        + " ".join(f"{'p' + format(int(q * 100), '02d'):>9}" for q in WINDOW_QUANTILES)
+        + f" {'hit%':>6} {'churn':>6} {'burn':>6}"
+    )
+    lines.append(header)
+    for snap in snapshots:
+        quantiles = " ".join(
+            f"{snap.modeled_quantiles[q]:>9.2e}" for q in WINDOW_QUANTILES
+        )
+        lines.append(
+            f"{format(snap.window_seconds, 'g') + 's':<8} "
+            f"{snap.requests:>6} {quantiles} "
+            f"{snap.hit_ratio:>6.0%} {snap.evictions:>6} "
+            f"{snap.slo_burn_rate:>6.2f}"
+        )
+    lines.append("(modeled-latency quantiles; SLO burn = violating"
+                 " fraction / error budget)")
+    lines.append("")
+    lines.append("ladder rungs")
+    peak = max(stats.tiers.values(), default=0)
+    for tier in TIERS:
+        count = stats.tiers.get(tier, 0)
+        if count:
+            lines.append(
+                f"  {tier:<12} {count:>6} {_bar(count, peak)}"
+            )
+    window = snapshots[0] if snapshots else None
+    if window is not None and window.top_points:
+        lines.append("")
+        lines.append(
+            f"hottest lattice points "
+            f"({format(window.window_seconds, 'g')}s window)"
+        )
+        for point, count in window.top_points:
+            lines.append(f"  {count:>6}  {point}")
+    lines.append("")
+    lines.append(
+        f"cache residency: {stats.cache_used_cells}/"
+        f"{stats.cache_budget_cells} cells, "
+        f"{len(server.cache)} entries"
+    )
+    entries = sorted(
+        server.cache.entries(), key=lambda e: (-e.size, e.point)
+    )
+    if entries:
+        lines.append(
+            f"  {'cells':>6} {'hits':>5} {'priority':>12}  point"
+        )
+        for entry in entries[:residency_rows]:
+            lines.append(
+                f"  {entry.size:>6} {entry.hits:>5} "
+                f"{entry.priority:>12.4e}  "
+                f"{server.lattice.describe(entry.point)}"
+            )
+        if len(entries) > residency_rows:
+            lines.append(f"  ... {len(entries) - residency_rows} more")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="x3-top",
+        description=(
+            "Live serving dashboard: sliding-window latency quantiles, "
+            "SLO burn, hottest lattice points and cache residency."
+        ),
+    )
+    add_workload_args(parser)
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="redraw the dashboard while the replay runs",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=20,
+        help="with --watch: requests between redraws (default 20)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=0.01,
+        help="SLO threshold on modeled request latency, in simulated"
+        " seconds (default 0.01)",
+    )
+    parser.add_argument(
+        "--windows",
+        type=float,
+        nargs="+",
+        default=[60.0, 300.0],
+        help="sliding-window lengths in seconds (default 60 300)",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="hottest lattice points shown per window (default 5)",
+    )
+    parser.add_argument(
+        "--html",
+        metavar="PATH",
+        help="also write the standalone HTML serving report",
+    )
+    parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="also write the structured event log as JSON Lines",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        table = load_table(args)
+    except (OSError, X3Error) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    telemetry = LiveTelemetry(
+        windows=args.windows,
+        slo_modeled_seconds=args.slo,
+        top_k=args.top_k,
+    )
+    try:
+        server = build_server(args, table, telemetry=telemetry)
+        if args.warm:
+            server.warm()
+        replay = sample_points(table.lattice, args.requests, args.seed)
+        for index, point in enumerate(replay, start=1):
+            server.cuboid(point)
+            if args.watch and index % max(1, args.interval) == 0:
+                sys.stdout.write(CLEAR + render_dashboard(server) + "\n")
+                sys.stdout.flush()
+    except X3Error as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.watch:
+        sys.stdout.write(CLEAR)
+    print(render_dashboard(server))
+    if args.jsonl:
+        written = server.events.write_jsonl(args.jsonl)
+        print(f"wrote {written} events to {args.jsonl}")
+    if args.html:
+        from repro.bench.report import format_serving_html
+
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(format_serving_html(server))
+        print(f"wrote HTML serving report to {args.html}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -26,6 +26,7 @@ FAKE_METRICS = {
     "serve_cold_seconds": 4.0,
     "serve_warm_seconds": 0.1,
     "serve_hit_rate": 0.9,
+    "serve_p95_modeled_seconds": 0.002,
 }
 
 

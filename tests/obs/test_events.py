@@ -1,0 +1,156 @@
+"""Unit tests for the structured event log (repro.obs.events)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    EVICTION_KINDS,
+    EventLog,
+    EvictionRecord,
+    RequestEvent,
+    RungDecision,
+    WriteEvent,
+)
+
+
+def make_request(kind="cuboid", point="$a:rigid", tier="cache"):
+    return RequestEvent(
+        seq=0,
+        kind=kind,
+        point=point,
+        tier=tier,
+        version=0,
+        modeled_seconds=1e-5,
+        cold_seconds=2e-3,
+        wall_seconds=3e-4,
+        cells=4,
+        rungs=(
+            RungDecision("cache", True, "resident in cache (4 cells)"),
+        ),
+        cache_audit=(EvictionRecord("admitted", "$a:rigid", 0.5, 4),),
+    )
+
+
+def make_write(op="insert"):
+    return WriteEvent(
+        seq=0,
+        op=op,
+        rows=3,
+        version=1,
+        patched_points=2,
+        evicted_points=1,
+        wall_seconds=1e-4,
+    )
+
+
+class TestEventShapes:
+    def test_request_to_dict_carries_type_and_trails(self):
+        out = make_request().to_dict()
+        assert out["type"] == "request"
+        assert out["rungs"][0]["reason"].startswith("resident")
+        assert out["cache_audit"][0]["kind"] == "admitted"
+
+    def test_write_to_dict(self):
+        out = make_write().to_dict()
+        assert out["type"] == "write"
+        assert out["patched_points"] == 2
+
+    def test_eviction_kinds_are_the_documented_set(self):
+        assert EVICTION_KINDS == (
+            "admitted", "evicted", "rejected", "invalidated",
+        )
+
+
+class TestEventLog:
+    def test_append_stamps_increasing_seq(self):
+        log = EventLog(capacity=10)
+        stamped = [log.append(make_request()) for _ in range(5)]
+        assert [event.seq for event in stamped] == [0, 1, 2, 3, 4]
+        assert [event.seq for event in log.snapshot()] == [0, 1, 2, 3, 4]
+
+    def test_append_does_not_mutate_the_input(self):
+        log = EventLog()
+        original = make_request()
+        log.append(original)
+        log.append(original)
+        assert original.seq == 0
+        assert [e.seq for e in log.snapshot()] == [0, 1]
+
+    def test_ring_wraps_and_counts_dropped(self):
+        log = EventLog(capacity=3)
+        for _ in range(7):
+            log.append(make_request())
+        assert len(log) == 3
+        assert log.total == 7
+        assert log.dropped == 4
+        assert [event.seq for event in log.snapshot()] == [4, 5, 6]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_tail(self):
+        log = EventLog()
+        for _ in range(5):
+            log.append(make_request())
+        assert [e.seq for e in log.tail(2)] == [3, 4]
+        assert log.tail(0) == ()
+        assert [e.seq for e in log.tail(99)] == [0, 1, 2, 3, 4]
+
+    def test_requests_and_writes_filter_by_type(self):
+        log = EventLog()
+        log.append(make_request())
+        log.append(make_write())
+        log.append(make_request())
+        assert [e.seq for e in log.requests()] == [0, 2]
+        assert [e.seq for e in log.writes()] == [1]
+
+    def test_clear_keeps_numbering(self):
+        log = EventLog()
+        log.append(make_request())
+        assert log.clear() == 1
+        assert len(log) == 0
+        assert log.append(make_request()).seq == 1
+
+    def test_concurrent_appends_never_lose_or_duplicate_seq(self):
+        log = EventLog(capacity=10_000)
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    log.append(make_request()) for _ in range(per_thread)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [event.seq for event in log.snapshot()]
+        assert sorted(seqs) == list(range(8 * per_thread))
+
+
+class TestJsonl:
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.append(make_request())
+        log.append(make_write())
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["type"] == "request"
+        assert second["type"] == "write"
+        assert first["seq"] == 0 and second["seq"] == 1
+
+    def test_empty_log_exports_empty_string(self):
+        assert EventLog().to_jsonl() == ""
+
+    def test_write_jsonl(self, tmp_path):
+        log = EventLog()
+        log.append(make_request())
+        target = tmp_path / "events.jsonl"
+        assert log.write_jsonl(str(target)) == 1
+        assert json.loads(target.read_text())["kind"] == "cuboid"

@@ -204,3 +204,84 @@ class TestEntryInfo:
             "invalidations",
             "patches",
         }
+
+
+class TestAuditObserver:
+    """Every cache-state change reaches the observer — evictions are
+    never silent (they feed the serving layer's request log)."""
+
+    def observed(self, budget):
+        records = []
+        cache = CuboidCache(
+            budget,
+            observer=lambda kind, point, priority, cells: records.append(
+                (kind, point, priority, cells)
+            ),
+        )
+        return cache, records
+
+    def test_admission(self):
+        cache, records = self.observed(10)
+        cache.put(P1, cuboid_of(3), cost=1.0)
+        assert len(records) == 1
+        kind, point, priority, cells = records[0]
+        assert (kind, point, cells) == ("admitted", P1, 3)
+        assert priority > 0
+
+    def test_budget_eviction_reports_victim_priority_and_cells(self):
+        cache, records = self.observed(4)
+        cache.put(P1, cuboid_of(3), cost=0.1)
+        (_, _, admit_priority, _) = records[0]
+        records.clear()
+        cache.put(P2, cuboid_of(3), cost=50.0)
+        kinds = [record[0] for record in records]
+        assert kinds == ["evicted", "admitted"]
+        kind, point, priority, cells = records[0]
+        assert point == P1
+        assert cells == 3
+        assert priority == admit_priority
+        assert cache.stats.evictions == 1
+
+    def test_rejection_of_the_newcomer(self):
+        cache, records = self.observed(4)
+        cache.put(P1, cuboid_of(3), cost=50.0)
+        records.clear()
+        cache.put(P2, cuboid_of(3), cost=0.01)
+        assert [record[0] for record in records] == ["rejected"]
+        assert records[0][1] == P2
+        assert cache.stats.rejections == 1
+
+    def test_oversize_rejection(self):
+        cache, records = self.observed(2)
+        cache.put(P1, cuboid_of(5), cost=1.0)
+        assert [record[0] for record in records] == ["rejected"]
+        assert records[0][3] == 5
+
+    def test_invalidation(self):
+        cache, records = self.observed(10)
+        cache.put(P1, cuboid_of(2), cost=1.0)
+        records.clear()
+        cache.invalidate(P1)
+        assert [record[0] for record in records] == ["invalidated"]
+        assert records[0][1] == P1
+        assert records[0][3] == 2
+
+    def test_mutate_eviction_is_audited(self):
+        cache, records = self.observed(4)
+        cache.put(P1, cuboid_of(2), cost=0.5)
+        cache.put(P2, cuboid_of(2), cost=50.0)
+        records.clear()
+
+        def grow(cuboid):
+            for i in range(3):
+                cuboid[("new%d" % i,)] = 1.0
+
+        cache.mutate(P1, grow)
+        evicted = [record for record in records if record[0] == "evicted"]
+        assert evicted and evicted[0][1] == P1
+
+    def test_no_observer_is_fine(self):
+        cache = CuboidCache(4)
+        cache.put(P1, cuboid_of(3), cost=1.0)
+        cache.put(P2, cuboid_of(3), cost=50.0)
+        assert cache.stats.evictions == 1

@@ -131,3 +131,95 @@ class TestErrors:
         assert (
             main(["--query", query, data, "--algorithm", "WARP"]) == 1
         )
+
+
+class TestEventLogExport:
+    def test_log_jsonl_writes_one_line_per_request(
+        self, inputs, tmp_path, capsys
+    ):
+        query, data = inputs
+        target = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "--query", query, data, "--requests", "25",
+                "--log-jsonl", str(target),
+            ]
+        )
+        assert code == 0
+        assert f"wrote 25 events to {target}" in capsys.readouterr().out
+        lines = target.read_text().splitlines()
+        assert len(lines) == 25
+        events = [json.loads(line) for line in lines]
+        assert [event["seq"] for event in events] == list(range(25))
+        assert all(event["type"] == "request" for event in events)
+        assert all(len(event["rungs"]) == 5 for event in events)
+
+
+class TestProfileRungBreakdown:
+    def test_profile_prints_rung_table(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            ["--query", query, data, "--requests", "20", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rungs (from the request log):" in out
+        breakdown = out.split("rungs (from the request log):")[1]
+        assert "cache" in breakdown
+        assert "recompute" in breakdown
+        assert "modeled_s" in breakdown
+
+
+class TestExplainSubcommand:
+    def test_explain_single_cuboid(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "explain", "--query", query, data,
+                "--cuboid", "$n:LND, $p:LND, $y:rigid",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explain cuboid $n:LND, $p:LND, $y:rigid" in out
+        assert "-> recompute" in out
+        assert "1. cache       x not resident" in out
+        assert "DESIGN.md Sec. 5c" in out
+
+    def test_explain_replay_verify_agrees(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "explain", "--query", query, data,
+                "--requests", "100", "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified 100 queries: 100 agree, 0 mismatch" in out
+        assert "MISMATCH" not in out
+
+    def test_explain_warm_sees_cache(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            [
+                "explain", "--query", query, data, "--warm",
+                "--cuboid", "$n:rigid, $p:rigid, $y:rigid",
+            ]
+        )
+        assert code == 0
+        assert "-> cache" in capsys.readouterr().out
+
+    def test_explain_unknown_cuboid(self, inputs, capsys):
+        query, data = inputs
+        code = main(
+            ["explain", "--query", query, data, "--cuboid", "$n:warp"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_missing_query_file(self, inputs, capsys):
+        _, data = inputs
+        code = main(["explain", "--query", "/nope/query.xq", data])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,169 @@
+"""Tests for CubeServer.explain(): the ladder decision tree.
+
+The load-bearing contract: ``explain()`` is side-effect-free, and the
+tier it predicts is the tier ``cuboid()`` actually records in the
+request log when no write intervenes — verified here over a 100-query
+deterministic replay, which is also the acceptance criterion the CLI's
+``--verify`` flag re-checks end to end.
+"""
+
+import pytest
+
+from repro.errors import CubeError
+from repro.serve import CubeServer, TIERS
+from repro.serve.cli import sample_points
+from repro.testing import small_workload
+
+
+def fresh(**overrides):
+    workload = small_workload(**overrides)
+    table = workload.fact_table()
+    return table, workload.oracle(table)
+
+
+class TestExplainShape:
+    def test_lists_all_rungs_in_ladder_order(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        explanation = server.explain(table.lattice.topo_finer_first()[0])
+        assert tuple(d.rung for d in explanation.rungs) == TIERS
+        assert sum(1 for d in explanation.rungs if d.taken) == 1
+
+    def test_cold_server_recomputes(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        explanation = server.explain(table.lattice.topo_finer_first()[0])
+        assert explanation.tier == "recompute"
+        by_rung = {d.rung: d for d in explanation.rungs}
+        assert by_rung["cache"].reason == "not resident"
+        assert "snapshot" in by_rung["recompute"].reason
+
+    def test_cached_point_stops_the_ladder(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.topo_finer_first()[0]
+        server.cuboid(point)
+        explanation = server.explain(point)
+        assert explanation.tier == "cache"
+        assert "resident in cache" in explanation.rungs[0].reason
+        assert all(
+            d.reason == "not reached (resolved at cache)"
+            for d in explanation.rungs[1:]
+        )
+
+    def test_rollup_taken_reason_carries_proof_verdicts(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        points = table.lattice.topo_finer_first()
+        server.cuboid(points[0])  # finest cuboid derives the rest
+        explanation = server.explain(points[-1])
+        rollup = next(
+            d for d in explanation.rungs if d.rung == "rollup"
+        )
+        assert rollup.taken
+        assert "disjoint=True covered=True" in rollup.reason
+
+    def test_rollup_rejection_carries_proof_verdicts(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        points = table.lattice.topo_finer_first()
+        # Only the coarsest cuboid is resident: it cannot derive any
+        # finer point, so the rollup rung is examined and rejected.
+        server.cuboid(points[-1])
+        explanation = server.explain(points[0])
+        rollup = next(
+            d for d in explanation.rungs if d.rung == "rollup"
+        )
+        assert not rollup.taken
+        assert "disjoint=" in rollup.reason
+        assert "covered=" in rollup.reason
+
+    def test_render_marks(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.topo_finer_first()[0]
+        server.cuboid(point)
+        text = server.explain(point).render()
+        assert text.splitlines()[0].endswith("-> cache")
+        assert "1. cache       *" in text
+        assert ". not reached" in text
+        assert "DESIGN.md Sec. 5c" in text
+
+    def test_unknown_point_raises(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        with pytest.raises(KeyError):
+            server.explain("$nope:warp")
+        with pytest.raises(CubeError):
+            server.explain(tuple(99 for _ in table.lattice.axis_states))
+
+
+class TestExplainIsPure:
+    def test_no_events_no_stats_no_cache_effects(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = table.lattice.topo_finer_first()[0]
+        server.cuboid(point)
+        before_stats = server.stats()
+        before_events = server.events.total
+        before_entries = {
+            entry.point: (entry.hits, entry.priority)
+            for entry in server.cache.entries()
+        }
+        for target in list(table.lattice.points()):
+            server.explain(target)
+        assert server.events.total == before_events
+        after_stats = server.stats()
+        assert after_stats.requests == before_stats.requests
+        assert after_stats.cache == before_stats.cache
+        assert {
+            entry.point: (entry.hits, entry.priority)
+            for entry in server.cache.entries()
+        } == before_entries
+
+
+class TestExplainAgreesWithExecution:
+    @pytest.mark.parametrize("view_cells", [0, 60])
+    def test_hundred_replayed_queries(self, view_cells):
+        table, oracle = fresh(n_facts=120, seed=21)
+        server = CubeServer(
+            table, oracle, cache_cells=256, view_cells=view_cells
+        )
+        replay = sample_points(table.lattice, 100, seed=13)
+        for point in replay:
+            explanation = server.explain(point)
+            server.cuboid(point)
+            recorded = server.events.requests()[-1]
+            assert recorded.tier == explanation.tier, (
+                f"explain predicted {explanation.tier} but execution "
+                f"recorded {recorded.tier} for "
+                f"{table.lattice.describe(point)}"
+            )
+            # The recorded decision trail matches the explanation's
+            # rejected rungs too, not just the final verdict.
+            assert tuple(d.rung for d in recorded.rungs) == TIERS
+            assert [d.taken for d in recorded.rungs] == [
+                d.taken for d in explanation.rungs
+            ]
+
+    def test_every_tier_appears_somewhere(self):
+        table, oracle = fresh(n_facts=120, seed=21)
+        server = CubeServer(table, oracle, cache_cells=256)
+        for point in sample_points(table.lattice, 100, seed=13):
+            server.cuboid(point)
+        tiers_seen = {
+            event.tier for event in server.events.requests()
+        }
+        assert {"cache", "recompute"} <= tiers_seen
+
+    def test_explanation_goes_stale_across_writes(self):
+        table, oracle = fresh(n_facts=60, seed=5)
+        server = CubeServer(table, oracle, cache_cells=4096)
+        point = table.lattice.topo_finer_first()[0]
+        server.cuboid(point)
+        before = server.explain(point)
+        assert before.tier == "cache"
+        version = server.insert([table.rows[0]])
+        after = server.explain(point)
+        assert after.version == version
+        assert before.version != after.version

@@ -112,3 +112,25 @@ def test_concurrent_reads_match_serial_recompute(attach_incremental):
     stats = server.stats()
     assert stats.writes > 0
     assert stats.requests >= READERS * READS_PER_READER
+
+    # The event log kept up with the race: one event per operation,
+    # contiguous sequence numbers, nothing lost and nothing duplicated.
+    events = server.events.snapshot()
+    assert server.events.dropped == 0
+    assert len(events) == server.events.total
+    assert [event.seq for event in events] == list(range(len(events)))
+    requests = server.events.requests()
+    writes = server.events.writes()
+    assert len(requests) == stats.requests
+    assert len(writes) == stats.writes
+    # Each request event names the rung that answered it, and the
+    # decision trail always covers the full ladder.
+    for event in requests:
+        assert event.tier in stats.tiers
+        assert [decision.rung for decision in event.rungs] == list(
+            stats.tiers
+        )
+        assert any(
+            decision.taken and decision.rung == event.tier
+            for decision in event.rungs
+        )
