@@ -14,11 +14,12 @@ import pathlib
 
 import pytest
 
+from repro.bench.runner import bench_artifact_path, write_bench_artifact
 from repro.serve import CubeServer
 from repro.serve.cli import sample_points
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-OUT_PATH = REPO_ROOT / "BENCH_serve.json"
+OUT_PATH = bench_artifact_path("serve", REPO_ROOT)
 
 REQUESTS = 120
 SEED = 13
@@ -65,7 +66,7 @@ def serve_curves(dense_cov_disj):
         "seed": SEED,
         "curves": curves,
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_artifact("serve", payload, REPO_ROOT)
     return curves
 
 

@@ -22,7 +22,11 @@ Metrics:
   recompute tier at the standard budget;
 - ``serve_p95_modeled_seconds`` — p95 modeled request latency of the
   warm replay, straight from the live-telemetry window (the SLO the
-  serving layer reports in production).
+  serving layer reports in production);
+- ``cluster_p95_modeled_seconds`` — p95 modeled request latency of the
+  same replay scatter-gathered over a 4-shard / 2-replica cluster with
+  cold replicas (every shard read recomputes its slice), the cluster
+  layer's fan-out SLO.
 
 Refresh the committed baseline after an intentional perf change::
 
@@ -51,11 +55,14 @@ METRIC_DIRECTIONS = {
     "serve_warm_seconds": "lower",
     "serve_hit_rate": "higher",
     "serve_p95_modeled_seconds": "lower",
+    "cluster_p95_modeled_seconds": "lower",
 }
 
 WORKERS = 4
 REPLAY_REQUESTS = 80
 REPLAY_SEED = 13
+CLUSTER_SHARDS = 4
+CLUSTER_REPLICAS = 2
 
 
 def collect_metrics() -> Dict[str, float]:
@@ -84,6 +91,23 @@ def collect_metrics() -> Dict[str, float]:
     # quantile of modeled (not wall) latencies.
     warm_window = warm_server.telemetry.snapshot()
 
+    from repro.cluster import ClusterCoordinator
+
+    with ClusterCoordinator(
+        table,
+        CLUSTER_SHARDS,
+        CLUSTER_REPLICAS,
+        oracle=prepared.oracle,
+        cache_cells=0,
+        hedge_deadline_seconds=None,
+    ) as cluster:
+        for point in replay:
+            cluster.cuboid(point)
+        latencies = sorted(cluster.modeled_latencies())
+    cluster_p95 = latencies[
+        min(len(latencies) - 1, int(round(0.95 * (len(latencies) - 1))))
+    ]
+
     return {
         "engine_serial_seconds": serial.cost.simulated_seconds,
         "engine_parallel_critical_path_seconds": (
@@ -94,6 +118,7 @@ def collect_metrics() -> Dict[str, float]:
         "serve_warm_seconds": warm.modeled_cost_seconds,
         "serve_hit_rate": warm.hit_rate,
         "serve_p95_modeled_seconds": warm_window.modeled_quantiles[0.95],
+        "cluster_p95_modeled_seconds": cluster_p95,
     }
 
 
@@ -136,7 +161,11 @@ def load_baseline(path: str) -> Dict[str, float]:
 
 
 def write_report(path: str, metrics: Dict[str, float]) -> None:
+    from repro.bench.runner import BENCH_ARTIFACT_SCHEMA
+
     payload = {
+        "artifact": "perfgate",
+        "schema": BENCH_ARTIFACT_SCHEMA,
         "metrics": metrics,
         "directions": METRIC_DIRECTIONS,
         "workload": {

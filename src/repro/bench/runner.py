@@ -16,13 +16,62 @@ Also runnable as ``python -m repro.bench.runner``.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.bench.figures import FIGURES, run_figure
 from repro.bench.harness import AlgorithmRun, run_smoke
 from repro.bench.report import format_figure, format_runs_csv, format_smoke
 from repro.core.cube import ENGINE_CHOICES
+
+#: Version tag stamped into every ``BENCH_<name>.json`` artifact.
+BENCH_ARTIFACT_SCHEMA = "x3-bench/v1"
+
+
+def bench_artifact_path(
+    name: str, root: Union[str, pathlib.Path, None] = None
+) -> pathlib.Path:
+    """The canonical path of one bench artifact: ``BENCH_<name>.json``.
+
+    ``root`` defaults to the current working directory (CI runs every
+    tool from the repository root); benchmark tests pass the repo root
+    explicitly.
+    """
+    base = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_artifact(
+    name: str,
+    payload: Dict[str, Any],
+    root: Union[str, pathlib.Path, None] = None,
+) -> pathlib.Path:
+    """Write one benchmark artifact under the unified naming scheme.
+
+    Every benchmark writer in the repository — the engine smoke, the
+    figure sweeps, the serve and cluster benchmark suites, the perf
+    gate — routes its JSON output through here so artifacts share one
+    name pattern (``BENCH_<name>.json``), one schema tag and one
+    serialization (sorted keys would churn diffs: insertion order is
+    kept, matching how each payload is assembled).
+    """
+    path = bench_artifact_path(name, root)
+    document = {
+        "artifact": name,
+        "schema": BENCH_ARTIFACT_SCHEMA,
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def runs_payload(runs: List[AlgorithmRun]) -> Dict[str, Any]:
+    """A JSON-ready payload for a list of algorithm runs."""
+    return {"runs": [run.as_row() for run in runs]}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the CI smoke benchmark (serial vs parallel on a small"
         " workload) and exit non-zero on any result mismatch",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        help="write the run's BENCH_<name>.json artifact into DIR"
+        " (BENCH_engine.json for --smoke, BENCH_figures.json for"
+        " figure runs) via the unified artifact scheme",
     )
     parser.add_argument(
         "--csv", metavar="PATH", help="also dump all runs as CSV"
@@ -161,6 +217,11 @@ def _run(args: argparse.Namespace) -> int:
     if args.smoke:
         runs = run_smoke(workers=max(2, args.workers))
         print(format_smoke(runs))
+        if args.artifact_dir:
+            path = write_bench_artifact(
+                "engine", runs_payload(runs), args.artifact_dir
+            )
+            print(f"wrote {path}")
         failed = [run for run in runs if run.correct is False]
         if failed:
             names = sorted({run.algorithm for run in failed})
@@ -204,6 +265,12 @@ def _run(args: argparse.Namespace) -> int:
 
             path = write_figure_dat(args.dat, spec, runs)
             print(f"wrote {path}")
+    if args.artifact_dir and all_runs:
+        payload = {"figures": figure_ids, **runs_payload(all_runs)}
+        path = write_bench_artifact(
+            "figures", payload, args.artifact_dir
+        )
+        print(f"wrote {path}")
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(format_runs_csv(all_runs) + "\n")

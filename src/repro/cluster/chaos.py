@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the sharded cube cluster.
+
+The harness injects three fault kinds, all drawn from one seeded RNG so
+a replay with the same profile, seed and operation order reproduces the
+exact same fault schedule:
+
+- **crash** — a shard replica becomes unavailable; reads must fail over
+  to another replica.  The planner never crashes the last healthy
+  replica of a shard (the harness proves degraded-mode *correctness*,
+  not unavailability).
+- **straggle** — a replica's answer is delayed by extra *modeled*
+  seconds; past the coordinator's hedge deadline this triggers a hedged
+  read on a backup replica.
+- **stale** — a replica defers applying a write batch, so its next read
+  answers at an old version and the coordinator must detect the
+  inconsistency, force a sync, and retry.
+
+Faults are *planned* sequentially by the coordinator before each fan-out
+(one RNG draw per (operation, shard, replica) in a fixed order), so the
+thread scheduling of the scatter itself can never perturb the schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Fault rates of one chaos configuration (all per opportunity)."""
+
+    name: str
+    crash_rate: float = 0.0  #: P(crash a healthy, non-last replica)
+    straggle_rate: float = 0.0  #: P(delay a read answer)
+    straggle_seconds: float = 0.25  #: modeled delay added when straggling
+    stale_rate: float = 0.0  #: P(a replica defers a write batch)
+    max_crashes: int = 0  #: cap on total injected crashes
+
+    def __post_init__(self) -> None:
+        for rate in (self.crash_rate, self.straggle_rate, self.stale_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ClusterError(
+                    f"chaos rates must be in [0, 1], got {rate}"
+                )
+
+
+#: Named profiles the ``x3-cluster --chaos`` flag accepts.
+PROFILES: Dict[str, ChaosProfile] = {
+    "none": ChaosProfile(name="none"),
+    "light": ChaosProfile(
+        name="light",
+        crash_rate=0.01,
+        straggle_rate=0.05,
+        straggle_seconds=0.25,
+        stale_rate=0.05,
+        max_crashes=1,
+    ),
+    "heavy": ChaosProfile(
+        name="heavy",
+        crash_rate=0.05,
+        straggle_rate=0.20,
+        straggle_seconds=0.5,
+        stale_rate=0.25,
+        max_crashes=3,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ReadFault:
+    """The planned fault for one (read, shard, replica) opportunity."""
+
+    crash: bool = False
+    extra_seconds: float = 0.0
+
+
+NO_FAULT = ReadFault()
+
+
+@dataclass
+class ChaosEngine:
+    """Seeded fault planner; one instance drives one cluster's schedule.
+
+    Thread-safe: planning draws happen under a lock, though the
+    coordinator already serializes planning to keep schedules replayable.
+    """
+
+    profile: ChaosProfile
+    seed: int = 0
+    injected: Dict[str, int] = field(
+        default_factory=lambda: {"crash": 0, "straggle": 0, "stale": 0}
+    )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def plan_read(
+        self, op: int, shard: int, replica: int, healthy_replicas: int
+    ) -> ReadFault:
+        """The fault (if any) to inject on one read opportunity.
+
+        ``healthy_replicas`` is the shard's healthy count *before* this
+        fault; a crash is only planned when at least one other healthy
+        replica would survive it.
+        """
+        with self._lock:
+            crash_draw = self._rng.random()
+            straggle_draw = self._rng.random()
+            crash = (
+                crash_draw < self.profile.crash_rate
+                and healthy_replicas > 1
+                and self.injected["crash"] < self.profile.max_crashes
+            )
+            if crash:
+                self.injected["crash"] += 1
+                return ReadFault(crash=True)
+            if straggle_draw < self.profile.straggle_rate:
+                self.injected["straggle"] += 1
+                return ReadFault(
+                    extra_seconds=self.profile.straggle_seconds
+                )
+            return NO_FAULT
+
+    def plan_write_stale(self, op: int, shard: int, replica: int) -> bool:
+        """Should this replica defer (lag) this write batch?"""
+        with self._lock:
+            stale = self._rng.random() < self.profile.stale_rate
+            if stale:
+                self.injected["stale"] += 1
+            return stale
+
+    def summary(self) -> str:
+        with self._lock:
+            return (
+                f"chaos[{self.profile.name} seed={self.seed}]: "
+                f"{self.injected['crash']} crashes, "
+                f"{self.injected['straggle']} stragglers, "
+                f"{self.injected['stale']} stale writes"
+            )
+
+
+def get_profile(name: str) -> ChaosProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ClusterError(
+            f"unknown chaos profile {name!r}; choose from "
+            f"{sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,778 @@
+"""Scatter-gather coordination over hash-partitioned shard replicas.
+
+:class:`ClusterCoordinator` is the cluster's single query surface.  A
+read fans out to every shard, collects per-shard *aggregate states*
+(never finalized values — an AVG must travel as ``(sum, count)``),
+merges them with the shared kernel (:mod:`repro.core.merge`) and
+finalizes once.  This is lossless for exactly the reason the paper's
+Sec. 2 proofs allow: facts are partitioned disjointly by fact id, so
+even when a fact lands in several groups (non-disjoint grouping) or in
+none (incomplete coverage), each of its group contributions is folded on
+exactly one shard, and ``AggregateFunction.merge`` is associative and
+commutative with ``new()`` as the identity.
+
+Degraded modes, all deterministic under a seeded
+:class:`~repro.cluster.chaos.ChaosEngine`:
+
+- **failover** — a crashed replica is skipped and the next healthy one
+  answers; the decision lands in the event log;
+- **hedged reads** — when a replica's modeled latency exceeds the hedge
+  deadline, a backup replica is asked too and the cheaper (modeled)
+  answer wins, with hedge accounting ``deadline + backup`` as real
+  hedged tails do;
+- **stale replicas** — every answer carries the replica's applied write
+  version; a gathered answer is accepted only when the assembled
+  per-shard version vector equals a state the write log actually
+  produced (see :mod:`repro.cluster.versions`), otherwise lagging
+  replicas are synced and the scatter retried.
+
+Writes are serialized by the coordinator, routed to *all* replicas of
+each affected shard through the servers' incremental delta path, and
+each fan-out appends the new version vector to the write-log history
+the consistency check validates against.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
+from repro.core.aggregates import AggregateFunction
+from repro.core.bindings import FactRow, FactTable, GroupKey
+from repro.core.cube import ExecutionOptions
+from repro.core.groupby import Cuboid
+from repro.core.lattice import LatticePoint
+from repro.core.merge import finalize_states, merge_states
+from repro.core.properties import PropertyOracle
+from repro.core.rollup import dice_cuboid, slice_cuboid
+from repro.cluster.chaos import NO_FAULT, ChaosEngine, ReadFault
+from repro.cluster.partition import partition_rows
+from repro.cluster.shard import ShardAnswer, ShardReplica
+from repro.cluster.versions import VersionVector
+from repro.errors import ClusterError, CubeError, ShardUnavailable
+from repro.obs.events import ClusterEvent, EventLog
+from repro.timber.stats import CostModel
+
+_CPU_OP_SECONDS = CostModel.cpu_op_cost
+
+PointSpec = Union[LatticePoint, str]
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """A consistent snapshot of the coordinator's counters."""
+
+    shards: int
+    replicas: int
+    requests: int
+    writes: int
+    rejects: int  #: gathered answers rejected as version-inconsistent
+    failovers: int
+    hedges: int
+    stale_retries: int
+    crashes: int  #: replica crashes injected/observed
+    heals: int
+    modeled_cost_seconds: float  #: sum of per-request modeled latencies
+    merged_cells: int
+    version: Tuple[int, ...]
+    healthy_replicas: int
+    per_shard_rows: Tuple[int, ...]
+
+    def summary(self) -> str:
+        degraded = (
+            f"{self.failovers} failovers, {self.hedges} hedges, "
+            f"{self.stale_retries} stale retries, {self.rejects} rejects"
+        )
+        return (
+            f"{self.requests} requests over {self.shards}x{self.replicas} "
+            f"cluster ({self.healthy_replicas} healthy replicas); "
+            f"{degraded}; modeled {self.modeled_cost_seconds:.4f}s"
+        )
+
+
+@dataclass
+class _ShardReadOutcome:
+    """One shard's contribution to a gather, with its event trail."""
+
+    answer: ShardAnswer
+    latency: float
+    events: List[ClusterEvent]
+
+
+class ClusterCoordinator:
+    """Serve cube queries over N hash-partitioned shards x R replicas.
+
+    Args:
+        table: the full fact table; its rows are hash-partitioned by
+            fact id into ``n_shards`` disjoint slices at construction.
+        n_shards: shard count (each shard holds one slice).
+        replicas: replicas per shard (replica 0 is the preferred
+            primary); every replica holds the full slice.
+        oracle: property oracle shared by all replicas.  Sound because
+            disjointness/coverage are universally quantified over facts
+            and therefore inherited by every subset of the table.
+        options: engine options for recomputes inside each replica.
+        cache_cells: per-replica cuboid cache budget.
+        chaos: optional seeded fault planner (crash / straggle / stale).
+        hedge_deadline_seconds: modeled-latency deadline after which a
+            straggling shard read is hedged on a backup replica;
+            ``None`` disables hedging.
+        max_stale_retries: per-replica sync-and-retry bound for stale
+            answers.
+        max_read_rounds: whole-scatter retry bound when a gathered
+            version vector is inconsistent.
+        event_log_capacity: ring capacity of the cluster event log.
+    """
+
+    def __init__(
+        self,
+        table: FactTable,
+        n_shards: int,
+        replicas: int = 2,
+        *,
+        oracle: Optional[PropertyOracle] = None,
+        options: Optional[ExecutionOptions] = None,
+        cache_cells: int = 2048,
+        chaos: Optional[ChaosEngine] = None,
+        hedge_deadline_seconds: Optional[float] = 0.1,
+        max_stale_retries: int = 3,
+        max_read_rounds: int = 8,
+        event_log_capacity: int = 8192,
+    ) -> None:
+        if n_shards <= 0:
+            raise ClusterError(
+                f"a cluster needs at least one shard, got {n_shards}"
+            )
+        if replicas <= 0:
+            raise ClusterError(
+                f"a shard needs at least one replica, got {replicas}"
+            )
+        self.lattice = table.lattice
+        self.aggregate = table.aggregate
+        self._fn: AggregateFunction = table.aggregate.fn
+        self.n_shards = n_shards
+        self.n_replicas = replicas
+        self.chaos = chaos
+        self.hedge_deadline_seconds = hedge_deadline_seconds
+        self.max_stale_retries = max_stale_retries
+        self.max_read_rounds = max_read_rounds
+        self.events = EventLog(event_log_capacity)
+        self._point_set = frozenset(self.lattice.points())
+
+        slices = partition_rows(table.rows, n_shards)
+        self.shards: List[List[ShardReplica]] = [
+            [
+                ShardReplica(
+                    shard_id,
+                    replica_id,
+                    self.lattice,
+                    slice_rows,
+                    table.aggregate,
+                    oracle=oracle,
+                    options=options,
+                    cache_cells=cache_cells,
+                )
+                for replica_id in range(replicas)
+            ]
+            for shard_id, slice_rows in enumerate(slices)
+        ]
+
+        self._lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._op = 0
+        self._expected = [0] * n_shards
+        zero = tuple(self._expected)
+        self._history: List[Tuple[int, ...]] = [zero]
+        self._history_set: Set[Tuple[int, ...]] = {zero}
+        self._requests = 0
+        self._writes = 0
+        self._rejects = 0
+        self._failovers = 0
+        self._hedges = 0
+        self._stale_retries = 0
+        self._crashes = 0
+        self._heals = 0
+        self._modeled_cost_seconds = 0.0
+        self._merged_cells = 0
+        self._latencies: List[float] = []
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=min(16, n_shards),
+                thread_name_prefix="x3-cluster",
+            )
+            if n_shards > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # point resolution
+    # ------------------------------------------------------------------
+    def resolve_point(self, spec: PointSpec) -> LatticePoint:
+        if isinstance(spec, str):
+            return self.lattice.point_by_description(spec)
+        return spec
+
+    @property
+    def version_vector(self) -> VersionVector:
+        with self._lock:
+            return VersionVector(tuple(self._expected))
+
+    # ------------------------------------------------------------------
+    # reads: scatter, degrade gracefully, gather, merge states
+    # ------------------------------------------------------------------
+    def cuboid(self, spec: PointSpec) -> Cuboid:
+        return self.cuboid_versioned(spec)[0]
+
+    def cuboid_versioned(
+        self, spec: PointSpec, *, kind: str = "cuboid"
+    ) -> Tuple[Cuboid, VersionVector]:
+        """One cuboid plus the version vector it is exact for.
+
+        The returned vector is always a state the write log actually
+        produced: inconsistent gathers (a replica answering at the
+        wrong version) are rejected, lagging replicas synced, and the
+        scatter retried up to ``max_read_rounds`` times.
+        """
+        point = self.resolve_point(spec)
+        if point not in self._point_set:
+            raise CubeError(
+                f"point {point!r} is not in this cube's lattice"
+            )
+        described = self.lattice.describe(point)
+        with obs.span(
+            "cluster.request",
+            category="cluster",
+            point=described,
+            kind=kind,
+            shards=self.n_shards,
+        ) as span:
+            cuboid, vector, latency = self._gather(point, described, kind)
+            span.annotate(
+                cells=len(cuboid), modeled_seconds=round(latency, 6)
+            )
+        obs.count("x3_cluster_requests_total", kind=kind)
+        obs.observe("x3_cluster_request_modeled_seconds", latency)
+        return cuboid, vector
+
+    def cell(self, spec: PointSpec, key: GroupKey) -> Optional[float]:
+        return self.cuboid_versioned(spec, kind="cell")[0].get(key)
+
+    def slice(self, spec: PointSpec, axis_index: int, value: str) -> Cuboid:
+        return slice_cuboid(
+            self.cuboid_versioned(spec, kind="slice")[0], axis_index, value
+        )
+
+    def dice(
+        self, spec: PointSpec, predicates: Dict[int, Sequence[str]]
+    ) -> Cuboid:
+        return dice_cuboid(
+            self.cuboid_versioned(spec, kind="dice")[0], predicates
+        )
+
+    def _gather(
+        self, point: LatticePoint, described: str, kind: str
+    ) -> Tuple[Cuboid, VersionVector, float]:
+        last_vector: Optional[Tuple[int, ...]] = None
+        for round_index in range(self.max_read_rounds):
+            with self._lock:
+                op = self._op
+                self._op += 1
+                expected = tuple(self._expected)
+            faults = self._plan_read_faults(op)
+            outcomes = self._scatter(op, point, faults, expected)
+            vector = tuple(
+                outcome.answer.version for outcome in outcomes
+            )
+            with self._lock:
+                consistent = vector in self._history_set
+            self._record_outcomes(outcomes)
+            if consistent:
+                return self._merge(
+                    op, outcomes, vector, described, kind
+                )
+            last_vector = vector
+            with self._lock:
+                self._rejects += 1
+            obs.count("x3_cluster_rejects_total")
+            self.events.append(
+                ClusterEvent(
+                    seq=0,
+                    kind="reject",
+                    op=op,
+                    shard=-1,
+                    replica=-1,
+                    detail=(
+                        f"gathered vector {list(vector)} matches no "
+                        f"write-log state; syncing and retrying "
+                        f"(round {round_index + 1})"
+                    ),
+                    versions=vector,
+                )
+            )
+            self.sync_all()
+        raise ClusterError(
+            f"no consistent gather for {described} after "
+            f"{self.max_read_rounds} rounds (last vector "
+            f"{list(last_vector or ())})"
+        )
+
+    def _plan_read_faults(self, op: int) -> Dict[int, ReadFault]:
+        """One planned fault per shard, drawn in deterministic order.
+
+        The fault applies to the first healthy replica the shard read
+        will consult, so planned faults and injected faults agree.
+        """
+        if self.chaos is None:
+            return {}
+        faults: Dict[int, ReadFault] = {}
+        for shard_id in range(self.n_shards):
+            healthy = sum(
+                1 for replica in self.shards[shard_id] if replica.healthy
+            )
+            primary = next(
+                (
+                    replica.replica
+                    for replica in self.shards[shard_id]
+                    if replica.healthy
+                ),
+                0,
+            )
+            faults[shard_id] = self.chaos.plan_read(
+                op, shard_id, primary, healthy
+            )
+        return faults
+
+    def _scatter(
+        self,
+        op: int,
+        point: LatticePoint,
+        faults: Dict[int, ReadFault],
+        expected: Tuple[int, ...],
+    ) -> List[_ShardReadOutcome]:
+        if self._pool is None:
+            return [
+                self._read_shard(
+                    op, shard_id, point,
+                    faults.get(shard_id, NO_FAULT), expected[shard_id],
+                )
+                for shard_id in range(self.n_shards)
+            ]
+        futures = [
+            self._pool.submit(
+                self._read_shard,
+                op,
+                shard_id,
+                point,
+                faults.get(shard_id, NO_FAULT),
+                expected[shard_id],
+            )
+            for shard_id in range(self.n_shards)
+        ]
+        return [future.result() for future in futures]
+
+    def _read_shard(
+        self,
+        op: int,
+        shard_id: int,
+        point: LatticePoint,
+        fault: ReadFault,
+        expected_version: int,
+    ) -> _ShardReadOutcome:
+        """One shard's read: failover across replicas, hedge stragglers.
+
+        Events are collected locally and appended to the shared log by
+        the gather (in shard order), so concurrent fan-out threads never
+        interleave one request's trail.
+        """
+        events: List[ClusterEvent] = []
+        fault_pending = fault is not NO_FAULT
+        replicas = self.shards[shard_id]
+        with obs.span(
+            "cluster.shard", category="cluster", shard=shard_id
+        ) as span:
+            for replica in replicas:
+                if not replica.healthy:
+                    self._count_failover(events, op, shard_id, replica)
+                    continue
+                extra_seconds = 0.0
+                if fault_pending:
+                    fault_pending = False
+                    healthy = sum(1 for r in replicas if r.healthy)
+                    if fault.crash and healthy > 1:
+                        replica.crash()
+                        with self._lock:
+                            self._crashes += 1
+                        obs.count("x3_cluster_faults_total", kind="crash")
+                        events.append(
+                            self._event(
+                                "crash", op, shard_id, replica.replica,
+                                "fault injected: replica crashed",
+                            )
+                        )
+                        self._count_failover(events, op, shard_id, replica)
+                        continue
+                    extra_seconds = fault.extra_seconds
+                answer = self._read_replica(
+                    replica, point, expected_version, op, events
+                )
+                if answer is None:
+                    self._count_failover(events, op, shard_id, replica)
+                    continue
+                latency = answer.modeled_seconds + extra_seconds
+                if extra_seconds:
+                    obs.count("x3_cluster_faults_total", kind="straggle")
+                    events.append(
+                        self._event(
+                            "straggle", op, shard_id, replica.replica,
+                            f"fault injected: +{extra_seconds:.3f}s "
+                            f"modeled delay",
+                            modeled_seconds=latency,
+                        )
+                    )
+                deadline = self.hedge_deadline_seconds
+                if deadline is not None and latency > deadline:
+                    answer, latency = self._hedge(
+                        op, shard_id, point, expected_version,
+                        replica, answer, latency, events,
+                    )
+                span.annotate(
+                    replica=answer.replica,
+                    tier=answer.tier,
+                    modeled_seconds=round(latency, 6),
+                )
+                return _ShardReadOutcome(answer, latency, events)
+        raise ShardUnavailable(shard_id, -1, "no healthy replica")
+
+    def _read_replica(
+        self,
+        replica: ShardReplica,
+        point: LatticePoint,
+        expected_version: int,
+        op: int,
+        events: List[ClusterEvent],
+    ) -> Optional[ShardAnswer]:
+        """Read one replica, syncing it when it answers stale.
+
+        Returns ``None`` when the replica is (or goes) down.  An answer
+        *ahead* of the expected version is returned as-is: the gather's
+        vector-consistency check decides what to do with it.
+        """
+        answer: Optional[ShardAnswer] = None
+        for _ in range(self.max_stale_retries + 1):
+            try:
+                answer = replica.read_states(point)
+            except ShardUnavailable:
+                return None
+            if answer.version >= expected_version:
+                return answer
+            with self._lock:
+                self._stale_retries += 1
+            obs.count("x3_cluster_stale_retries_total")
+            events.append(
+                self._event(
+                    "stale_retry", op, replica.shard, replica.replica,
+                    f"answered v{answer.version} < expected "
+                    f"v{expected_version}; syncing and retrying",
+                )
+            )
+            try:
+                replica.sync()
+            except ShardUnavailable:
+                return None
+        return answer
+
+    def _hedge(
+        self,
+        op: int,
+        shard_id: int,
+        point: LatticePoint,
+        expected_version: int,
+        primary: ShardReplica,
+        answer: ShardAnswer,
+        latency: float,
+        events: List[ClusterEvent],
+    ) -> Tuple[ShardAnswer, float]:
+        """Retry a straggling read on a backup; cheaper answer wins.
+
+        The hedged path costs ``deadline + backup`` modeled seconds —
+        the coordinator waited out the deadline before asking twice.
+        """
+        deadline = self.hedge_deadline_seconds or 0.0
+        backup = next(
+            (
+                candidate
+                for candidate in self.shards[shard_id]
+                if candidate.healthy
+                and candidate.replica != primary.replica
+            ),
+            None,
+        )
+        if backup is None:
+            return answer, latency
+        backup_answer = self._read_replica(
+            backup, point, expected_version, op, events
+        )
+        if backup_answer is None:
+            return answer, latency
+        with self._lock:
+            self._hedges += 1
+        obs.count("x3_cluster_hedges_total")
+        hedged_latency = deadline + backup_answer.modeled_seconds
+        if hedged_latency < latency:
+            events.append(
+                self._event(
+                    "hedge", op, shard_id, backup.replica,
+                    f"backup beat straggler: {hedged_latency:.4f}s < "
+                    f"{latency:.4f}s",
+                    modeled_seconds=hedged_latency,
+                )
+            )
+            return backup_answer, hedged_latency
+        events.append(
+            self._event(
+                "hedge", op, shard_id, primary.replica,
+                f"straggler finished first: {latency:.4f}s <= "
+                f"{hedged_latency:.4f}s",
+                modeled_seconds=latency,
+            )
+        )
+        return answer, latency
+
+    def _count_failover(
+        self,
+        events: List[ClusterEvent],
+        op: int,
+        shard_id: int,
+        replica: ShardReplica,
+    ) -> None:
+        with self._lock:
+            self._failovers += 1
+        obs.count("x3_cluster_failovers_total")
+        events.append(
+            self._event(
+                "failover", op, shard_id, replica.replica,
+                f"replica {replica.replica} unavailable; "
+                f"trying next replica",
+            )
+        )
+
+    def _record_outcomes(
+        self, outcomes: List[_ShardReadOutcome]
+    ) -> None:
+        for outcome in outcomes:
+            for event in outcome.events:
+                self.events.append(event)
+
+    def _merge(
+        self,
+        op: int,
+        outcomes: List[_ShardReadOutcome],
+        vector: Tuple[int, ...],
+        described: str,
+        kind: str,
+    ) -> Tuple[Cuboid, VersionVector, float]:
+        with obs.span(
+            "cluster.merge", category="cluster", shards=len(outcomes)
+        ):
+            states = merge_states(
+                self._fn,
+                [outcome.answer.states for outcome in outcomes],
+            )
+            cuboid = finalize_states(self._fn, states)
+        # Scatter-gather critical path: the slowest shard, plus one
+        # merge op per merged cell.
+        latency = max(
+            (outcome.latency for outcome in outcomes), default=0.0
+        ) + len(cuboid) * _CPU_OP_SECONDS
+        with self._lock:
+            self._requests += 1
+            self._modeled_cost_seconds += latency
+            self._merged_cells += len(cuboid)
+            self._latencies.append(latency)
+        obs.count("x3_cluster_merged_cells_total", len(cuboid))
+        self.events.append(
+            ClusterEvent(
+                seq=0,
+                kind="read",
+                op=op,
+                shard=-1,
+                replica=-1,
+                detail=(
+                    f"{kind} {described}: gathered {len(outcomes)} "
+                    f"shards, {len(cuboid)} cells"
+                ),
+                versions=vector,
+                modeled_seconds=latency,
+            )
+        )
+        return cuboid, VersionVector(vector), latency
+
+    # ------------------------------------------------------------------
+    # writes: serialized fan-out through the incremental delta path
+    # ------------------------------------------------------------------
+    def insert(self, rows: Sequence[FactRow]) -> VersionVector:
+        """Ingest delta facts; returns the new version vector."""
+        return self._write(list(rows), op="insert")
+
+    def delete(self, rows: Sequence[FactRow]) -> VersionVector:
+        """Retract delta facts; returns the new version vector."""
+        return self._write(list(rows), op="delete")
+
+    def _write(self, rows: List[FactRow], op: str) -> VersionVector:
+        with self._write_lock, obs.span(
+            f"cluster.{op}", category="cluster", rows=len(rows)
+        ):
+            with self._lock:
+                write_op = self._op
+                self._op += 1
+            slices = partition_rows(rows, self.n_shards)
+            touched = [
+                shard_id
+                for shard_id, shard_rows in enumerate(slices)
+                if shard_rows
+            ]
+            for shard_id in touched:
+                for replica in self.shards[shard_id]:
+                    defer = (
+                        self.chaos is not None
+                        and replica.healthy
+                        and self.chaos.plan_write_stale(
+                            write_op, shard_id, replica.replica
+                        )
+                    )
+                    replica.apply(op, slices[shard_id], defer=defer)
+                    if defer:
+                        obs.count(
+                            "x3_cluster_faults_total", kind="stale"
+                        )
+                        self.events.append(
+                            self._event(
+                                "stale", write_op, shard_id,
+                                replica.replica,
+                                f"fault injected: {op} batch deferred "
+                                f"(replica lags the write log)",
+                            )
+                        )
+            with self._lock:
+                for shard_id in touched:
+                    self._expected[shard_id] += 1
+                vector = tuple(self._expected)
+                self._history.append(vector)
+                self._history_set.add(vector)
+                self._writes += 1
+        obs.count("x3_cluster_writes_total", op=op)
+        self.events.append(
+            ClusterEvent(
+                seq=0,
+                kind="write",
+                op=write_op,
+                shard=-1,
+                replica=-1,
+                detail=(
+                    f"{op} {len(rows)} rows -> shards "
+                    f"{touched or '[]'}"
+                ),
+                versions=vector,
+            )
+        )
+        return VersionVector(vector)
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def sync_all(self) -> None:
+        """Drain every healthy replica's write backlog."""
+        for shard in self.shards:
+            for replica in shard:
+                if replica.healthy and replica.lagging:
+                    replica.sync()
+
+    def heal_all(self) -> int:
+        """Revive every crashed replica (replays its backlog)."""
+        healed = 0
+        for shard in self.shards:
+            for replica in shard:
+                if not replica.healthy:
+                    replica.heal()
+                    healed += 1
+                    with self._lock:
+                        self._heals += 1
+                    self.events.append(
+                        self._event(
+                            "heal", -1, replica.shard, replica.replica,
+                            "replica healed and caught up",
+                        )
+                    )
+        return healed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event(
+        kind: str,
+        op: int,
+        shard: int,
+        replica: int,
+        detail: str,
+        modeled_seconds: float = 0.0,
+    ) -> ClusterEvent:
+        return ClusterEvent(
+            seq=0,
+            kind=kind,
+            op=op,
+            shard=shard,
+            replica=replica,
+            detail=detail,
+            modeled_seconds=modeled_seconds,
+        )
+
+    def modeled_latencies(self) -> List[float]:
+        """Per-request modeled latencies, in request order."""
+        with self._lock:
+            return list(self._latencies)
+
+    def stats(self) -> ClusterStats:
+        with self._lock:
+            healthy = sum(
+                1
+                for shard in self.shards
+                for replica in shard
+                if replica.healthy
+            )
+            return ClusterStats(
+                shards=self.n_shards,
+                replicas=self.n_replicas,
+                requests=self._requests,
+                writes=self._writes,
+                rejects=self._rejects,
+                failovers=self._failovers,
+                hedges=self._hedges,
+                stale_retries=self._stale_retries,
+                crashes=self._crashes,
+                heals=self._heals,
+                modeled_cost_seconds=self._modeled_cost_seconds,
+                merged_cells=self._merged_cells,
+                version=tuple(self._expected),
+                healthy_replicas=healthy,
+                per_shard_rows=tuple(
+                    len(shard[0].table.rows) for shard in self.shards
+                ),
+            )

@@ -1,0 +1,63 @@
+"""Per-shard version vectors: the cluster's consistency currency.
+
+Every shard applies its write batches in one global order (the
+coordinator serializes writes), so the cluster's state after ``K``
+writes is fully described by the vector of per-shard applied-batch
+counts.  A gathered scatter answer is *consistent* exactly when the
+per-shard versions it was assembled from form one of those vectors —
+i.e. every shard answered as of the same prefix of the write log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class VersionVector:
+    """An immutable vector of per-shard write-batch versions."""
+
+    versions: Tuple[int, ...]
+
+    @staticmethod
+    def zero(n_shards: int) -> "VersionVector":
+        if n_shards <= 0:
+            raise ClusterError(
+                f"a cluster needs at least one shard, got {n_shards}"
+            )
+        return VersionVector((0,) * n_shards)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.versions)
+
+    def __getitem__(self, shard: int) -> int:
+        return self.versions[shard]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.versions)
+
+    def bump(self, shard: int) -> "VersionVector":
+        """A copy with one shard's version advanced by one batch."""
+        out = list(self.versions)
+        out[shard] += 1
+        return VersionVector(tuple(out))
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """Componentwise >=: this state has seen everything ``other`` has."""
+        if self.n_shards != other.n_shards:
+            raise ClusterError(
+                f"version vectors disagree on shard count: "
+                f"{self.n_shards} != {other.n_shards}"
+            )
+        return all(
+            mine >= theirs
+            for mine, theirs in zip(self.versions, other.versions)
+        )
+
+    def __str__(self) -> str:
+        return "v[" + ",".join(str(v) for v in self.versions) + "]"

@@ -160,6 +160,16 @@ def get_function(name: str) -> AggregateFunction:
         raise QueryError(f"unknown aggregate function {name!r}") from None
 
 
+def registered_functions() -> Dict[str, AggregateFunction]:
+    """Every registered aggregate, by name.
+
+    The merge-law property tests quantify over this mapping, so a newly
+    registered aggregate is automatically held to the associativity /
+    commutativity / identity laws the distributed layers depend on.
+    """
+    return dict(_FUNCTIONS)
+
+
 @dataclass(frozen=True)
 class AggregateSpec:
     """What the RETURN clause computes.

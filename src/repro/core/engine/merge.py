@@ -15,7 +15,7 @@ from typing import Dict, List, Mapping, Tuple
 from repro.core.cube import CostSnapshot, WorkerCost
 from repro.core.groupby import Cuboid
 from repro.core.lattice import LatticePoint
-from repro.errors import CubeError
+from repro.core.merge import merge_disjoint
 from repro.obs import SpanRecord
 
 
@@ -48,16 +48,16 @@ class PartitionOutcome:
 def merge_cuboids(
     outcomes: List[PartitionOutcome],
 ) -> Dict[LatticePoint, Cuboid]:
-    """Union of the per-partition cuboid maps; overlap is a plan bug."""
-    merged: Dict[LatticePoint, Cuboid] = {}
-    for outcome in sorted(outcomes, key=lambda o: o.index):
-        for point, cuboid in outcome.cuboids.items():
-            if point in merged:
-                raise CubeError(
-                    f"partition plan overlap: point {point} computed twice"
-                )
-            merged[point] = cuboid
-    return merged
+    """Union of the per-partition cuboid maps; overlap is a plan bug.
+
+    Thin adapter over the shared kernel's :func:`repro.core.merge
+    .merge_disjoint` (the cluster coordinator consumes the kernel's
+    state-merge half; the engine consumes this half).
+    """
+    return merge_disjoint(
+        outcome.cuboids
+        for outcome in sorted(outcomes, key=lambda o: o.index)
+    )
 
 
 def merge_costs(

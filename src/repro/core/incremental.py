@@ -172,6 +172,18 @@ class IncrementalCube:
             for key, (state, _) in self._cells[point].items()
         }
 
+    def state_cuboid(self, point: LatticePoint) -> Dict[GroupKey, Any]:
+        """The *partial states* of one cuboid, un-finalized.
+
+        This is what a cluster shard ships for algebraic aggregates:
+        an AVG cell must travel as its ``(sum, count)`` pair so the
+        coordinator can merge across shards before dividing once.
+        Tuple states are immutable; mutable states would need a copy.
+        """
+        return {
+            key: state for key, (state, _) in self._cells[point].items()
+        }
+
     def as_result(self) -> CubeResult:
         return CubeResult(
             lattice=self.lattice,

@@ -1,0 +1,135 @@
+"""The shared merge kernel: lossless combination of partial cube work.
+
+Two distinct merge shapes show up in this codebase, and both live here
+so every consumer agrees on their laws:
+
+- **Disjoint point-map union** (:func:`merge_disjoint`): the parallel
+  engine partitions the *lattice* — each worker computes whole cuboids
+  for its own lattice points — so combining outcomes is a checked dict
+  union where any overlap is a plan bug.
+- **Aggregate-state merge** (:func:`merge_states` /
+  :func:`finalize_states`): the cluster layer partitions the *facts* —
+  each shard computes a partial aggregate state per group key over its
+  slice — so combining answers folds the per-shard states with
+  :meth:`AggregateFunction.merge` and finalizes once, at the very end.
+
+The second shape is sound because facts are partitioned disjointly by
+fact id even when the *grouping* is non-disjoint (a fact appearing in
+several groups of one cuboid still lives on exactly one shard, so each
+of its group contributions is counted exactly once across the cluster)
+and merge is associative/commutative with ``new()`` as identity — the
+laws ``tests/prop/test_hypothesis_aggregates.py`` pins down.
+
+For the distributive aggregates the finalized cell value *is* a valid
+partial state (:data:`STATE_EXACT_AGGREGATES`), which lets shards reuse
+their finalized serving path; the algebraic AVG must ship its
+``(sum, count)`` pair instead (finalized averages do not merge).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Sequence
+
+from repro.core.aggregates import AggregateFunction, get_function
+from repro.core.bindings import GroupKey
+from repro.core.groupby import Cuboid
+from repro.core.lattice import LatticePoint
+from repro.errors import CubeError
+
+#: A cuboid of *partial aggregate states* rather than finalized values.
+StateCuboid = Dict[GroupKey, Any]
+
+#: Aggregates whose finalized cell value is itself a mergeable partial
+#: state (``finalize`` is the identity up to float coercion).  AVG is
+#: excluded: an average cannot be merged without its support count.
+STATE_EXACT_AGGREGATES = frozenset({"COUNT", "SUM", "MIN", "MAX"})
+
+
+# ----------------------------------------------------------------------
+# disjoint point-map union (the engine's shape)
+# ----------------------------------------------------------------------
+def merge_disjoint(
+    point_maps: Iterable[Mapping[LatticePoint, Cuboid]],
+) -> Dict[LatticePoint, Cuboid]:
+    """Union per-partition ``point -> cuboid`` maps; overlap is an error.
+
+    The engine's partition plan assigns every lattice point to exactly
+    one partition, so two partitions reporting the same point means the
+    plan (not the data) is broken — fail loudly instead of silently
+    keeping one of the two cuboids.
+    """
+    merged: Dict[LatticePoint, Cuboid] = {}
+    for point_map in point_maps:
+        for point, cuboid in point_map.items():
+            if point in merged:
+                raise CubeError(
+                    f"partition plan overlap: point {point} computed twice"
+                )
+            merged[point] = cuboid
+    return merged
+
+
+# ----------------------------------------------------------------------
+# aggregate-state merge (the cluster's shape)
+# ----------------------------------------------------------------------
+def merge_states(
+    fn: AggregateFunction,
+    shard_states: Sequence[Mapping[GroupKey, Any]],
+) -> StateCuboid:
+    """Fold per-shard partial states key by key with ``fn.merge``.
+
+    Keys missing from a shard simply contribute nothing (the shard holds
+    no fact of that group); because ``merge`` is associative and
+    commutative, the fold order cannot change the result.
+    """
+    merged: StateCuboid = {}
+    for states in shard_states:
+        for key, state in states.items():
+            if key in merged:
+                merged[key] = fn.merge(merged[key], state)
+            else:
+                merged[key] = state
+    return merged
+
+
+def finalize_states(fn: AggregateFunction, states: StateCuboid) -> Cuboid:
+    """Finalize a merged state cuboid into reported values — exactly
+    once, after the last merge (AVG divides here and nowhere earlier)."""
+    return {key: fn.finalize(state) for key, state in states.items()}
+
+
+def states_from_finalized(
+    aggregate_name: str, cuboid: Mapping[GroupKey, float]
+) -> StateCuboid:
+    """Reinterpret a finalized cuboid as partial states.
+
+    Only valid for :data:`STATE_EXACT_AGGREGATES`; shards use this to
+    turn their (cache-served, ladder-resolved) finalized answers back
+    into mergeable states without recomputing anything.
+    """
+    name = aggregate_name.upper()
+    if name not in STATE_EXACT_AGGREGATES:
+        raise CubeError(
+            f"{name} states cannot be recovered from finalized values; "
+            f"ship the partial states instead"
+        )
+    if name == "COUNT":
+        return {key: int(value) for key, value in cuboid.items()}
+    return dict(cuboid)
+
+
+def merge_finalized(
+    aggregate_name: str,
+    shard_cuboids: Sequence[Mapping[GroupKey, float]],
+) -> Cuboid:
+    """Convenience: merge finalized shard cuboids of a state-exact
+    aggregate (lifts to states, merges, finalizes)."""
+    fn = get_function(aggregate_name)
+    states = merge_states(
+        fn,
+        [
+            states_from_finalized(aggregate_name, cuboid)
+            for cuboid in shard_cuboids
+        ],
+    )
+    return finalize_states(fn, states)

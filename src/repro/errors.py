@@ -88,3 +88,23 @@ class AlgorithmPreconditionError(CubeError):
 class MemoryBudgetExceeded(CubeError):
     """Raised when an algorithm configured with ``fail_on_overflow`` exceeds
     its memory budget instead of spilling to multi-pass execution."""
+
+
+class ClusterError(X3Error):
+    """Base class for sharded-cluster coordination errors."""
+
+
+class ShardUnavailable(ClusterError):
+    """Raised when a shard replica cannot answer (crashed or unhealthy).
+
+    The coordinator catches this to fail over to another replica; it
+    only escapes to callers when every replica of a shard is down.
+    """
+
+    def __init__(self, shard: int, replica: int, reason: str = "") -> None:
+        self.shard = shard
+        self.replica = replica
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"shard {shard} replica {replica} unavailable{detail}"
+        )

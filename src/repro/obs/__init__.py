@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 from repro.obs.events import (
+    ClusterEvent,
     EventLog,
     EvictionRecord,
     RequestEvent,
@@ -70,6 +71,7 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ClusterEvent",
     "Counter",
     "EventLog",
     "EvictionRecord",

@@ -111,8 +111,38 @@ class WriteEvent:
         return out
 
 
-Event = Union[RequestEvent, WriteEvent]
-EventT = TypeVar("EventT", RequestEvent, WriteEvent)
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One cluster-coordination decision: a failover, a hedged read, a
+    stale-replica retry, an injected fault, or a completed fan-out.
+
+    The scatter-gather coordinator (:mod:`repro.cluster`) appends these
+    to its own :class:`EventLog`, so every degraded-mode decision — why
+    a replica was skipped, which backup answered, which answer was
+    rejected as version-inconsistent — is replayable and shippable as a
+    CI artifact exactly like the serving layer's request log.
+    """
+
+    TYPE = "cluster"
+
+    seq: int  #: assigned by the :class:`EventLog`, strictly increasing
+    kind: str  #: ``failover`` / ``hedge`` / ``stale_retry`` / ``crash``
+    #: / ``heal`` / ``read`` / ``write``
+    op: int  #: coordinator operation index the decision belongs to
+    shard: int  #: shard the decision concerns (-1: cluster-wide)
+    replica: int  #: replica the decision concerns (-1: shard-wide)
+    detail: str  #: human-readable why
+    versions: Tuple[int, ...] = ()  #: version vector, when relevant
+    modeled_seconds: float = 0.0  #: modeled latency, when relevant
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["type"] = self.TYPE
+        return out
+
+
+Event = Union[RequestEvent, WriteEvent, ClusterEvent]
+EventT = TypeVar("EventT", RequestEvent, WriteEvent, ClusterEvent)
 
 
 class EventLog:
@@ -190,6 +220,14 @@ class EventLog:
             event
             for event in self.snapshot()
             if isinstance(event, WriteEvent)
+        )
+
+    def cluster_events(self) -> Tuple[ClusterEvent, ...]:
+        """Only the buffered :class:`ClusterEvent`\\ s, oldest first."""
+        return tuple(
+            event
+            for event in self.snapshot()
+            if isinstance(event, ClusterEvent)
         )
 
     def __len__(self) -> int:

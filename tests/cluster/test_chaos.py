@@ -1,0 +1,95 @@
+"""The fault planner: seeded, replayable, bounded."""
+
+import pytest
+
+from repro.cluster.chaos import (
+    NO_FAULT,
+    PROFILES,
+    ChaosEngine,
+    ChaosProfile,
+    get_profile,
+)
+from repro.errors import ClusterError
+
+
+def drive(engine, opportunities=200, healthy=2):
+    return [
+        engine.plan_read(op, op % 4, 0, healthy)
+        for op in range(opportunities)
+    ]
+
+
+class TestProfiles:
+    def test_named_profiles_exist(self):
+        assert {"none", "light", "heavy"} <= set(PROFILES)
+
+    def test_none_profile_plans_nothing(self):
+        engine = ChaosEngine(get_profile("none"), seed=1)
+        assert all(fault is NO_FAULT for fault in drive(engine))
+        assert not any(
+            engine.plan_write_stale(op, 0, 0) for op in range(100)
+        )
+
+    def test_rates_validated(self):
+        with pytest.raises(ClusterError):
+            ChaosProfile(name="bad", crash_rate=1.5)
+        with pytest.raises(ClusterError):
+            ChaosProfile(name="bad", stale_rate=-0.1)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ClusterError):
+            get_profile("mayhem")
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = drive(ChaosEngine(get_profile("heavy"), seed=42))
+        second = drive(ChaosEngine(get_profile("heavy"), seed=42))
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        first = drive(ChaosEngine(get_profile("heavy"), seed=1), 500)
+        second = drive(ChaosEngine(get_profile("heavy"), seed=2), 500)
+        assert first != second
+
+    def test_stale_schedule_deterministic(self):
+        plans = [
+            [
+                ChaosEngine(get_profile("heavy"), seed=9).plan_write_stale(
+                    op, 0, 0
+                )
+                for op in range(50)
+            ]
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+
+class TestSafetyBounds:
+    def test_crash_cap_respected(self):
+        engine = ChaosEngine(get_profile("heavy"), seed=3)
+        faults = drive(engine, 2000)
+        crashes = sum(1 for fault in faults if fault.crash)
+        assert crashes == engine.injected["crash"]
+        assert crashes <= engine.profile.max_crashes
+
+    def test_never_crashes_last_healthy_replica(self):
+        engine = ChaosEngine(get_profile("heavy"), seed=3)
+        faults = drive(engine, 2000, healthy=1)
+        assert not any(fault.crash for fault in faults)
+
+    def test_straggle_carries_profile_delay(self):
+        engine = ChaosEngine(get_profile("heavy"), seed=5)
+        delays = {
+            fault.extra_seconds
+            for fault in drive(engine, 500)
+            if fault.extra_seconds
+        }
+        assert delays == {engine.profile.straggle_seconds}
+
+    def test_summary_counts(self):
+        engine = ChaosEngine(get_profile("heavy"), seed=7)
+        drive(engine, 300)
+        text = engine.summary()
+        assert "heavy" in text and "seed=7" in text
+        assert f"{engine.injected['straggle']} stragglers" in text

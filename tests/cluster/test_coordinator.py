@@ -1,0 +1,320 @@
+"""Coordinator contract: every gathered answer — healthy or degraded —
+equals a serial NAIVE recompute over the rows at the answer's version."""
+
+import pytest
+
+from repro.cluster import (
+    ChaosEngine,
+    ChaosProfile,
+    ClusterCoordinator,
+    VersionVector,
+)
+from repro.core.aggregates import AggregateSpec
+from repro.core.bindings import FactTable
+from repro.core.cube import ExecutionOptions, compute_cube
+from repro.errors import ClusterError, CubeError, ShardUnavailable
+from repro.testing import messy_workload, small_workload
+
+
+def fresh(**overrides):
+    workload = small_workload(**overrides)
+    table = workload.fact_table()
+    return table, workload.oracle(table)
+
+
+def reference_cuboid(table, rows, point):
+    snapshot = FactTable(table.lattice, list(rows), table.aggregate)
+    result = compute_cube(
+        snapshot, ExecutionOptions(algorithm="NAIVE", points=(point,))
+    )
+    return result.cuboids[point]
+
+
+def with_aggregate(table, function):
+    spec = (
+        AggregateSpec()
+        if function == "COUNT"
+        else AggregateSpec(function, "@m")
+    )
+    return FactTable(table.lattice, list(table.rows), aggregate=spec)
+
+
+def first_point(table):
+    return next(iter(table.lattice.points()))
+
+
+def assert_cluster_serves_exactly(coordinator, table, rows=None):
+    rows = table.rows if rows is None else rows
+    for point in table.lattice.points():
+        expected = reference_cuboid(table, rows, point)
+        got = coordinator.cuboid(point)
+        if table.aggregate.function == "COUNT":
+            assert got == expected, table.lattice.describe(point)
+        else:
+            # SUM/AVG fold in a different (per-shard) order; values are
+            # equal up to float associativity.
+            assert set(got) == set(expected)
+            for key in expected:
+                assert got[key] == pytest.approx(
+                    expected[key], rel=1e-9, abs=1e-12
+                )
+
+
+class TestHealthyCluster:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 8])
+    def test_matches_serial_naive(self, n_shards):
+        table, oracle = fresh()
+        with ClusterCoordinator(table, n_shards, 2, oracle=oracle) as c:
+            assert_cluster_serves_exactly(c, table)
+
+    def test_messy_workload_matches(self):
+        # Non-disjoint grouping and incomplete coverage: exactly the
+        # paper's Sec. 2 hard cases.  Fact partitioning stays disjoint,
+        # so the gathered states still merge losslessly.
+        workload = messy_workload()
+        table = workload.fact_table()
+        with ClusterCoordinator(table, 4, 2) as coordinator:
+            assert_cluster_serves_exactly(coordinator, table)
+
+    @pytest.mark.parametrize("function", ["SUM", "MIN", "MAX", "AVG"])
+    def test_all_aggregates_merge(self, function):
+        table, _ = fresh()
+        table = with_aggregate(table, function)
+        with ClusterCoordinator(table, 3, 2) as coordinator:
+            assert_cluster_serves_exactly(coordinator, table)
+
+    def test_version_vector_starts_at_zero(self):
+        table, oracle = fresh()
+        with ClusterCoordinator(table, 3, 2, oracle=oracle) as c:
+            assert c.version_vector == VersionVector.zero(3)
+            _, vector = c.cuboid_versioned(first_point(table))
+            assert vector == VersionVector.zero(3)
+
+    def test_rejects_foreign_point(self):
+        table, oracle = fresh()
+        other = small_workload(n_axes=2).fact_table()
+        with ClusterCoordinator(table, 2, 1, oracle=oracle) as c:
+            with pytest.raises(CubeError):
+                c.cuboid(first_point(other))
+
+    def test_rejects_bad_geometry(self):
+        table, _ = fresh()
+        with pytest.raises(ClusterError):
+            ClusterCoordinator(table, 0)
+        with pytest.raises(ClusterError):
+            ClusterCoordinator(table, 2, 0)
+
+
+class TestOlapOperations:
+    def test_cell_slice_dice_match_single_node(self):
+        from repro.serve import CubeServer
+
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        point = first_point(table)
+        with ClusterCoordinator(table, 4, 2, oracle=oracle) as c:
+            cuboid = server.cuboid(point)
+            some_key = next(iter(cuboid))
+            assert c.cell(point, some_key) == server.cell(
+                point, some_key
+            )
+            value = some_key[0]
+            assert c.slice(point, 0, value) == server.slice(
+                point, 0, value
+            )
+            assert c.dice(point, {0: [value]}) == server.dice(
+                point, {0: [value]}
+            )
+
+
+class TestWrites:
+    def test_insert_delete_roundtrip(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        with ClusterCoordinator(table, 4, 2, oracle=oracle) as c:
+            batch = rows[:5]
+            vector = c.delete(batch)
+            assert sum(vector) >= 1  # every touched shard bumped once
+            assert_cluster_serves_exactly(c, table, rows[5:])
+            reinserted = c.insert(batch)
+            assert reinserted.dominates(vector)
+            assert_cluster_serves_exactly(c, table, rows[5:] + batch)
+
+    def test_writes_reach_all_replicas(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        with ClusterCoordinator(table, 2, 3, oracle=oracle) as c:
+            c.delete(rows[:3])
+            for shard in c.shards:
+                versions = {replica.version for replica in shard}
+                assert len(versions) == 1
+
+    def test_read_answers_at_written_version(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        with ClusterCoordinator(table, 3, 2, oracle=oracle) as c:
+            written = c.delete(rows[:4])
+            _, read_vector = c.cuboid_versioned(first_point(table))
+            assert read_vector == written
+
+
+class TestFailover:
+    def test_crashed_primary_fails_over(self):
+        table, oracle = fresh()
+        with ClusterCoordinator(table, 2, 2, oracle=oracle) as c:
+            c.shards[0][0].crash()
+            assert_cluster_serves_exactly(c, table)
+            kinds = [e.kind for e in c.events.cluster_events()]
+            assert "failover" in kinds
+            assert c.stats().failovers >= 1
+
+    def test_all_replicas_down_is_unavailable(self):
+        table, oracle = fresh()
+        with ClusterCoordinator(table, 2, 2, oracle=oracle) as c:
+            for replica in c.shards[1]:
+                replica.crash()
+            with pytest.raises(ShardUnavailable):
+                c.cuboid(first_point(table))
+
+    def test_heal_all_restores_service(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        with ClusterCoordinator(table, 2, 2, oracle=oracle) as c:
+            for replica in c.shards[1]:
+                replica.crash()
+            c.delete(rows[:3])  # queued on the downed replicas
+            assert c.heal_all() == 2
+            assert_cluster_serves_exactly(c, table, rows[3:])
+
+    def test_crashed_replica_catches_up_on_heal(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        with ClusterCoordinator(table, 2, 2, oracle=oracle) as c:
+            backup = c.shards[0][1]
+            backup.crash()
+            c.delete(rows[:4])
+            backup.heal()
+            assert backup.version == c.shards[0][0].version
+
+
+class TestStaleReplicas:
+    def test_stale_replica_synced_before_answering(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        chaos = ChaosEngine(
+            ChaosProfile(name="stale-only", stale_rate=1.0), seed=1
+        )
+        with ClusterCoordinator(
+            table, 2, 2, oracle=oracle, chaos=chaos
+        ) as c:
+            c.delete(rows[:3])  # every replica defers (stale_rate=1)
+            assert_cluster_serves_exactly(c, table, rows[3:])
+            assert c.stats().stale_retries >= 1
+            kinds = [e.kind for e in c.events.cluster_events()]
+            assert "stale" in kinds and "stale_retry" in kinds
+
+    def test_runaway_replica_rejects_then_errors(self):
+        table, oracle = fresh()
+        with ClusterCoordinator(
+            table, 2, 1, oracle=oracle, max_read_rounds=2
+        ) as c:
+            # A replica that applied a write the coordinator never
+            # issued: its version is permanently ahead of the write
+            # log, so no gather can ever be consistent.
+            rogue = c.shards[0][0]
+            rogue.apply("delete", list(rogue.table.rows[:1]))
+            with pytest.raises(ClusterError):
+                c.cuboid(first_point(table))
+            assert c.stats().rejects >= 1
+            kinds = [e.kind for e in c.events.cluster_events()]
+            assert "reject" in kinds
+
+
+class TestHedgedReads:
+    def test_straggler_triggers_hedge(self):
+        table, oracle = fresh()
+        chaos = ChaosEngine(
+            ChaosProfile(
+                name="slow", straggle_rate=1.0, straggle_seconds=2.0
+            ),
+            seed=1,
+        )
+        with ClusterCoordinator(
+            table, 2, 2, oracle=oracle, chaos=chaos,
+            hedge_deadline_seconds=0.01,
+        ) as c:
+            point = first_point(table)
+            assert c.cuboid(point) == reference_cuboid(
+                table, table.rows, point
+            )
+            assert c.stats().hedges >= 1
+            kinds = [e.kind for e in c.events.cluster_events()]
+            assert "straggle" in kinds and "hedge" in kinds
+
+    def test_hedge_bounds_modeled_latency(self):
+        table, oracle = fresh()
+
+        def slow_chaos():
+            return ChaosEngine(
+                ChaosProfile(
+                    name="slow", straggle_rate=1.0, straggle_seconds=5.0
+                ),
+                seed=1,
+            )
+
+        with ClusterCoordinator(
+            table, 2, 2, oracle=oracle, chaos=slow_chaos(),
+            hedge_deadline_seconds=0.01,
+        ) as hedged:
+            hedged.cuboid(first_point(table))
+            hedged_latency = hedged.modeled_latencies()[0]
+        with ClusterCoordinator(
+            table, 2, 2, oracle=oracle, chaos=slow_chaos(),
+            hedge_deadline_seconds=None,
+        ) as unhedged:
+            unhedged.cuboid(first_point(table))
+            unhedged_latency = unhedged.modeled_latencies()[0]
+        assert hedged_latency < unhedged_latency
+        assert unhedged_latency >= 5.0
+
+
+class TestObservability:
+    def test_read_and_write_events_carry_versions(self):
+        table, oracle = fresh()
+        rows = list(table.rows)
+        with ClusterCoordinator(table, 3, 1, oracle=oracle) as c:
+            c.delete(rows[:2])
+            c.cuboid(first_point(table))
+            events = c.events.cluster_events()
+            reads = [e for e in events if e.kind == "read"]
+            writes = [e for e in events if e.kind == "write"]
+            assert reads and len(reads[-1].versions) == 3
+            assert writes and sum(writes[-1].versions) >= 1
+
+    def test_metrics_and_spans_emitted_under_trace(self):
+        from repro import obs
+
+        table, oracle = fresh()
+        with obs.trace() as tracer:
+            with ClusterCoordinator(table, 2, 2, oracle=oracle) as c:
+                c.cuboid(first_point(table))
+        trace = tracer.trace()
+        assert "x3_cluster_requests_total" in trace.to_prometheus()
+        names = set(trace.span_names())
+        assert {"cluster.request", "cluster.shard", "cluster.merge"} \
+            <= names
+
+    def test_stats_snapshot(self):
+        table, oracle = fresh()
+        with ClusterCoordinator(table, 4, 2, oracle=oracle) as c:
+            points = list(table.lattice.points())[:3]
+            for point in points:
+                c.cuboid(point)
+            stats = c.stats()
+            assert stats.requests == 3
+            assert stats.shards == 4 and stats.replicas == 2
+            assert stats.healthy_replicas == 8
+            assert stats.merged_cells > 0
+            assert stats.modeled_cost_seconds > 0
+            assert len(c.modeled_latencies()) == 3
+            assert "requests" in stats.summary()

@@ -1,0 +1,51 @@
+"""Version vectors: the consistency currency of the cluster."""
+
+import pytest
+
+from repro.cluster.versions import VersionVector
+from repro.errors import ClusterError
+
+
+class TestVersionVector:
+    def test_zero(self):
+        vector = VersionVector.zero(4)
+        assert vector.versions == (0, 0, 0, 0)
+        assert vector.n_shards == 4
+
+    def test_zero_rejects_bad_shard_count(self):
+        with pytest.raises(ClusterError):
+            VersionVector.zero(0)
+
+    def test_bump_is_persistent(self):
+        vector = VersionVector.zero(3)
+        bumped = vector.bump(1)
+        assert bumped.versions == (0, 1, 0)
+        assert vector.versions == (0, 0, 0)
+
+    def test_indexing_and_iteration(self):
+        vector = VersionVector((5, 7, 9))
+        assert vector[1] == 7
+        assert list(vector) == [5, 7, 9]
+
+    def test_dominates(self):
+        low = VersionVector((1, 2, 3))
+        high = VersionVector((2, 2, 3))
+        assert high.dominates(low)
+        assert high.dominates(high)
+        assert not low.dominates(high)
+
+    def test_incomparable_vectors(self):
+        left = VersionVector((1, 0))
+        right = VersionVector((0, 1))
+        assert not left.dominates(right)
+        assert not right.dominates(left)
+
+    def test_dominates_rejects_shard_count_mismatch(self):
+        with pytest.raises(ClusterError):
+            VersionVector.zero(2).dominates(VersionVector.zero(3))
+
+    def test_str(self):
+        assert str(VersionVector((0, 2, 1))) == "v[0,2,1]"
+
+    def test_hashable_for_history_sets(self):
+        assert VersionVector((1, 2)) in {VersionVector((1, 2))}
