@@ -20,6 +20,7 @@ import pytest
 
 from repro.bench.runner import bench_artifact_path, write_bench_artifact
 from repro.cluster import ClusterCoordinator
+from repro.core.query import Query
 from repro.serve.cli import sample_points
 
 from benchmarks.test_bench_serve import REPO_ROOT
@@ -56,7 +57,7 @@ def cluster_curves(dense_cov_disj):
             hedge_deadline_seconds=None,
         ) as cluster:
             for point in replay:
-                cluster.cuboid(point)
+                cluster.query(Query(point=point))
             latencies = cluster.modeled_latencies()
             stats = cluster.stats()
         total = sum(latencies)

@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from repro.bench.runner import bench_artifact_path, write_bench_artifact
+from repro.core.query import Query
 from repro.serve import CubeServer
 from repro.serve.cli import sample_points
 
@@ -40,7 +41,7 @@ def serve_curves(dense_cov_disj):
         budget = int(total_cells * fraction)
         server = CubeServer(table, oracle, cache_cells=budget)
         for point in replay:
-            server.cuboid(point)
+            server.query(Query(point=point))
         stats = server.stats()
         curves.append(
             {

@@ -1,0 +1,130 @@
+"""HTTP front-door benchmark: load-generator latency distribution.
+
+Boots a real :class:`repro.server.X3HttpServer` (socket transport, not
+the in-process API core) over a single :class:`repro.serve.CubeServer`,
+drives it with the deterministic closed-loop load generator, and writes
+the resulting latency distribution to ``BENCH_server.json`` at the
+repository root.  The acceptance signal is the modeled latency columns
+— the wall-clock columns ride along for operator context but vary with
+the host.  The modeled p95 of the same replay is separately pinned by
+the perf gate (``server_p95_modeled_seconds``); this artifact is the
+richer companion: per-status counts, per-op mix, admission stats and
+both quantile families.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.runner import bench_artifact_path, write_bench_artifact
+from repro.obs.live import LiveTelemetry
+from repro.serve import CubeServer
+from repro.server import (
+    AdmissionController,
+    CubeCatalog,
+    LoadGenerator,
+    LogicalCube,
+    X3Api,
+    X3HttpServer,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_PATH = bench_artifact_path("server", REPO_ROOT)
+
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 30
+SEED = 17
+QUANTILES = (0.50, 0.95, 0.99)
+
+
+@pytest.fixture(scope="module")
+def server_load(dense_cov_disj):
+    table = dense_cov_disj.table
+    backend = CubeServer(table, dense_cov_disj.oracle)
+    catalog = CubeCatalog()
+    catalog.register(
+        LogicalCube.from_lattice("bench", table.lattice), backend
+    )
+    api = X3Api(catalog, admission=AdmissionController(64))
+    telemetry = LiveTelemetry()
+    with X3HttpServer(api) as front:
+        generator = LoadGenerator(
+            front.host,
+            front.port,
+            "bench",
+            table.lattice,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            seed=SEED,
+            telemetry=telemetry,
+        )
+        report = generator.run()
+    ops = {}
+    for record in report.records:
+        ops[record.op] = ops.get(record.op, 0) + 1
+    payload = {
+        "workload": {
+            "kind": dense_cov_disj.config.kind,
+            "n_facts": dense_cov_disj.config.n_facts,
+            "n_axes": dense_cov_disj.config.n_axes,
+            "density": dense_cov_disj.config.density,
+        },
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "seed": SEED,
+        "statuses": {
+            str(status): count
+            for status, count in sorted(report.statuses.items())
+        },
+        "ops": ops,
+        "modeled_quantiles": {
+            str(q): report.modeled_quantiles[q] for q in QUANTILES
+        },
+        "wall_quantiles": {
+            str(q): report.wall_quantiles[q] for q in QUANTILES
+        },
+        "admission": api.admission.stats(),
+        "backend_hit_rate": backend.stats().hit_rate,
+    }
+    write_bench_artifact("server", payload, REPO_ROOT)
+    return report, telemetry, api
+
+
+def test_writes_bench_server_json(server_load):
+    assert OUT_PATH.exists()
+    document = json.loads(OUT_PATH.read_text())
+    assert document["clients"] == CLIENTS
+    assert document["modeled_quantiles"]["0.95"] > 0.0
+
+
+def test_every_request_answered(server_load):
+    report, _, _ = server_load
+    assert report.requests == CLIENTS * REQUESTS_PER_CLIENT
+    # A generously sized admission budget sheds nothing; every request
+    # must come back 200 over the real socket transport.
+    assert set(report.statuses) == {200}, report.statuses
+
+
+def test_quantiles_are_ordered(server_load):
+    report, _, _ = server_load
+    modeled = [report.modeled_quantiles[q] for q in QUANTILES]
+    assert modeled == sorted(modeled), modeled
+    assert modeled[0] > 0.0
+
+
+def test_telemetry_absorbed_the_run(server_load):
+    report, telemetry, _ = server_load
+    explains = sum(1 for r in report.records if r.op == "explain")
+    window = telemetry.snapshot()
+    # Every answered non-explain request re-enters the serving
+    # telemetry pipeline as a synthesized RequestEvent.
+    assert window.requests == report.ok - explains
+
+
+def test_admission_saw_every_request(server_load):
+    report, _, api = server_load
+    stats = api.admission.stats()
+    assert stats["admitted"] == report.requests
+    assert stats["rejected"] == 0
+    assert 1 <= stats["peak_inflight"] <= CLIENTS

@@ -26,7 +26,13 @@ Metrics:
 - ``cluster_p95_modeled_seconds`` — p95 modeled request latency of the
   same replay scatter-gathered over a 4-shard / 2-replica cluster with
   cold replicas (every shard read recomputes its slice), the cluster
-  layer's fan-out SLO.
+  layer's fan-out SLO;
+- ``server_p95_modeled_seconds`` — p95 modeled latency of the same
+  replay driven through the complete HTTP front-door request path
+  (route parsing, logical-model binding, JSON encode/decode) via the
+  transport-independent :class:`repro.server.X3Api` — single-threaded
+  and on the modeled time base, so the number is deterministic while
+  still covering every layer a socket request crosses.
 
 Refresh the committed baseline after an intentional perf change::
 
@@ -41,6 +47,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.core.query import Query
 from repro.serve import CubeServer
 from repro.serve.cli import sample_points
 from repro.testing import treebank_workload
@@ -56,6 +63,7 @@ METRIC_DIRECTIONS = {
     "serve_hit_rate": "higher",
     "serve_p95_modeled_seconds": "lower",
     "cluster_p95_modeled_seconds": "lower",
+    "server_p95_modeled_seconds": "lower",
 }
 
 WORKERS = 4
@@ -77,7 +85,7 @@ def collect_metrics() -> Dict[str, float]:
     def replay_server(cache_cells: int) -> CubeServer:
         server = CubeServer(table, prepared.oracle, cache_cells=cache_cells)
         for point in replay:
-            server.cuboid(point)
+            server.query(Query(point=point))
         return server
 
     from repro.core.materialize import cuboid_sizes
@@ -102,11 +110,13 @@ def collect_metrics() -> Dict[str, float]:
         hedge_deadline_seconds=None,
     ) as cluster:
         for point in replay:
-            cluster.cuboid(point)
+            cluster.query(Query(point=point))
         latencies = sorted(cluster.modeled_latencies())
     cluster_p95 = latencies[
         min(len(latencies) - 1, int(round(0.95 * (len(latencies) - 1))))
     ]
+
+    server_p95 = _server_replay_p95(prepared, replay)
 
     return {
         "engine_serial_seconds": serial.cost.simulated_seconds,
@@ -119,7 +129,42 @@ def collect_metrics() -> Dict[str, float]:
         "serve_hit_rate": warm.hit_rate,
         "serve_p95_modeled_seconds": warm_window.modeled_quantiles[0.95],
         "cluster_p95_modeled_seconds": cluster_p95,
+        "server_p95_modeled_seconds": server_p95,
     }
+
+
+def _server_replay_p95(prepared, replay) -> float:
+    """p95 modeled latency of the replay through the HTTP API core.
+
+    The replay runs single-threaded through
+    :meth:`repro.server.X3Api.handle` — the full front-door path minus
+    the socket — and the latencies are the *modeled* seconds each JSON
+    response reports, so the quantile is deterministic."""
+    import json
+
+    from repro.obs.live import percentile
+    from repro.server import CubeCatalog, LogicalCube, X3Api
+
+    table = prepared.table
+    server = CubeServer(table, prepared.oracle)
+    catalog = CubeCatalog()
+    catalog.register(
+        LogicalCube.from_lattice("gate", table.lattice), server
+    )
+    api = X3Api(catalog)
+    latencies = []
+    for point in replay:
+        body = json.dumps(
+            {"point": table.lattice.describe(point)}
+        ).encode("utf-8")
+        response = api.handle(
+            "POST", "/api/v1/cubes/gate/aggregate", body
+        )
+        assert response.status == 200, response.body
+        latencies.append(
+            float(json.loads(response.body)["modeled_seconds"])
+        )
+    return percentile(latencies, 0.95)
 
 
 def compare(

@@ -35,6 +35,7 @@ the consistency check validates against.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -47,13 +48,22 @@ from repro.core.groupby import Cuboid
 from repro.core.lattice import LatticePoint
 from repro.core.merge import finalize_states, merge_states
 from repro.core.properties import PropertyOracle
-from repro.core.rollup import dice_cuboid, slice_cuboid
+from repro.core.query import (
+    Query,
+    QueryExplanation,
+    QueryResult,
+    ShardPlan,
+    finish_query,
+    kept_axis_name,
+    resolve_point_spec,
+    resolve_target,
+)
 from repro.cluster.chaos import NO_FAULT, ChaosEngine, ReadFault
 from repro.cluster.partition import partition_rows
 from repro.cluster.shard import ShardAnswer, ShardReplica
 from repro.cluster.versions import VersionVector
-from repro.errors import ClusterError, CubeError, ShardUnavailable
-from repro.obs.events import ClusterEvent, EventLog
+from repro.errors import ClusterError, InvalidQuery, ShardUnavailable
+from repro.obs.events import ClusterEvent, EventLog, RungDecision
 from repro.timber.stats import CostModel
 
 _CPU_OP_SECONDS = CostModel.cpu_op_cost
@@ -160,7 +170,6 @@ class ClusterCoordinator:
         self.max_stale_retries = max_stale_retries
         self.max_read_rounds = max_read_rounds
         self.events = EventLog(event_log_capacity)
-        self._point_set = frozenset(self.lattice.points())
 
         slices = partition_rows(table.rows, n_shards)
         self.shards: List[List[ShardReplica]] = [
@@ -225,9 +234,7 @@ class ClusterCoordinator:
     # point resolution
     # ------------------------------------------------------------------
     def resolve_point(self, spec: PointSpec) -> LatticePoint:
-        if isinstance(spec, str):
-            return self.lattice.point_by_description(spec)
-        return spec
+        return resolve_point_spec(self.lattice, spec)
 
     @property
     def version_vector(self) -> VersionVector:
@@ -235,11 +242,92 @@ class ClusterCoordinator:
             return VersionVector(tuple(self._expected))
 
     # ------------------------------------------------------------------
+    # the unified CubeBackend surface (shared with CubeServer)
+    # ------------------------------------------------------------------
+    def query(self, query: Query) -> QueryResult:
+        """Answer one :class:`~repro.core.query.Query` over the cluster.
+
+        The scatter-gather path has no per-request ladder: the rung
+        trail is a single synthesized ``scatter-gather`` decision (each
+        replica's own ladder walk lives in its local event log).
+        """
+        self._check_measure(query.measure)
+        point = resolve_target(self.lattice, query)
+        cuboid, vector, latency = self._request(point, kind=query.kind)
+        rung = RungDecision(
+            rung="scatter-gather",
+            taken=True,
+            reason=(
+                f"merged {self.n_shards} shard state(s) at vector "
+                f"{list(vector.versions)}"
+            ),
+        )
+        return finish_query(
+            self.lattice,
+            query,
+            point,
+            cuboid,
+            vector.versions,
+            "scatter-gather",
+            (rung,),
+            latency,
+        )
+
+    def explain_query(self, query: Query) -> QueryExplanation:
+        """The scatter plan, without executing the gather.
+
+        For each shard: which replica the coordinator would consult
+        (the first healthy one), and the rung *that replica's* ladder
+        predicts it would answer from right now.  Pure — no events, no
+        cache effects, no fault injection.
+        """
+        self._check_measure(query.measure)
+        point = resolve_target(self.lattice, query)
+        plans: List[ShardPlan] = []
+        for shard_id in range(self.n_shards):
+            replica = next(
+                (r for r in self.shards[shard_id] if r.healthy), None
+            )
+            if replica is None:
+                plans.append(
+                    ShardPlan(
+                        shard=shard_id, replica=-1, tier="unavailable"
+                    )
+                )
+                continue
+            local = replica.server.explain(point)
+            plans.append(
+                ShardPlan(
+                    shard=shard_id,
+                    replica=replica.replica,
+                    tier=local.tier,
+                    rungs=local.rungs,
+                )
+            )
+        return QueryExplanation(
+            backend="cluster",
+            kind=query.kind,
+            point=self.lattice.describe(point),
+            version=self.version_token(),
+            tier="scatter-gather",
+            rungs=(),
+            shards=tuple(plans),
+        )
+
+    def version_token(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._expected)
+
+    def _check_measure(self, measure: Optional[str]) -> None:
+        served = self.aggregate.function.upper()
+        if measure is not None and measure.upper() != served:
+            raise InvalidQuery(
+                f"this cube serves measure {served!r}, not {measure!r}"
+            )
+
+    # ------------------------------------------------------------------
     # reads: scatter, degrade gracefully, gather, merge states
     # ------------------------------------------------------------------
-    def cuboid(self, spec: PointSpec) -> Cuboid:
-        return self.cuboid_versioned(spec)[0]
-
     def cuboid_versioned(
         self, spec: PointSpec, *, kind: str = "cuboid"
     ) -> Tuple[Cuboid, VersionVector]:
@@ -250,11 +338,14 @@ class ClusterCoordinator:
         wrong version) are rejected, lagging replicas synced, and the
         scatter retried up to ``max_read_rounds`` times.
         """
-        point = self.resolve_point(spec)
-        if point not in self._point_set:
-            raise CubeError(
-                f"point {point!r} is not in this cube's lattice"
-            )
+        cuboid, vector, _ = self._request(
+            self.resolve_point(spec), kind=kind
+        )
+        return cuboid, vector
+
+    def _request(
+        self, point: LatticePoint, *, kind: str
+    ) -> Tuple[Cuboid, VersionVector, float]:
         described = self.lattice.describe(point)
         with obs.span(
             "cluster.request",
@@ -269,22 +360,61 @@ class ClusterCoordinator:
             )
         obs.count("x3_cluster_requests_total", kind=kind)
         obs.observe("x3_cluster_request_modeled_seconds", latency)
-        return cuboid, vector
+        return cuboid, vector, latency
+
+    # ------------------------------------------------------------------
+    # deprecated positional query surface (PR 6 shims)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _warn_positional(name: str) -> None:
+        warnings.warn(
+            f"ClusterCoordinator.{name}(...) positional queries are "
+            f"deprecated; pass ClusterCoordinator.query(Query(...)) "
+            f"instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def cuboid(self, spec: PointSpec) -> Cuboid:
+        self._warn_positional("cuboid")
+        return self.query(Query(point=spec)).as_cuboid()
 
     def cell(self, spec: PointSpec, key: GroupKey) -> Optional[float]:
-        return self.cuboid_versioned(spec, kind="cell")[0].get(key)
+        self._warn_positional("cell")
+        return self.query(
+            Query(point=spec, kind="cell", key=key)
+        ).as_cell()
 
     def slice(self, spec: PointSpec, axis_index: int, value: str) -> Cuboid:
-        return slice_cuboid(
-            self.cuboid_versioned(spec, kind="slice")[0], axis_index, value
-        )
+        self._warn_positional("slice")
+        point = self.resolve_point(spec)
+        return self.query(
+            Query(
+                point=point,
+                kind="slice",
+                axis=kept_axis_name(self.lattice, point, axis_index),
+                value=value,
+            )
+        ).as_cuboid()
 
     def dice(
         self, spec: PointSpec, predicates: Dict[int, Sequence[str]]
     ) -> Cuboid:
-        return dice_cuboid(
-            self.cuboid_versioned(spec, kind="dice")[0], predicates
-        )
+        self._warn_positional("dice")
+        point = self.resolve_point(spec)
+        return self.query(
+            Query(
+                point=point,
+                kind="dice",
+                filters=tuple(
+                    (
+                        kept_axis_name(self.lattice, point, index),
+                        tuple(values),
+                    )
+                    for index, values in predicates.items()
+                ),
+            )
+        ).as_cuboid()
 
     def _gather(
         self, point: LatticePoint, described: str, kind: str

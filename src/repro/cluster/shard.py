@@ -179,7 +179,7 @@ class ShardReplica:
         with self._lock:
             if self._crashed:
                 raise ShardUnavailable(self.shard, self.replica, "crashed")
-            return self.server.cuboid(point)
+            return self.server.cuboid_versioned(point)[0]
 
     # ------------------------------------------------------------------
     # writes

@@ -1,20 +1,45 @@
-"""The X^3 query object: fact binding, axes, aggregate.
+"""The X^3 query objects: the cube specification and the serving API.
 
-An :class:`X3Query` is the structured form of the paper's augmented FLWOR
-expression (Query 1).  It knows how to render itself back to that syntax,
-how to build its cube lattice, and how to build the grouping tree pattern
-(rigid and most-relaxed) that Sec. 2 defines.
+Two layers live here:
+
+- :class:`X3Query` — the structured form of the paper's augmented FLWOR
+  expression (Query 1).  It knows how to render itself back to that
+  syntax, how to build its cube lattice, and how to build the grouping
+  tree pattern (rigid and most-relaxed) that Sec. 2 defines.
+- The **unified serving API**: one frozen :class:`Query` request, one
+  :class:`QueryResult` envelope, and the :class:`CubeBackend` protocol
+  both runtime surfaces (:class:`repro.serve.CubeServer` and
+  :class:`repro.cluster.ClusterCoordinator`) satisfy.  Before this
+  contract existed the two backends duplicated the ``cuboid`` /
+  ``cuboid_versioned`` / ``cell`` / ``slice`` / ``dice`` method shapes
+  with positional ``PointSpec`` arguments and no shared type; the HTTP
+  front door (:mod:`repro.server`), the CLIs and the tests all speak
+  :class:`Query` now, and the old positional signatures survive only as
+  deprecated shims.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 from repro.core.axes import AxisSpec
 from repro.core.aggregates import AggregateSpec
-from repro.core.lattice import CubeLattice
-from repro.errors import QueryError
+from repro.core.bindings import FactRow, GroupKey
+from repro.core.lattice import CubeLattice, LatticePoint
+from repro.errors import InvalidQuery, QueryError, StaleVersion
+from repro.obs.events import RungDecision
 from repro.patterns.pattern import EdgeAxis, PatternNode, TreePattern
 from repro.patterns.relaxation import Relaxation, most_relaxed_pattern
 
@@ -108,3 +133,477 @@ class X3Query:
 
     def __str__(self) -> str:
         return self.to_flwor()
+
+
+# ======================================================================
+# the unified serving API: Query / QueryResult / CubeBackend
+# ======================================================================
+
+#: Spec of the lattice point a query targets: the point itself or its
+#: description string (``"$n:LND, $y:rigid"``).
+PointSpec = Union[LatticePoint, str]
+
+#: Query kinds the serving API accepts.  ``aggregate`` returns the
+#: cuboid at the target point; ``drilldown`` refines the point one
+#: relaxation step *finer* on one axis first; ``cell`` / ``slice`` /
+#: ``dice`` post-process the resolved cuboid.
+QUERY_KINDS = ("aggregate", "drilldown", "cell", "slice", "dice")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One serving request, the single request shape of every backend.
+
+    Attributes:
+        point: target lattice point (or its description string).
+        kind: one of :data:`QUERY_KINDS`.
+        axis: axis name (``"$y"``) — the drilldown axis, or the sliced
+            axis.
+        value: the slice value.
+        key: the group key a ``cell`` query asks for.
+        filters: dice predicates as ``(axis name, allowed values)``
+            pairs; a cell survives when every named axis's key component
+            is among the allowed values.
+        measure: expected aggregate function name (``"COUNT"``); when
+            set, the backend rejects the query unless it matches the
+            cube's aggregate — a cheap schema check for remote callers.
+        read_version: minimum version token the answer must reflect
+            (read-your-writes).  A 1-vector against a single server, a
+            per-shard vector against a cluster; :class:`StaleVersion`
+            when the backend has not caught up.
+        deadline_seconds: modeled-latency budget; the result's
+            ``deadline_exceeded`` flag reports an overrun (the answer is
+            still returned — the model's time base is simulated, so
+            cancelling mid-flight would fake urgency, not model it).
+    """
+
+    point: PointSpec
+    kind: str = "aggregate"
+    axis: Optional[str] = None
+    value: Optional[str] = None
+    key: Optional[GroupKey] = None
+    filters: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    measure: Optional[str] = None
+    read_version: Optional[Tuple[int, ...]] = None
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise InvalidQuery(
+                f"unknown query kind {self.kind!r}; expected one of "
+                f"{QUERY_KINDS}"
+            )
+        if self.key is not None:
+            object.__setattr__(self, "key", tuple(self.key))
+        object.__setattr__(
+            self,
+            "filters",
+            tuple(
+                (axis, tuple(values)) for axis, values in self.filters
+            ),
+        )
+        if self.read_version is not None:
+            object.__setattr__(
+                self, "read_version", tuple(self.read_version)
+            )
+        if self.kind == "drilldown" and not self.axis:
+            raise InvalidQuery("drilldown needs an axis name")
+        if self.kind == "slice" and (not self.axis or self.value is None):
+            raise InvalidQuery("slice needs an axis name and a value")
+        if self.kind == "dice" and not self.filters:
+            raise InvalidQuery("dice needs at least one filter")
+        if self.kind == "cell" and self.key is None:
+            raise InvalidQuery("cell needs a group key")
+
+    # ------------------------------------------------------------------
+    # wire form
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Query":
+        """Build from the HTTP JSON body (:class:`InvalidQuery` on any
+        malformed field — transports map it to a 400)."""
+        if not isinstance(payload, Mapping):
+            raise InvalidQuery(
+                f"query body must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        known = {
+            "point", "kind", "axis", "value", "key", "filters",
+            "measure", "read_version", "deadline_seconds",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidQuery(
+                f"unknown query fields {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        point = payload.get("point")
+        if not isinstance(point, str) or not point.strip():
+            raise InvalidQuery(
+                "query needs a non-empty 'point' description string"
+            )
+        try:
+            filters = tuple(
+                (str(axis), tuple(str(v) for v in values))
+                for axis, values in dict(
+                    payload.get("filters") or {}
+                ).items()
+            )
+            key = payload.get("key")
+            if key is not None:
+                key = tuple(
+                    None if part is None else str(part) for part in key
+                )
+            read_version = payload.get("read_version")
+            if read_version is not None:
+                read_version = tuple(int(v) for v in read_version)
+            deadline = payload.get("deadline_seconds")
+            if deadline is not None:
+                deadline = float(deadline)
+        except (TypeError, ValueError) as error:
+            raise InvalidQuery(f"malformed query field: {error}") from None
+        return cls(
+            point=point,
+            kind=str(payload.get("kind", "aggregate")),
+            axis=payload.get("axis"),
+            value=payload.get("value"),
+            key=key,
+            filters=filters,
+            measure=payload.get("measure"),
+            read_version=read_version,
+            deadline_seconds=deadline,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON wire form (round-trips through :meth:`from_dict`
+        when ``point`` is a description string)."""
+        out: Dict[str, Any] = {"point": self.point, "kind": self.kind}
+        if self.axis is not None:
+            out["axis"] = self.axis
+        if self.value is not None:
+            out["value"] = self.value
+        if self.key is not None:
+            out["key"] = list(self.key)
+        if self.filters:
+            out["filters"] = {
+                axis: list(values) for axis, values in self.filters
+            }
+        if self.measure is not None:
+            out["measure"] = self.measure
+        if self.read_version is not None:
+            out["read_version"] = list(self.read_version)
+        if self.deadline_seconds is not None:
+            out["deadline_seconds"] = self.deadline_seconds
+        return out
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered :class:`Query`: payload plus provenance envelope.
+
+    The payload is a cuboid mapping for ``aggregate`` / ``drilldown`` /
+    ``slice`` / ``dice`` and a single cell value (or ``None``) for
+    ``cell``.  The envelope carries everything a remote caller needs to
+    trust and reuse the answer: the version token it is exact at, the
+    sound-source rung that produced it with the full ladder trail, and
+    the modeled cost actually paid.
+    """
+
+    kind: str
+    point: str  #: described lattice point actually served
+    payload: Union[Dict[GroupKey, float], float, None]
+    version: Tuple[int, ...]  #: version token the answer is exact at
+    tier: str  #: resolving rung ("scatter-gather" on a cluster)
+    rungs: Tuple[RungDecision, ...]
+    modeled_seconds: float
+    cells: int  #: size of the resolved cuboid, pre-transform
+    deadline_exceeded: bool = False
+
+    def as_cuboid(self) -> Dict[GroupKey, float]:
+        if not isinstance(self.payload, dict):
+            raise InvalidQuery(
+                f"{self.kind} result holds a cell value, not a cuboid"
+            )
+        return self.payload
+
+    def as_cell(self) -> Optional[float]:
+        if isinstance(self.payload, dict):
+            raise InvalidQuery(
+                f"{self.kind} result holds a cuboid, not a cell value"
+            )
+        return self.payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON wire form the HTTP layer returns."""
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "point": self.point,
+            "version": list(self.version),
+            "tier": self.tier,
+            "modeled_seconds": self.modeled_seconds,
+            "cells": self.cells,
+            "deadline_exceeded": self.deadline_exceeded,
+            "rungs": [decision.to_dict() for decision in self.rungs],
+        }
+        if isinstance(self.payload, dict):
+            out["groups"] = [
+                {"key": list(key), "value": value}
+                for key, value in sorted(
+                    self.payload.items(),
+                    key=lambda item: tuple(
+                        (part is None, part) for part in item[0]
+                    ),
+                )
+            ]
+        else:
+            out["value"] = self.payload
+        return out
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's contribution to a cluster query plan."""
+
+    shard: int
+    replica: int  #: the healthy replica that would answer
+    tier: str  #: the rung that replica's ladder would resolve at
+    rungs: Tuple[RungDecision, ...] = ()
+
+
+@dataclass(frozen=True)
+class QueryExplanation:
+    """The backend's plan for a query, without executing it.
+
+    For a single server this wraps the sound-source ladder walk of
+    :meth:`repro.serve.CubeServer.explain`; for a cluster it is the
+    scatter plan — which replica each shard would ask, and the rung that
+    replica would answer from — assembled from the replicas' own
+    ladders.
+    """
+
+    backend: str  #: "serve" or "cluster"
+    kind: str
+    point: str
+    version: Tuple[int, ...]
+    tier: str
+    rungs: Tuple[RungDecision, ...]
+    shards: Tuple[ShardPlan, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "kind": self.kind,
+            "point": self.point,
+            "version": list(self.version),
+            "tier": self.tier,
+            "rungs": [decision.to_dict() for decision in self.rungs],
+            "shards": [
+                {
+                    "shard": plan.shard,
+                    "replica": plan.replica,
+                    "tier": plan.tier,
+                    "rungs": [
+                        decision.to_dict() for decision in plan.rungs
+                    ],
+                }
+                for plan in self.shards
+            ],
+        }
+
+
+@runtime_checkable
+class CubeBackend(Protocol):
+    """What every cube-serving backend speaks: the serving contract.
+
+    :class:`repro.serve.CubeServer` and
+    :class:`repro.cluster.ClusterCoordinator` both satisfy it (enforced
+    by a conformance test parametrized over the two), and the HTTP
+    front door (:mod:`repro.server`) is written against it alone.
+    """
+
+    lattice: CubeLattice
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer one :class:`Query` (the only read path)."""
+        ...
+
+    def explain_query(self, query: Query) -> QueryExplanation:
+        """The plan for ``query``, without executing it."""
+        ...
+
+    def version_token(self) -> Tuple[int, ...]:
+        """The current version token reads can be fenced against."""
+        ...
+
+    def insert(self, rows: Sequence[FactRow]) -> object:
+        """Ingest delta facts; returns the backend's version token."""
+        ...
+
+    def delete(self, rows: Sequence[FactRow]) -> object:
+        """Retract delta facts; returns the backend's version token."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# shared resolution helpers (used by both backends)
+# ----------------------------------------------------------------------
+def resolve_point_spec(lattice: CubeLattice, spec: PointSpec) -> LatticePoint:
+    """Resolve a point spec against a lattice (:class:`InvalidQuery` on
+    unknown axes/states or a point outside the lattice)."""
+    if isinstance(spec, str):
+        try:
+            return lattice.point_by_description(spec)
+        except KeyError as error:
+            raise InvalidQuery(
+                f"bad point description {spec!r}: "
+                f"{error.args[0] if error.args else error}"
+            ) from None
+    point = tuple(spec)
+    if len(point) != lattice.axis_count or not all(
+        0 <= state < states.state_count
+        for state, states in zip(point, lattice.axis_states)
+    ):
+        raise InvalidQuery(
+            f"point {point!r} is not in this cube's lattice"
+        )
+    return point
+
+
+def axis_index(lattice: CubeLattice, axis: str) -> int:
+    """Position of a named axis (:class:`InvalidQuery` when unknown)."""
+    for position, spec in enumerate(lattice.axes):
+        if spec.name == axis:
+            return position
+    raise InvalidQuery(
+        f"unknown axis {axis!r}; this cube has "
+        f"{[spec.name for spec in lattice.axes]}"
+    )
+
+
+def drilldown_point(
+    lattice: CubeLattice, point: LatticePoint, axis: str
+) -> LatticePoint:
+    """The target of a drilldown: one relaxation step *finer* on one
+    axis (the smallest such predecessor, deterministically).
+
+    :class:`InvalidQuery` when the axis is unknown or already at its
+    finest (rigid) state.
+    """
+    position = axis_index(lattice, axis)
+    candidates = sorted(
+        finer
+        for finer in lattice.predecessors(point)
+        if finer[position] != point[position]
+    )
+    if not candidates:
+        raise InvalidQuery(
+            f"axis {axis!r} is already at its finest state at "
+            f"{lattice.describe(point)}; cannot drill down"
+        )
+    return candidates[0]
+
+
+def kept_axis_name(
+    lattice: CubeLattice, point: LatticePoint, axis_index: int
+) -> str:
+    """Inverse of :func:`_kept_axis_index`: the axis name behind a
+    kept-axis position (the coordinate system of the legacy positional
+    ``slice``/``dice`` signatures)."""
+    kept = lattice.kept_axes(point)
+    if not 0 <= axis_index < len(kept):
+        raise InvalidQuery(
+            f"kept-axis index {axis_index} out of range for "
+            f"{lattice.describe(point)} ({len(kept)} kept axes)"
+        )
+    return lattice.axes[kept[axis_index]].name
+
+
+def _kept_axis_index(
+    lattice: CubeLattice, point: LatticePoint, axis: str
+) -> int:
+    """Map an axis name to its index among the point's *kept* axes (the
+    coordinate system of cuboid group keys)."""
+    position = axis_index(lattice, axis)
+    kept = lattice.kept_axes(point)
+    if position not in kept:
+        raise InvalidQuery(
+            f"axis {axis!r} is dropped (LND) at "
+            f"{lattice.describe(point)}; it has no key component to "
+            f"filter on"
+        )
+    return kept.index(position)
+
+
+def resolve_target(lattice: CubeLattice, query: Query) -> LatticePoint:
+    """The lattice point a query actually reads (drilldown refines)."""
+    point = resolve_point_spec(lattice, query.point)
+    if query.kind == "drilldown":
+        assert query.axis is not None  # enforced by __post_init__
+        return drilldown_point(lattice, point, query.axis)
+    return point
+
+
+def check_read_version(
+    requested: Optional[Tuple[int, ...]], answered: Tuple[int, ...]
+) -> None:
+    """Enforce a read-your-writes floor: every component of the
+    answered token must have caught up to the requested one."""
+    if requested is None:
+        return
+    if len(requested) != len(answered):
+        raise InvalidQuery(
+            f"read_version has {len(requested)} component(s); this "
+            f"backend's version token has {len(answered)}"
+        )
+    if any(have < want for have, want in zip(answered, requested)):
+        raise StaleVersion(requested, answered)
+
+
+def finish_query(
+    lattice: CubeLattice,
+    query: Query,
+    point: LatticePoint,
+    cuboid: Dict[GroupKey, float],
+    version: Tuple[int, ...],
+    tier: str,
+    rungs: Tuple[RungDecision, ...],
+    modeled_seconds: float,
+) -> QueryResult:
+    """Apply the query's kind-specific view of the resolved cuboid and
+    wrap it in the result envelope (shared by both backends)."""
+    from repro.core.rollup import dice_cuboid, slice_cuboid
+
+    check_read_version(query.read_version, version)
+    payload: Union[Dict[GroupKey, float], float, None]
+    if query.kind == "cell":
+        assert query.key is not None
+        payload = cuboid.get(query.key)
+    elif query.kind == "slice":
+        assert query.axis is not None and query.value is not None
+        payload = slice_cuboid(
+            cuboid,
+            _kept_axis_index(lattice, point, query.axis),
+            query.value,
+        )
+    elif query.kind == "dice":
+        predicates = {
+            _kept_axis_index(lattice, point, axis): values
+            for axis, values in query.filters
+        }
+        payload = dice_cuboid(cuboid, predicates)
+    else:  # aggregate / drilldown: the cuboid itself
+        payload = cuboid
+    return QueryResult(
+        kind=query.kind,
+        point=lattice.describe(point),
+        payload=payload,
+        version=version,
+        tier=tier,
+        rungs=rungs,
+        modeled_seconds=modeled_seconds,
+        cells=len(cuboid),
+        deadline_exceeded=(
+            query.deadline_seconds is not None
+            and modeled_seconds > query.deadline_seconds
+        ),
+    )

@@ -90,6 +90,57 @@ class MemoryBudgetExceeded(CubeError):
     its memory budget instead of spilling to multi-pass execution."""
 
 
+class InvalidQuery(CubeError):
+    """A structurally malformed query: an unknown lattice point or axis,
+    a bad query kind, missing slice/dice operands, an impossible
+    drilldown.  Serving entry points raise this instead of ad-hoc
+    ``ValueError``/``KeyError`` so transports can map it 1:1 to a
+    status code (HTTP 400)."""
+
+
+class UnknownCube(X3Error):
+    """A query named a cube the catalog does not hold (HTTP 404)."""
+
+    def __init__(self, name: str, known: "tuple[str, ...]" = ()) -> None:
+        self.name = name
+        self.known = tuple(known)
+        detail = f"; catalog has {sorted(self.known)}" if known else ""
+        super().__init__(f"unknown cube {name!r}{detail}")
+
+
+class Overloaded(X3Error):
+    """Request admission refused: the bounded queue is full (HTTP 429).
+
+    Attributes:
+        retry_after_seconds: the backoff hint transports should relay
+            (the HTTP layer sends it as ``Retry-After``).
+    """
+
+    def __init__(
+        self, message: str, retry_after_seconds: float = 1.0
+    ) -> None:
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(message)
+
+
+class StaleVersion(CubeError):
+    """The backend cannot satisfy the query's ``read_version`` floor —
+    its state has not caught up to the version token the client carries
+    from an earlier write (HTTP 409)."""
+
+    def __init__(
+        self,
+        requested: "tuple[int, ...]",
+        current: "tuple[int, ...]",
+    ) -> None:
+        self.requested = tuple(requested)
+        self.current = tuple(current)
+        super().__init__(
+            f"read_version {list(self.requested)} not reached: backend "
+            f"is at {list(self.current)}"
+        )
+
+
 class ClusterError(X3Error):
     """Base class for sharded-cluster coordination errors."""
 

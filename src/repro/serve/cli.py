@@ -29,11 +29,13 @@ import random
 import sys
 from typing import List, Optional
 
+from repro.core.bindings import FactTable
 from repro.core.cube import ENGINE_CHOICES, ExecutionOptions
 from repro.core.extract import extract_fact_table
 from repro.core.properties import PropertyOracle
+from repro.core.query import Query
 from repro.core.xq_parser import parse_x3_query
-from repro.errors import X3Error
+from repro.errors import InvalidQuery, X3Error
 from repro.serve.server import TIERS, CubeServer
 from repro.xmlmodel.parser import parse_file
 
@@ -100,7 +102,7 @@ def add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def load_table(args: argparse.Namespace):
+def load_table(args: argparse.Namespace) -> FactTable:
     """Parse the query and documents into a fact table (X3Error on
     bad input, propagated to the caller's error handling)."""
     with open(args.query, "r", encoding="utf-8") as handle:
@@ -209,10 +211,9 @@ def sample_points(lattice, n: int, seed: int) -> List:
 
 
 def _print_cuboid(server: CubeServer, description: str, top: int) -> None:
-    lattice = server.lattice
-    point = lattice.point_by_description(description)
-    cuboid = server.cuboid(point)
-    print(f"-- {lattice.describe(point)} ({len(cuboid)} groups)")
+    result = server.query(Query(point=description))
+    cuboid = result.as_cuboid()
+    print(f"-- {result.point} ({len(cuboid)} groups)")
     rows = sorted(cuboid.items(), key=lambda item: (-item[1], item[0]))
     for key, value in rows[:top]:
         label = ", ".join(part if part is not None else "-" for part in key)
@@ -257,7 +258,7 @@ def explain_main(argv: List[str]) -> int:
             server.warm()
         if args.cuboid:
             queries = [
-                table.lattice.point_by_description(description)
+                server.resolve_point(description)
                 for description in args.cuboid
             ]
         else:
@@ -267,21 +268,17 @@ def explain_main(argv: List[str]) -> int:
     except (OSError, X3Error) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    except KeyError as error:
-        print(f"error: unknown cuboid {error}", file=sys.stderr)
-        return 1
 
     mismatches = 0
     for point in queries:
         explanation = server.explain(point)
         print(explanation.render())
         if args.verify:
-            server.cuboid(point)
-            recorded = server.events.requests()[-1]
-            agrees = recorded.tier == explanation.tier
+            result = server.query(Query(point=point))
+            agrees = result.tier == explanation.tier
             mismatches += 0 if agrees else 1
             print(
-                f"  executed -> {recorded.tier} "
+                f"  executed -> {result.tier} "
                 f"({'agrees' if agrees else 'MISMATCH'})"
             )
     if args.verify:
@@ -325,7 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for description in args.cuboid:
                     try:
                         _print_cuboid(server, description, args.top)
-                    except KeyError as error:
+                    except InvalidQuery as error:
                         print(
                             f"error: unknown cuboid {error}",
                             file=sys.stderr,
@@ -335,7 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for point in sample_points(
                     table.lattice, args.requests, args.seed
                 ):
-                    server.cuboid(point)
+                    server.query(Query(point=point))
         except X3Error as error:
             print(f"error: {error}", file=sys.stderr)
             return 1

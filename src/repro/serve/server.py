@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (
@@ -68,14 +69,21 @@ from repro.core.incremental import (
 from repro.core.lattice import LatticePoint
 from repro.core.materialize import ViewSelection, cuboid_sizes, select_views
 from repro.core.properties import PropertyOracle
+from repro.core.query import (
+    Query,
+    QueryExplanation,
+    QueryResult,
+    finish_query,
+    kept_axis_name,
+    resolve_point_spec,
+    resolve_target,
+)
 from repro.core.rollup import (
     ROLLUP_AGGREGATES,
     derivable,
-    dice_cuboid,
     rollup_cuboid,
-    slice_cuboid,
 )
-from repro.errors import CubeError
+from repro.errors import CubeError, InvalidQuery
 from repro.obs.events import (
     EventLog,
     EvictionRecord,
@@ -264,7 +272,6 @@ class CubeServer:
             )
         self._incremental = incremental
         self._aggregate = table.aggregate.function.upper()
-        self._point_set = frozenset(table.lattice.points())
         self._lock = threading.RLock()
         self._version = 0
         self._counters = _Counters()
@@ -288,10 +295,9 @@ class CubeServer:
     # point resolution helpers
     # ------------------------------------------------------------------
     def resolve_point(self, spec: PointSpec) -> LatticePoint:
-        """Accept a lattice point or its description string."""
-        if isinstance(spec, str):
-            return self.lattice.point_by_description(spec)
-        return spec
+        """Accept a lattice point or its description string
+        (:class:`InvalidQuery` on anything outside this lattice)."""
+        return resolve_point_spec(self.lattice, spec)
 
     @property
     def version(self) -> int:
@@ -335,20 +341,127 @@ class CubeServer:
             self._audit_local.sink = previous
 
     # ------------------------------------------------------------------
-    # reads
+    # reads — the CubeBackend query path
     # ------------------------------------------------------------------
-    def cuboid(self, spec: PointSpec) -> Cuboid:
-        return self.cuboid_versioned(spec)[0]
+    def query(self, query: Query) -> QueryResult:
+        """Answer one :class:`Query` (the single read path).
 
+        Resolves the target point (drilldown refines it one step finer
+        on the requested axis), walks the sound-source ladder once, and
+        wraps the answer in a :class:`QueryResult` carrying the version
+        it is exact at plus the full rung trail — the same trail the
+        request log records, because it *is* that event's trail.
+        """
+        self._check_measure(query.measure)
+        point = resolve_target(self.lattice, query)
+        cuboid, version, event = self._serve(point, kind=query.kind)
+        return finish_query(
+            self.lattice,
+            query,
+            point,
+            cuboid,
+            (version,),
+            event.tier,
+            event.rungs,
+            event.modeled_seconds,
+        )
+
+    def explain_query(self, query: Query) -> QueryExplanation:
+        """The ladder plan for ``query``, without executing it."""
+        self._check_measure(query.measure)
+        point = resolve_target(self.lattice, query)
+        explanation = self.explain(point, kind=query.kind)
+        return QueryExplanation(
+            backend="serve",
+            kind=query.kind,
+            point=explanation.point,
+            version=(explanation.version,),
+            tier=explanation.tier,
+            rungs=explanation.rungs,
+        )
+
+    def version_token(self) -> Tuple[int, ...]:
+        """The current version as a 1-vector (CubeBackend contract)."""
+        return (self.version,)
+
+    def _check_measure(self, measure: Optional[str]) -> None:
+        if measure is not None and measure.upper() != self._aggregate:
+            raise InvalidQuery(
+                f"measure {measure!r} does not match this cube's "
+                f"aggregate {self._aggregate}"
+            )
+
+    # ------------------------------------------------------------------
+    # reads — deprecated positional shims
+    # ------------------------------------------------------------------
+    def _warn_positional(self, name: str) -> None:
+        warnings.warn(
+            f"CubeServer.{name}(...) positional queries are deprecated; "
+            f"pass CubeServer.query(Query(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def cuboid(self, spec: PointSpec) -> Cuboid:
+        self._warn_positional("cuboid")
+        return self.query(Query(point=spec)).as_cuboid()
+
+    def cell(self, spec: PointSpec, key: GroupKey) -> Optional[float]:
+        self._warn_positional("cell")
+        return self.query(Query(point=spec, kind="cell", key=key)).as_cell()
+
+    def slice(self, spec: PointSpec, axis_index: int, value: str) -> Cuboid:
+        """Classic OLAP slice over the resolved cuboid (``axis_index``
+        counts the point's *kept* axes).  Deprecated shim over
+        :meth:`query`."""
+        self._warn_positional("slice")
+        point = self.resolve_point(spec)
+        return self.query(
+            Query(
+                point=point,
+                kind="slice",
+                axis=kept_axis_name(self.lattice, point, axis_index),
+                value=value,
+            )
+        ).as_cuboid()
+
+    def dice(
+        self, spec: PointSpec, predicates: Dict[int, Sequence[str]]
+    ) -> Cuboid:
+        self._warn_positional("dice")
+        point = self.resolve_point(spec)
+        return self.query(
+            Query(
+                point=point,
+                kind="dice",
+                filters=tuple(
+                    (
+                        kept_axis_name(self.lattice, point, index),
+                        tuple(values),
+                    )
+                    for index, values in predicates.items()
+                ),
+            )
+        ).as_cuboid()
+
+    # ------------------------------------------------------------------
+    # reads — the versioned core
+    # ------------------------------------------------------------------
     def cuboid_versioned(
         self, spec: PointSpec, *, kind: str = "cuboid"
     ) -> Tuple[Cuboid, int]:
         """One cuboid plus the table version it is exact for."""
-        point = self.resolve_point(spec)
-        if point not in self._point_set:
-            raise CubeError(
-                f"point {point!r} is not in this cube's lattice"
-            )
+        cuboid, version, _ = self._serve(
+            self.resolve_point(spec), kind=kind
+        )
+        return cuboid, version
+
+    def _serve(
+        self, point: LatticePoint, *, kind: str
+    ) -> Tuple[Cuboid, int, RequestEvent]:
+        """Walk the ladder once; returns the answer, its version, and
+        the stamped request event (whose rung trail belongs to exactly
+        this request — no racing readback from the log)."""
         described = self.lattice.describe(point)
         started = time.perf_counter()
         with obs.span(
@@ -383,24 +496,7 @@ class CubeServer:
             )
         )
         self.telemetry.record(event)
-        return cuboid, version
-
-    def cell(self, spec: PointSpec, key: GroupKey) -> Optional[float]:
-        return self.cuboid_versioned(spec, kind="cell")[0].get(key)
-
-    def slice(self, spec: PointSpec, axis_index: int, value: str) -> Cuboid:
-        """Classic OLAP slice over the resolved cuboid (``axis_index``
-        counts the point's *kept* axes)."""
-        return slice_cuboid(
-            self.cuboid_versioned(spec, kind="slice")[0], axis_index, value
-        )
-
-    def dice(
-        self, spec: PointSpec, predicates: Dict[int, Sequence[str]]
-    ) -> Cuboid:
-        return dice_cuboid(
-            self.cuboid_versioned(spec, kind="dice")[0], predicates
-        )
+        return cuboid, version, event
 
     # ------------------------------------------------------------------
     # explain — the ladder decision tree, without executing
@@ -417,10 +513,6 @@ class CubeServer:
         same decision procedure over the same locked snapshot.
         """
         point = self.resolve_point(spec)
-        if point not in self._point_set:
-            raise CubeError(
-                f"point {point!r} is not in this cube's lattice"
-            )
         rungs: List[RungDecision] = []
         with self._lock:
             version = self._version

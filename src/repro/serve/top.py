@@ -25,6 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.query import Query
 from repro.errors import X3Error
 from repro.obs.live import WINDOW_QUANTILES, LiveTelemetry, WindowSnapshot
 from repro.serve.cli import (
@@ -195,7 +196,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             server.warm()
         replay = sample_points(table.lattice, args.requests, args.seed)
         for index, point in enumerate(replay, start=1):
-            server.cuboid(point)
+            server.query(Query(point=point))
             if args.watch and index % max(1, args.interval) == 0:
                 sys.stdout.write(CLEAR + render_dashboard(server) + "\n")
                 sys.stdout.flush()

@@ -1,0 +1,519 @@
+"""The HTTP/JSON front door: stdlib transport over the CubeBackend API.
+
+Layering, outermost first:
+
+- :class:`X3HttpServer` — a ``ThreadingHTTPServer`` wrapper (one thread
+  per connection, stdlib only) that owns a socket and delegates every
+  request to the API core;
+- :class:`X3Api` — the transport-independent core: route parsing, JSON
+  decoding, auth, admission, error mapping.  ``handle()`` takes
+  ``(method, path, body, headers)`` and returns an
+  :class:`ApiResponse`, so tests (and the perf gate) drive the complete
+  request path without sockets;
+- :class:`~repro.core.query.CubeBackend` — the only thing the API calls
+  into.  A single :class:`~repro.serve.CubeServer` and a
+  :class:`~repro.cluster.ClusterCoordinator` are interchangeable here.
+
+Error taxonomy mapping (the 1:1 contract the errors module documents):
+:class:`InvalidQuery` -> 400, unauthenticated -> 401,
+:class:`UnknownCube` -> 404, :class:`StaleVersion` -> 409,
+:class:`Overloaded` -> 429 (with ``Retry-After``).
+
+Admission control is a bounded concurrent-request budget
+(:class:`AdmissionController`): the transport layer admits a request
+before doing any work and releases on completion; when the budget is
+exhausted the request is refused immediately with 429 rather than
+queued without bound — load-shedding at the door, which is what keeps
+tail latency bounded under overload.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.query import Query
+from repro.errors import (
+    InvalidQuery,
+    Overloaded,
+    StaleVersion,
+    UnknownCube,
+    X3Error,
+)
+from repro.obs.live import SERVE_LATENCY_BUCKETS
+from repro.obs.metrics import MetricsRegistry
+from repro.server.model import BoundCube, CubeCatalog
+
+API_PREFIX = "/api/v1"
+
+#: Route operation -> the Query kind it forces.
+QUERY_OPS = {
+    "aggregate": "aggregate",
+    "drilldown": "drilldown",
+    "cell": "cell",
+    "slice": "slice",
+    "dice": "dice",
+}
+
+
+class _Unauthorized(X3Error):
+    """Missing or unknown bearer token (HTTP 401; internal)."""
+
+
+@dataclass(frozen=True)
+class ApiResponse:
+    """One HTTP response, transport-agnostic."""
+
+    status: int
+    body: str
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def json(
+        cls,
+        status: int,
+        payload: Mapping[str, Any],
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> "ApiResponse":
+        return cls(
+            status=status,
+            body=json.dumps(payload, indent=1) + "\n",
+            headers=headers,
+        )
+
+    @classmethod
+    def error(
+        cls,
+        status: int,
+        kind: str,
+        message: str,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> "ApiResponse":
+        return cls.json(
+            status,
+            {"error": {"kind": kind, "message": message}},
+            headers=headers,
+        )
+
+
+class AdmissionController:
+    """A bounded concurrent-request budget (the backpressure valve).
+
+    ``admit()`` either grants a slot for the duration of the request or
+    raises :class:`Overloaded` immediately — no unbounded queueing, so
+    an overloaded server sheds load with 429 + ``Retry-After`` instead
+    of stacking latency.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        *,
+        retry_after_seconds: float = 0.05,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.retry_after_seconds = retry_after_seconds
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._peak = 0
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._rejected += 1
+                raise Overloaded(
+                    f"admission queue full "
+                    f"({self._inflight}/{self.max_inflight} in flight)",
+                    retry_after_seconds=self.retry_after_seconds,
+                )
+            self._inflight += 1
+            self._admitted += 1
+            self._peak = max(self._peak, self._inflight)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "peak_inflight": self._peak,
+                "max_inflight": self.max_inflight,
+            }
+
+
+class TenantAuth:
+    """Per-tenant bearer-token auth stub.
+
+    With no tokens registered, auth is open and every request runs as
+    the ``anonymous`` tenant (the single-user dev default).  With
+    tokens, a request must carry ``Authorization: Bearer <token>`` for
+    a known token; the resolved tenant labels the per-tenant request
+    counters.
+    """
+
+    def __init__(self, tokens: Optional[Mapping[str, str]] = None) -> None:
+        self._tokens = dict(tokens or {})
+
+    @property
+    def open(self) -> bool:
+        return not self._tokens
+
+    def authenticate(self, headers: Mapping[str, str]) -> str:
+        if self.open:
+            return "anonymous"
+        header = ""
+        for name, value in headers.items():
+            if name.lower() == "authorization":
+                header = value
+                break
+        scheme, _, token = header.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise _Unauthorized(
+                "missing bearer token (Authorization: Bearer <token>)"
+            )
+        tenant = self._tokens.get(token.strip())
+        if tenant is None:
+            raise _Unauthorized("unknown bearer token")
+        return tenant
+
+
+class X3Api:
+    """The transport-independent HTTP API core.
+
+    Args:
+        catalog: the named-cube registry to serve.
+        auth: tenant auth (default: open / anonymous).
+        admission: the admission budget (default: 64 in flight).
+        registry: front-door metrics registry; a private one is created
+            when omitted.  ``/metrics`` concatenates this registry's
+            exposition with each distinct backend's own (via
+            ``prometheus()`` where the backend offers it).
+    """
+
+    def __init__(
+        self,
+        catalog: CubeCatalog,
+        *,
+        auth: Optional[TenantAuth] = None,
+        admission: Optional[AdmissionController] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.auth = auth if auth is not None else TenantAuth()
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    # ------------------------------------------------------------------
+    # the single entry point
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> ApiResponse:
+        """Serve one request; never raises (errors become responses)."""
+        headers = headers or {}
+        route = "unroutable"
+        try:
+            tenant = self.auth.authenticate(headers)
+            route, response = self._route(method, path, body, tenant)
+        except _Unauthorized as error:
+            response = ApiResponse.error(401, "unauthorized", str(error))
+        except Overloaded as error:
+            response = ApiResponse.error(
+                429,
+                "overloaded",
+                str(error),
+                headers=(
+                    (
+                        "Retry-After",
+                        f"{error.retry_after_seconds:.3f}",
+                    ),
+                ),
+            )
+        except InvalidQuery as error:
+            response = ApiResponse.error(400, "invalid_query", str(error))
+        except UnknownCube as error:
+            response = ApiResponse.error(404, "unknown_cube", str(error))
+        except StaleVersion as error:
+            response = ApiResponse.error(409, "stale_version", str(error))
+        except X3Error as error:
+            response = ApiResponse.error(500, "internal", str(error))
+        self.registry.counter(
+            "x3_http_requests_total",
+            route=route,
+            status=str(response.status),
+        ).inc()
+        return response
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        tenant: str,
+    ) -> Tuple[str, ApiResponse]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            if method != "GET":
+                return "metrics", self._method_not_allowed(method)
+            return "metrics", self._metrics()
+        if path == API_PREFIX + "/cubes":
+            if method != "GET":
+                return "cubes", self._method_not_allowed(method)
+            return "cubes", ApiResponse.json(
+                200, {"cubes": self.catalog.describe()}
+            )
+        if path.startswith(API_PREFIX + "/cubes/"):
+            rest = path[len(API_PREFIX + "/cubes/"):]
+            parts = rest.split("/")
+            if len(parts) == 1:
+                if method != "GET":
+                    return "cube", self._method_not_allowed(method)
+                bound = self.catalog.get(parts[0])
+                return "cube", ApiResponse.json(200, bound.describe())
+            if len(parts) == 2:
+                name, op = parts
+                if op in QUERY_OPS or op == "explain":
+                    if method != "POST":
+                        return op, self._method_not_allowed(method)
+                    with self.admission.admit():
+                        return op, self._query(name, op, body, tenant)
+        return "unroutable", ApiResponse.error(
+            404, "not_found", f"no route for {method} {path}"
+        )
+
+    @staticmethod
+    def _method_not_allowed(method: str) -> ApiResponse:
+        return ApiResponse.error(
+            405, "method_not_allowed", f"method {method} not allowed"
+        )
+
+    # ------------------------------------------------------------------
+    # the five query endpoints + explain
+    # ------------------------------------------------------------------
+    def _query(
+        self, name: str, op: str, body: Optional[bytes], tenant: str
+    ) -> ApiResponse:
+        bound = self.catalog.get(name)
+        payload = self._decode(body)
+        query = self._build_query(bound, op, payload)
+        if op == "explain":
+            explanation = bound.backend.explain_query(query)
+            return ApiResponse.json(200, explanation.to_dict())
+        result = bound.backend.query(query)
+        self.registry.counter(
+            "x3_http_tenant_requests_total", tenant=tenant, cube=name
+        ).inc()
+        self.registry.histogram(
+            "x3_http_query_modeled_seconds",
+            buckets=SERVE_LATENCY_BUCKETS,
+            kind=result.kind,
+        ).observe(result.modeled_seconds)
+        return ApiResponse.json(200, result.to_dict())
+
+    @staticmethod
+    def _decode(body: Optional[bytes]) -> Dict[str, Any]:
+        if not body:
+            return {}
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise InvalidQuery(f"request body is not JSON: {error}")
+        if not isinstance(decoded, dict):
+            raise InvalidQuery(
+                f"request body must be a JSON object, got "
+                f"{type(decoded).__name__}"
+            )
+        return decoded
+
+    def _build_query(
+        self, bound: BoundCube, op: str, payload: Dict[str, Any]
+    ) -> Query:
+        """The wire body to a :class:`Query`, resolving the logical
+        model: ``group_by`` levels to a lattice point, dimension names
+        in ``axis``/``filters`` to physical axes."""
+        payload = dict(payload)
+        group_by = payload.pop("group_by", None)
+        if group_by is not None:
+            if "point" in payload:
+                raise InvalidQuery(
+                    "pass either 'group_by' or 'point', not both"
+                )
+            if not isinstance(group_by, dict):
+                raise InvalidQuery(
+                    f"'group_by' must be an object of "
+                    f"{{dimension: level}}, got "
+                    f"{type(group_by).__name__}"
+                )
+            payload["point"] = bound.point_for(group_by)
+        elif "point" not in payload:
+            # No grouping at all: the apex (every dimension at "all").
+            payload["point"] = bound.point_for({})
+        kind = QUERY_OPS.get(op)
+        if kind is not None:
+            declared = payload.setdefault("kind", kind)
+            if declared != kind:
+                raise InvalidQuery(
+                    f"body kind {declared!r} contradicts the "
+                    f"/{op} endpoint"
+                )
+        axis = payload.get("axis")
+        if isinstance(axis, str):
+            payload["axis"] = bound.axis_for(axis)
+        filters = payload.get("filters")
+        if isinstance(filters, dict):
+            payload["filters"] = {
+                bound.axis_for(str(dim)): values
+                for dim, values in filters.items()
+            }
+        return Query.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _metrics(self) -> ApiResponse:
+        from repro.obs.export import prometheus_text
+
+        chunks: List[str] = [prometheus_text(self.registry)]
+        seen: Set[int] = set()
+        for name in self.catalog.names():
+            backend = self.catalog.get(name).backend
+            if id(backend) in seen:
+                continue
+            seen.add(id(backend))
+            exporter = getattr(backend, "prometheus", None)
+            if callable(exporter):
+                chunks.append(exporter())
+        return ApiResponse(
+            status=200,
+            body="".join(chunks),
+            content_type="text/plain; version=0.0.4",
+        )
+
+
+# ----------------------------------------------------------------------
+# the socket transport
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """One connection; delegates everything to the owning API core."""
+
+    server: "_Server"  # narrowed for mypy
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else None
+        response = self.server.api.handle(
+            self.command, self.path, body, dict(self.headers.items())
+        )
+        encoded = response.body.encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        self._dispatch()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        self._dispatch()
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default stderr access log (metrics cover it)."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    api: X3Api
+
+
+class X3HttpServer:
+    """The socket front door: bind, serve in a daemon thread, close.
+
+    Args:
+        api: the API core to serve.
+        host: bind address (default loopback).
+        port: bind port; 0 (the default) picks a free one — read it
+            back from :attr:`port`.
+    """
+
+    def __init__(
+        self, api: X3Api, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.api = api
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.api = api
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def start(self) -> "X3HttpServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="x3-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's foreground mode)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "X3HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,303 @@
+"""The logical cube model: named cubes over physical lattices.
+
+Remote callers should not need to know that the ``$y`` axis of some
+lattice has a state called ``SP+PC-AD``.  A :class:`LogicalCube` is the
+catalog-facing description of one servable cube: a name, a measure, and
+one :class:`LogicalDimension` per physical axis, each with a small
+hierarchy of named levels.  The model is plain JSON metadata
+(:meth:`LogicalCube.to_dict` / :meth:`LogicalCube.from_dict`) resolved
+to physical :class:`~repro.core.lattice.CubeLattice` coordinates at
+*bind* time — binding a cube to a backend validates every axis and
+level against the lattice once, so query-time resolution can only fail
+on caller mistakes (:class:`~repro.errors.InvalidQuery`).
+
+The level vocabulary maps directly onto the paper's Sec. 2 grouping
+trees: ``detail`` is the rigid pattern (no relaxation), ``all`` is LND
+(the axis dropped — every fact in one group along it), and any
+structural state label (``SP``, ``PC-AD``, ``SP+PC-AD``) names the
+correspondingly relaxed grouping tree.  A ``group_by`` mapping of
+``{dimension: level}`` therefore picks exactly one lattice point; every
+dimension not mentioned defaults to ``all``, matching how OLAP group-by
+lists omit rolled-up dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Set, Tuple
+
+from repro.core.lattice import CubeLattice
+from repro.core.query import CubeBackend
+from repro.errors import InvalidQuery, UnknownCube
+
+#: Level names every dimension understands, mapped to state labels.
+LEVEL_ALIASES: Dict[str, str] = {
+    "detail": "rigid",
+    "all": "LND",
+}
+
+
+@dataclass(frozen=True)
+class LogicalDimension:
+    """One dimension of a logical cube, bound to one physical axis.
+
+    Attributes:
+        name: the logical, caller-facing dimension name (``"nation"``).
+        axis: the physical lattice axis it binds to (``"$n"``).
+        levels: extra level names mapped to state labels, layered over
+            :data:`LEVEL_ALIASES`; raw state labels always work too.
+        description: one human-readable line for the catalog listing.
+    """
+
+    name: str
+    axis: str
+    levels: Tuple[Tuple[str, str], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidQuery("a dimension needs a non-empty name")
+        if not self.axis:
+            raise InvalidQuery(
+                f"dimension {self.name!r} needs a physical axis"
+            )
+        object.__setattr__(
+            self,
+            "levels",
+            tuple((str(k), str(v)) for k, v in self.levels),
+        )
+
+    def resolve_level(self, level: str) -> str:
+        """A level name to the state label it denotes.
+
+        Custom levels win, then the shared aliases; anything else is
+        passed through as a raw state label (validated at bind time for
+        declared levels, at query time for raw labels).
+        """
+        for name, label in self.levels:
+            if name == level:
+                return label
+        return LEVEL_ALIASES.get(level, level)
+
+    def level_names(self) -> List[str]:
+        """Every level name this dimension declares (aliases first)."""
+        return list(LEVEL_ALIASES) + [name for name, _ in self.levels]
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "axis": self.axis}
+        if self.levels:
+            out["levels"] = {name: label for name, label in self.levels}
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LogicalDimension":
+        return cls(
+            name=str(payload.get("name", "")),
+            axis=str(payload.get("axis", "")),
+            levels=tuple(dict(payload.get("levels") or {}).items()),
+            description=str(payload.get("description", "")),
+        )
+
+
+@dataclass(frozen=True)
+class LogicalCube:
+    """A named, caller-facing cube definition (pure metadata).
+
+    Attributes:
+        name: the catalog name remote callers address.
+        dimensions: the logical dimensions, one per physical axis the
+            cube exposes.
+        measure: the aggregate function name (``"COUNT"``); advisory —
+            the backend enforces it via ``Query.measure``.
+        description: one line for the catalog listing.
+    """
+
+    name: str
+    dimensions: Tuple[LogicalDimension, ...]
+    measure: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidQuery("a cube needs a non-empty name")
+        if not self.dimensions:
+            raise InvalidQuery(
+                f"cube {self.name!r} needs at least one dimension"
+            )
+        names = [dim.name for dim in self.dimensions]
+        if len(set(names)) != len(names):
+            raise InvalidQuery(
+                f"cube {self.name!r} has duplicate dimension names "
+                f"{names}"
+            )
+        object.__setattr__(self, "dimensions", tuple(self.dimensions))
+
+    def dimension(self, name: str) -> LogicalDimension:
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise InvalidQuery(
+            f"cube {self.name!r} has no dimension {name!r}; it has "
+            f"{[dim.name for dim in self.dimensions]}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "dimensions": [dim.to_dict() for dim in self.dimensions],
+        }
+        if self.measure:
+            out["measure"] = self.measure
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LogicalCube":
+        dims = payload.get("dimensions") or []
+        return cls(
+            name=str(payload.get("name", "")),
+            dimensions=tuple(
+                LogicalDimension.from_dict(dim) for dim in dims
+            ),
+            measure=str(payload.get("measure", "")),
+            description=str(payload.get("description", "")),
+        )
+
+    @classmethod
+    def from_lattice(
+        cls,
+        name: str,
+        lattice: CubeLattice,
+        *,
+        measure: str = "",
+        description: str = "",
+    ) -> "LogicalCube":
+        """A default logical model straight off a physical lattice: one
+        dimension per axis, named after the axis without its ``$``."""
+        return cls(
+            name=name,
+            dimensions=tuple(
+                LogicalDimension(
+                    name=axis.name.lstrip("$") or axis.name,
+                    axis=axis.name,
+                )
+                for axis in lattice.axes
+            ),
+            measure=measure,
+            description=description,
+        )
+
+
+class BoundCube:
+    """A :class:`LogicalCube` validated against one backend's lattice.
+
+    Binding checks once that every dimension's axis exists and that
+    every *declared* level resolves to a real state of that axis, so a
+    bound cube can translate ``group_by`` mappings to lattice point
+    descriptions without re-validating the model per query.
+    """
+
+    def __init__(self, cube: LogicalCube, backend: CubeBackend) -> None:
+        self.cube = cube
+        self.backend = backend
+        lattice: CubeLattice = backend.lattice
+        self.lattice = lattice
+        known_axes = {states.axis.name for states in lattice.axis_states}
+        self._labels: Dict[str, Set[str]] = {}
+        for states in lattice.axis_states:
+            self._labels[states.axis.name] = {
+                states.describe(index)
+                for index in range(states.state_count)
+            }
+        for dim in cube.dimensions:
+            if dim.axis not in known_axes:
+                raise InvalidQuery(
+                    f"cube {cube.name!r} binds dimension {dim.name!r} "
+                    f"to unknown axis {dim.axis!r}; the lattice has "
+                    f"{sorted(known_axes)}"
+                )
+            for level, label in dim.levels:
+                if label not in self._labels[dim.axis]:
+                    raise InvalidQuery(
+                        f"cube {cube.name!r} dimension {dim.name!r} "
+                        f"level {level!r} names unknown state "
+                        f"{label!r} of axis {dim.axis}"
+                    )
+
+    # ------------------------------------------------------------------
+    # query-time resolution
+    # ------------------------------------------------------------------
+    def axis_for(self, name: str) -> str:
+        """A logical dimension name (or raw axis name) to its physical
+        axis — the translation ``slice``/``dice``/``drilldown`` bodies
+        go through."""
+        for dim in self.cube.dimensions:
+            if dim.name == name or dim.axis == name:
+                return dim.axis
+        raise InvalidQuery(
+            f"cube {self.cube.name!r} has no dimension or axis "
+            f"{name!r}; it has "
+            f"{[dim.name for dim in self.cube.dimensions]}"
+        )
+
+    def point_for(self, group_by: Mapping[str, str]) -> str:
+        """A ``{dimension: level}`` mapping to a lattice point
+        description.  Dimensions not mentioned default to ``all``
+        (LND), so ``{}`` is the apex and a full mapping of ``detail``
+        is the rigid point."""
+        by_name = {dim.name: dim for dim in self.cube.dimensions}
+        unknown = set(group_by) - set(by_name)
+        if unknown:
+            raise InvalidQuery(
+                f"cube {self.cube.name!r} has no dimension(s) "
+                f"{sorted(unknown)}; it has {sorted(by_name)}"
+            )
+        parts = []
+        for dim in self.cube.dimensions:
+            level = str(group_by.get(dim.name, "all"))
+            label = dim.resolve_level(level)
+            if label not in self._labels[dim.axis]:
+                raise InvalidQuery(
+                    f"dimension {dim.name!r} has no level {level!r}; "
+                    f"known levels are {dim.level_names()} and raw "
+                    f"state labels {sorted(self._labels[dim.axis])}"
+                )
+            parts.append(f"{dim.axis}:{label}")
+        return ", ".join(parts)
+
+    def describe(self) -> Dict[str, Any]:
+        """The catalog entry: metadata plus live backend facts."""
+        out = self.cube.to_dict()
+        out["lattice_points"] = self.lattice.size()
+        out["version"] = list(self.backend.version_token())
+        return out
+
+
+class CubeCatalog:
+    """The named-cube registry the HTTP front door serves from."""
+
+    def __init__(self) -> None:
+        self._cubes: Dict[str, BoundCube] = {}
+
+    def register(
+        self, cube: LogicalCube, backend: CubeBackend
+    ) -> BoundCube:
+        """Bind and register one cube (replacing a same-named one)."""
+        bound = BoundCube(cube, backend)
+        self._cubes[cube.name] = bound
+        return bound
+
+    def get(self, name: str) -> BoundCube:
+        try:
+            return self._cubes[name]
+        except KeyError:
+            raise UnknownCube(name, tuple(self._cubes)) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._cubes)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [self._cubes[name].describe() for name in self.names()]

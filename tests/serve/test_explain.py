@@ -9,7 +9,7 @@ deterministic replay, which is also the acceptance criterion the CLI's
 
 import pytest
 
-from repro.errors import CubeError
+from repro.errors import CubeError, InvalidQuery
 from repro.serve import CubeServer, TIERS
 from repro.serve.cli import sample_points
 from repro.testing import small_workload
@@ -92,7 +92,9 @@ class TestExplainShape:
     def test_unknown_point_raises(self):
         table, oracle = fresh()
         server = CubeServer(table, oracle)
-        with pytest.raises(KeyError):
+        # Both shapes of bad spec raise the structured taxonomy error
+        # (InvalidQuery is a CubeError, so old callers keep working).
+        with pytest.raises(InvalidQuery):
             server.explain("$nope:warp")
         with pytest.raises(CubeError):
             server.explain(tuple(99 for _ in table.lattice.axis_states))

@@ -1,0 +1,151 @@
+"""Tests for the deterministic closed-loop load generator."""
+
+import json
+
+import pytest
+
+from repro.core.extract import extract_fact_table
+from repro.core.properties import PropertyOracle
+from repro.datagen.publications import figure1_document, query1
+from repro.obs.live import LiveTelemetry
+from repro.serve import CubeServer
+from repro.server import (
+    CubeCatalog,
+    LoadGenerator,
+    LogicalCube,
+    TenantAuth,
+    X3Api,
+    X3HttpServer,
+)
+from repro.server.loadgen import KIND_WEIGHTS, sample_queries
+
+
+@pytest.fixture()
+def table():
+    return extract_fact_table(figure1_document(), query1())
+
+
+def front_door(table, **api_kwargs):
+    server = CubeServer(table, PropertyOracle.from_data(table))
+    catalog = CubeCatalog()
+    catalog.register(
+        LogicalCube.from_lattice("pubs", table.lattice), server
+    )
+    return X3HttpServer(X3Api(catalog, **api_kwargs))
+
+
+class TestSampleQueries:
+    def test_deterministic_per_seed(self, table):
+        first = sample_queries(table.lattice, 50, 11)
+        again = sample_queries(table.lattice, 50, 11)
+        other = sample_queries(table.lattice, 50, 12)
+        assert first == again
+        assert first != other
+
+    def test_covers_the_kind_mix(self, table):
+        plan = sample_queries(table.lattice, 200, 3)
+        ops = {op for op, _, _ in plan}
+        assert ops == {kind for kind, _ in KIND_WEIGHTS}
+
+    def test_transform_ops_carry_operands(self, table):
+        for op, _, body in sample_queries(table.lattice, 200, 5):
+            if op == "slice":
+                assert body["axis"].startswith("$")
+                assert body["value"]
+            elif op == "dice":
+                assert body["filters"]
+
+
+class TestLoadGenerator:
+    def test_run_against_live_server(self, table, tmp_path):
+        telemetry = LiveTelemetry()
+        with front_door(table) as front:
+            generator = LoadGenerator(
+                front.host,
+                front.port,
+                "pubs",
+                table.lattice,
+                clients=2,
+                requests_per_client=10,
+                seed=3,
+                telemetry=telemetry,
+            )
+            report = generator.run()
+        assert report.requests == 20
+        assert set(report.statuses) == {200}
+        assert report.ok == 20 and report.shed == 0
+        assert report.modeled_quantiles[0.95] >= 0.0
+        assert "20 requests from 2 clients" in report.summary()
+
+        target = tmp_path / "latency.jsonl"
+        assert report.write_jsonl(str(target)) == 20
+        lines = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+        ]
+        assert len(lines) == 20
+        assert all(line["status"] == 200 for line in lines)
+
+        explains = sum(1 for r in report.records if r.op == "explain")
+        assert telemetry.snapshot().requests == 20 - explains
+
+    def test_modeled_quantiles_reproducible_cold(self, table):
+        """With a zero cache budget every request recomputes, so the
+        modeled latency of each request depends only on its point —
+        the quantiles are identical run to run regardless of thread
+        interleaving."""
+
+        def one_run():
+            server = CubeServer(
+                table, PropertyOracle.from_data(table), cache_cells=0
+            )
+            catalog = CubeCatalog()
+            catalog.register(
+                LogicalCube.from_lattice("pubs", table.lattice), server
+            )
+            with X3HttpServer(X3Api(catalog)) as front:
+                return LoadGenerator(
+                    front.host,
+                    front.port,
+                    "pubs",
+                    table.lattice,
+                    clients=3,
+                    requests_per_client=8,
+                    seed=7,
+                ).run()
+
+        first, second = one_run(), one_run()
+        assert first.modeled_quantiles == second.modeled_quantiles
+        assert first.statuses == second.statuses
+
+    def test_sends_bearer_token(self, table):
+        with front_door(
+            table, auth=TenantAuth({"tok": "acme"})
+        ) as front:
+            authed = LoadGenerator(
+                front.host,
+                front.port,
+                "pubs",
+                table.lattice,
+                clients=1,
+                requests_per_client=5,
+                token="tok",
+            ).run()
+            anonymous = LoadGenerator(
+                front.host,
+                front.port,
+                "pubs",
+                table.lattice,
+                clients=1,
+                requests_per_client=5,
+            ).run()
+        assert set(authed.statuses) == {200}
+        assert set(anonymous.statuses) == {401}
+
+    def test_rejects_nonpositive_shape(self, table):
+        with pytest.raises(ValueError):
+            LoadGenerator("h", 1, "c", table.lattice, clients=0)
+        with pytest.raises(ValueError):
+            LoadGenerator(
+                "h", 1, "c", table.lattice, requests_per_client=0
+            )

@@ -1,0 +1,187 @@
+"""Unit tests for the logical cube model (repro.server.model)."""
+
+import pytest
+
+from repro.errors import InvalidQuery, UnknownCube
+from repro.serve import CubeServer
+from repro.server import (
+    BoundCube,
+    CubeCatalog,
+    LogicalCube,
+    LogicalDimension,
+)
+from repro.testing import small_workload
+
+
+@pytest.fixture()
+def backend():
+    workload = small_workload()
+    table = workload.fact_table()
+    return CubeServer(table, workload.oracle(table))
+
+
+def default_cube():
+    return LogicalCube(
+        name="sales",
+        dimensions=(
+            LogicalDimension(name="m1", axis="$m1"),
+            LogicalDimension(name="m2", axis="$m2"),
+            LogicalDimension(name="m3", axis="$m3"),
+        ),
+        measure="COUNT",
+    )
+
+
+class TestLogicalDimension:
+    def test_aliases_resolve(self):
+        dim = LogicalDimension(name="year", axis="$y")
+        assert dim.resolve_level("detail") == "rigid"
+        assert dim.resolve_level("all") == "LND"
+
+    def test_custom_levels_win_over_aliases(self):
+        dim = LogicalDimension(
+            name="year", axis="$y", levels=(("detail", "SP"),)
+        )
+        assert dim.resolve_level("detail") == "SP"
+
+    def test_raw_state_labels_pass_through(self):
+        dim = LogicalDimension(name="n", axis="$n")
+        assert dim.resolve_level("SP+PC-AD") == "SP+PC-AD"
+
+    def test_needs_name_and_axis(self):
+        with pytest.raises(InvalidQuery):
+            LogicalDimension(name="", axis="$y")
+        with pytest.raises(InvalidQuery):
+            LogicalDimension(name="year", axis="")
+
+    def test_round_trips_through_dict(self):
+        dim = LogicalDimension(
+            name="year",
+            axis="$y",
+            levels=(("fine", "rigid"),),
+            description="publication year",
+        )
+        assert LogicalDimension.from_dict(dim.to_dict()) == dim
+
+
+class TestLogicalCube:
+    def test_round_trips_through_dict(self):
+        cube = default_cube()
+        assert LogicalCube.from_dict(cube.to_dict()) == cube
+
+    def test_rejects_duplicate_dimension_names(self):
+        with pytest.raises(InvalidQuery):
+            LogicalCube(
+                name="bad",
+                dimensions=(
+                    LogicalDimension(name="m", axis="$m1"),
+                    LogicalDimension(name="m", axis="$m2"),
+                ),
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidQuery):
+            LogicalCube(name="", dimensions=())
+        with pytest.raises(InvalidQuery):
+            LogicalCube(name="empty", dimensions=())
+
+    def test_from_lattice_strips_dollar(self, backend):
+        cube = LogicalCube.from_lattice("auto", backend.lattice)
+        assert [dim.name for dim in cube.dimensions] == [
+            "m1", "m2", "m3",
+        ]
+        assert [dim.axis for dim in cube.dimensions] == [
+            "$m1", "$m2", "$m3",
+        ]
+
+    def test_dimension_lookup(self):
+        cube = default_cube()
+        assert cube.dimension("m2").axis == "$m2"
+        with pytest.raises(InvalidQuery):
+            cube.dimension("nope")
+
+
+class TestBoundCube:
+    def test_point_for_defaults_to_apex(self, backend):
+        bound = BoundCube(default_cube(), backend)
+        assert bound.point_for({}) == "$m1:LND, $m2:LND, $m3:LND"
+
+    def test_point_for_mixes_levels(self, backend):
+        bound = BoundCube(default_cube(), backend)
+        assert (
+            bound.point_for({"m1": "detail"})
+            == "$m1:rigid, $m2:LND, $m3:LND"
+        )
+        # Raw state labels work alongside level aliases.
+        assert (
+            bound.point_for({"m1": "rigid", "m3": "detail"})
+            == "$m1:rigid, $m2:LND, $m3:rigid"
+        )
+
+    def test_point_for_rejects_unknown_dimension(self, backend):
+        bound = BoundCube(default_cube(), backend)
+        with pytest.raises(InvalidQuery, match="no dimension"):
+            bound.point_for({"warp": "detail"})
+
+    def test_point_for_rejects_unknown_level(self, backend):
+        bound = BoundCube(default_cube(), backend)
+        with pytest.raises(InvalidQuery, match="no level"):
+            bound.point_for({"m1": "continent"})
+
+    def test_axis_for_accepts_name_or_axis(self, backend):
+        bound = BoundCube(default_cube(), backend)
+        assert bound.axis_for("m2") == "$m2"
+        assert bound.axis_for("$m2") == "$m2"
+        with pytest.raises(InvalidQuery):
+            bound.axis_for("nope")
+
+    def test_bind_rejects_unknown_axis(self, backend):
+        cube = LogicalCube(
+            name="bad",
+            dimensions=(LogicalDimension(name="x", axis="$warp"),),
+        )
+        with pytest.raises(InvalidQuery, match="unknown axis"):
+            BoundCube(cube, backend)
+
+    def test_bind_rejects_unknown_level_label(self, backend):
+        cube = LogicalCube(
+            name="bad",
+            dimensions=(
+                LogicalDimension(
+                    name="m1",
+                    axis="$m1",
+                    levels=(("middle", "NOT-A-STATE"),),
+                ),
+            ),
+        )
+        with pytest.raises(InvalidQuery, match="unknown state"):
+            BoundCube(cube, backend)
+
+    def test_describe_reports_live_backend_facts(self, backend):
+        bound = BoundCube(default_cube(), backend)
+        described = bound.describe()
+        assert described["name"] == "sales"
+        assert described["lattice_points"] == backend.lattice.size()
+        assert described["version"] == [0]
+
+
+class TestCubeCatalog:
+    def test_register_and_get(self, backend):
+        catalog = CubeCatalog()
+        bound = catalog.register(default_cube(), backend)
+        assert catalog.get("sales") is bound
+        assert catalog.names() == ["sales"]
+
+    def test_unknown_cube_raises(self, backend):
+        catalog = CubeCatalog()
+        catalog.register(default_cube(), backend)
+        with pytest.raises(UnknownCube) as excinfo:
+            catalog.get("warp")
+        assert "sales" in str(excinfo.value)
+
+    def test_register_replaces_same_name(self, backend):
+        catalog = CubeCatalog()
+        catalog.register(default_cube(), backend)
+        replacement = catalog.register(default_cube(), backend)
+        assert catalog.get("sales") is replacement
+        assert catalog.names() == ["sales"]
