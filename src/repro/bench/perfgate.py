@@ -32,7 +32,12 @@ Metrics:
   (route parsing, logical-model binding, JSON encode/decode) via the
   transport-independent :class:`repro.server.X3Api` — single-threaded
   and on the modeled time base, so the number is deterministic while
-  still covering every layer a socket request crosses.
+  still covering every layer a socket request crosses;
+- ``columnar_speedup_vs_dict`` — modeled COUNTER-over-COLUMNAR ratio on
+  the gate workload.  Besides the relative tolerance, this metric has an
+  **absolute floor** (:data:`ABSOLUTE_FLOORS`): the build fails outright
+  if the columnar sweep is less than 3x faster than the dict counter at
+  smoke scale, baseline or no baseline.
 
 Refresh the committed baseline after an intentional perf change::
 
@@ -64,6 +69,14 @@ METRIC_DIRECTIONS = {
     "serve_p95_modeled_seconds": "lower",
     "cluster_p95_modeled_seconds": "lower",
     "server_p95_modeled_seconds": "lower",
+    "columnar_speedup_vs_dict": "higher",
+}
+
+#: Hard minimums enforced regardless of the committed baseline: a
+#: "higher" metric below its floor fails the gate even if the baseline
+#: agrees (a baseline refresh must never launder an absolute regression).
+ABSOLUTE_FLOORS = {
+    "columnar_speedup_vs_dict": 3.0,
 }
 
 WORKERS = 4
@@ -118,6 +131,9 @@ def collect_metrics() -> Dict[str, float]:
 
     server_p95 = _server_replay_p95(prepared, replay)
 
+    counter = prepared.run("COUNTER", workers=1)
+    columnar = prepared.run("COLUMNAR", workers=1)
+
     return {
         "engine_serial_seconds": serial.cost.simulated_seconds,
         "engine_parallel_critical_path_seconds": (
@@ -130,6 +146,9 @@ def collect_metrics() -> Dict[str, float]:
         "serve_p95_modeled_seconds": warm_window.modeled_quantiles[0.95],
         "cluster_p95_modeled_seconds": cluster_p95,
         "server_p95_modeled_seconds": server_p95,
+        "columnar_speedup_vs_dict": (
+            counter.cost.simulated_seconds / columnar.cost.simulated_seconds
+        ),
     }
 
 
@@ -175,6 +194,12 @@ def compare(
     """Human-readable failure messages for every regressed metric."""
     failures = []
     for name, value in sorted(metrics.items()):
+        floor = ABSOLUTE_FLOORS.get(name)
+        if floor is not None and value < floor:
+            failures.append(
+                f"{name}: {value:.6f} is below the absolute floor "
+                f"{floor:.6f}"
+            )
         reference = baseline.get(name)
         if reference is None:
             continue  # a metric new since the baseline cannot regress
@@ -213,6 +238,7 @@ def write_report(path: str, metrics: Dict[str, float]) -> None:
         "schema": BENCH_ARTIFACT_SCHEMA,
         "metrics": metrics,
         "directions": METRIC_DIRECTIONS,
+        "floors": ABSOLUTE_FLOORS,
         "workload": {
             "kind": "treebank",
             "density": "dense",

@@ -22,7 +22,12 @@ import sys
 from typing import Any, Dict, List, Optional, Union
 
 from repro.bench.figures import FIGURES, run_figure
-from repro.bench.harness import AlgorithmRun, run_smoke
+from repro.bench.harness import (
+    DUEL_FACTS,
+    AlgorithmRun,
+    run_columnar_duel,
+    run_smoke,
+)
 from repro.bench.report import format_figure, format_runs_csv, format_smoke
 from repro.core.cube import ENGINE_CHOICES
 
@@ -138,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
         " workload) and exit non-zero on any result mismatch",
     )
     parser.add_argument(
+        "--duel-facts",
+        type=int,
+        default=DUEL_FACTS,
+        metavar="N",
+        help="fact count for the columnar-vs-dict duel appended to the"
+        f" smoke run (default {DUEL_FACTS}; 0 disables the duel)",
+    )
+    parser.add_argument(
         "--artifact-dir",
         metavar="DIR",
         help="write the run's BENCH_<name>.json artifact into DIR"
@@ -217,10 +230,24 @@ def _run(args: argparse.Namespace) -> int:
     if args.smoke:
         runs = run_smoke(workers=max(2, args.workers))
         print(format_smoke(runs))
-        if args.artifact_dir:
-            path = write_bench_artifact(
-                "engine", runs_payload(runs), args.artifact_dir
+        duel_summary: Optional[Dict[str, Any]] = None
+        if args.duel_facts > 0:
+            duel_runs, duel_summary = run_columnar_duel(args.duel_facts)
+            runs.extend(duel_runs)
+            print(
+                "columnar duel @ {facts} facts: modeled {modeled}x,"
+                " wall {wall}x vs COUNTER (identical={identical})".format(
+                    facts=duel_summary["facts"],
+                    modeled=duel_summary["modeled_speedup"],
+                    wall=duel_summary["wall_speedup"],
+                    identical=duel_summary["identical"],
+                )
             )
+        if args.artifact_dir:
+            payload = runs_payload(runs)
+            if duel_summary is not None:
+                payload["columnar_duel"] = duel_summary
+            path = write_bench_artifact("engine", payload, args.artifact_dir)
             print(f"wrote {path}")
         failed = [run for run in runs if run.correct is False]
         if failed:

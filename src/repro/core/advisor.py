@@ -44,9 +44,10 @@ def choose_algorithm(
     covered = oracle.globally_covered()
     if cube_cells_estimate <= memory_entries and n_axes <= 4:
         return Recommendation(
-            "COUNTER",
+            "COLUMNAR",
             "low-dimensional cube that fits the counter budget: the "
-            "single-pass counter algorithm is optimal (Sec. 4.6)",
+            "single-pass counter strategy is optimal (Sec. 4.6), and the "
+            "vectorized columnar sweep is its fastest implementation",
         )
     if dense and covered and disjoint:
         return Recommendation(

@@ -5,6 +5,7 @@ Name                  Family      Requires for correctness     Module
 ====================  ==========  ==========================  =========
 ``NAIVE``             oracle      nothing                      naive
 ``COUNTER``           counter     nothing                      counter
+``COLUMNAR``          counter     nothing                      columnar_sweep
 ``BUC``               bottom-up   nothing                      buc
 ``BUCOPT``            bottom-up   disjointness                 buc
 ``BUCCUST``           bottom-up   nothing (schema-guided)      custom

@@ -11,6 +11,7 @@ from repro.core.algorithms.buc import (
     BucCustAlgorithm,
     BucOptAlgorithm,
 )
+from repro.core.algorithms.columnar_sweep import ColumnarSweepAlgorithm
 from repro.core.algorithms.counter import CounterAlgorithm
 from repro.core.algorithms.naive import NaiveAlgorithm
 from repro.core.algorithms.topdown import (
@@ -27,6 +28,7 @@ _REGISTRY: Dict[str, CubeAlgorithm] = {
         AutoAlgorithm(),
         NaiveAlgorithm(),
         CounterAlgorithm(),
+        ColumnarSweepAlgorithm(),
         BucAlgorithm(),
         BucOptAlgorithm(),
         BucCustAlgorithm(),
@@ -37,7 +39,15 @@ _REGISTRY: Dict[str, CubeAlgorithm] = {
     )
 }
 
-ALWAYS_CORRECT = ("NAIVE", "COUNTER", "BUC", "TD", "BUCCUST", "TDCUST")
+ALWAYS_CORRECT = (
+    "NAIVE",
+    "COUNTER",
+    "COLUMNAR",
+    "BUC",
+    "TD",
+    "BUCCUST",
+    "TDCUST",
+)
 META = ("AUTO",)  # delegates; correct iff its oracle is truthful
 NEEDS_DISJOINTNESS = ("BUCOPT", "TDOPT")
 NEEDS_BOTH = ("TDOPTALL",)

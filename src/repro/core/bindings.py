@@ -12,9 +12,20 @@ back to the raw documents (exactly the paper's measurement protocol).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.lattice import CubeLattice, LatticePoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.columnar import ColumnarFactTable
 
 GroupKey = Tuple[Optional[str], ...]
 
@@ -46,14 +57,38 @@ class FactRow:
     axes: Tuple[Tuple[AnnotatedValue, ...], ...]
 
     def values_under(self, axis_position: int, state_index: int) -> List[str]:
-        """Distinct values the axis binds under the given structural state."""
+        """Distinct values the axis binds under the given structural state.
+
+        Memoized per (axis, state): a cube sweep asks the same question
+        for every lattice point that keeps the axis in the same state, so
+        the distinct-scan runs once per row instead of once per (row,
+        point) pair.  The returned list is shared — callers must treat it
+        as read-only (every in-tree caller only iterates or indexes it).
+        """
+        cache: Optional[
+            Dict[Tuple[int, int], List[str]]
+        ] = self.__dict__.get("_values_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_values_cache", cache)
+        key = (axis_position, state_index)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
         seen = set()
         out: List[str] = []
         for annotated in self.axes[axis_position]:
             if annotated.matches(state_index) and annotated.value not in seen:
                 seen.add(annotated.value)
                 out.append(annotated.value)
+        cache[key] = out
         return out
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the memo cache (process-pool engine workers)."""
+        state = dict(self.__dict__)
+        state.pop("_values_cache", None)
+        return state
 
 
 class FactTable:
@@ -70,9 +105,44 @@ class FactTable:
         self.lattice = lattice
         self.rows: List[FactRow] = list(rows)
         self.aggregate: "AggregateSpec" = aggregate or AggregateSpec()
+        self._columnar_cache: Optional[
+            Tuple[Tuple[int, int], "ColumnarFactTable"]
+        ] = None
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # columnar twin
+    # ------------------------------------------------------------------
+    def columnar(self) -> "ColumnarFactTable":
+        """The dictionary-encoded columnar twin of this table, built once.
+
+        The encoding is cached against the identity and length of
+        ``self.rows``; the incremental maintenance helpers rebind or
+        extend that list and additionally call
+        :meth:`invalidate_columnar`, so the cache never serves a stale
+        encoding.  The cache is dropped on pickling (engine process
+        pools re-encode on the worker side if they need it).
+        """
+        from repro.core.columnar import ColumnarFactTable
+
+        stamp = (id(self.rows), len(self.rows))
+        cached = self._columnar_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        encoded = ColumnarFactTable.from_table(self)
+        self._columnar_cache = (stamp, encoded)
+        return encoded
+
+    def invalidate_columnar(self) -> None:
+        """Drop the cached columnar encoding (call after mutating rows)."""
+        self._columnar_cache = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_columnar_cache"] = None
+        return state
 
     def __iter__(self) -> Iterator[FactRow]:
         return iter(self.rows)

@@ -340,7 +340,7 @@ def _execute(
             cuboids = merge_cuboids(outcomes)
         merge_seconds = time.perf_counter() - merge_begin
         total_wall = time.perf_counter() - total_begin
-        cost = merge_costs(outcomes, merge_seconds, total_wall)
+        cost = merge_costs(outcomes, merge_seconds, total_wall, max_workers)
 
         by_index = {outcome.index: outcome for outcome in outcomes}
         stats = tuple(

@@ -2,15 +2,25 @@
 
 Partitions cover disjoint lattice point sets, so the cuboid merge is a
 checked dict union.  Cost merge sums the counters (total work), derives
-the per-worker breakdown, and takes the critical path — the busiest
-worker's simulated seconds — as ``parallel_simulated_seconds``, which is
-what the modeled speedup compares against the serial total.
+the per-worker breakdown, and reports a critical path as
+``parallel_simulated_seconds``, which is what the modeled speedup
+compares against the serial total.
+
+The critical path is computed from a *deterministic* schedule: the
+per-partition simulated costs are LPT-packed onto ``max_workers`` bins
+(:func:`scheduled_critical_path`).  Attributing the modeled path to the
+threads that actually ran each partition would couple a cost-model
+number to wall-clock scheduling — oversubscribed pools hand partitions
+to whichever worker frees up first, so the same run would report
+different modeled speedups on different hosts.  The actual-thread
+breakdown is still reported (``workers``) for telemetry; when
+``max_workers`` is unknown it doubles as the critical-path fallback.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.cube import CostSnapshot, WorkerCost
 from repro.core.groupby import Cuboid
@@ -60,12 +70,34 @@ def merge_cuboids(
     )
 
 
+def scheduled_critical_path(costs: List[float], n_workers: int) -> float:
+    """The modeled critical path of an LPT schedule of ``costs`` onto
+    ``n_workers`` identical workers.
+
+    Longest-processing-time-first is the schedule the pool converges to
+    when every worker is equally fast, and it is a pure function of the
+    modeled costs — so the resulting speedup is host-independent, as the
+    cost model requires.
+    """
+    if not costs or n_workers <= 0:
+        return 0.0
+    bins = [0.0] * min(n_workers, len(costs))
+    for cost in sorted(costs, reverse=True):
+        lightest = min(range(len(bins)), key=bins.__getitem__)
+        bins[lightest] += cost
+    return max(bins)
+
+
 def merge_costs(
     outcomes: List[PartitionOutcome],
     merge_seconds: float,
     total_wall_seconds: float,
+    max_workers: Optional[int] = None,
 ) -> CostSnapshot:
-    """Sum the counters; attribute work to workers; take the critical path."""
+    """Sum the counters; attribute work to workers; take the critical path.
+
+    ``max_workers`` (the pool size) selects the deterministic LPT
+    critical path; without it the busiest *actual* worker is used."""
     totals: Dict[str, float] = {}
     for outcome in outcomes:
         for key, value in outcome.cost.items():
@@ -100,9 +132,14 @@ def merge_costs(
         )
         for name, slot in sorted(per_worker.items())
     )
-    critical_path = max(
-        (cost.simulated_seconds for cost in workers), default=0.0
-    )
+    if max_workers is not None:
+        critical_path = scheduled_critical_path(
+            [outcome.simulated_seconds for outcome in outcomes], max_workers
+        )
+    else:
+        critical_path = max(
+            (cost.simulated_seconds for cost in workers), default=0.0
+        )
     base = CostSnapshot.from_mapping(totals)
     return CostSnapshot(
         cpu_ops=base.cpu_ops,

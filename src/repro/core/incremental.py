@@ -36,6 +36,7 @@ _INVERTIBLE = {"COUNT", "SUM", "AVG"}
 def ingest_rows(table: FactTable, rows: Sequence[FactRow]) -> None:
     """Append delta facts to the table (the insert half of maintenance)."""
     table.rows.extend(rows)
+    table.invalidate_columnar()
 
 
 def retract_rows(table: FactTable, rows: Sequence[FactRow]) -> None:
@@ -53,6 +54,7 @@ def retract_rows(table: FactTable, rows: Sequence[FactRow]) -> None:
     if before - len(remaining) != len(rows):
         raise CubeError("attempted to delete facts not in the table")
     table.rows = remaining
+    table.invalidate_columnar()
 
 
 def affected_points(

@@ -4,9 +4,10 @@ from repro.bench.figures import FIGURES, run_figure, series_of
 
 
 class TestSpecs:
-    def test_all_seven_figures_defined(self):
+    def test_all_figures_defined(self):
         assert set(FIGURES) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "figC",
         }
 
     def test_settings_match_paper(self):
@@ -34,6 +35,13 @@ class TestSpecs:
 
     def test_dblp_single_config(self):
         assert len(FIGURES["fig10"].configs()) == 1
+
+    def test_columnar_duel_figure(self):
+        spec = FIGURES["figC"]
+        assert spec.algorithms == ("COUNTER", "COLUMNAR")
+        assert spec.base_facts == 100_000
+        assert spec.axes == (3,)
+        assert spec.coverage and spec.disjoint
 
 
 class TestRunFigure:

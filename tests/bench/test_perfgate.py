@@ -7,6 +7,7 @@ import pytest
 
 import repro.bench.perfgate as perfgate
 from repro.bench.perfgate import (
+    ABSOLUTE_FLOORS,
     METRIC_DIRECTIONS,
     compare,
     load_baseline,
@@ -62,6 +63,17 @@ class TestCompare:
         baseline = dict(FAKE_METRICS)
         del baseline["serve_hit_rate"]
         assert compare(FAKE_METRICS, baseline, 0.25) == []
+
+    def test_absolute_floor_fails_even_with_matching_baseline(self):
+        metrics = dict(FAKE_METRICS, columnar_speedup_vs_dict=2.0)
+        failures = compare(metrics, dict(metrics), 0.25)
+        assert len(failures) == 1
+        assert "absolute floor" in failures[0]
+
+    def test_absolute_floor_cleared_passes(self):
+        floor = ABSOLUTE_FLOORS["columnar_speedup_vs_dict"]
+        metrics = dict(FAKE_METRICS, columnar_speedup_vs_dict=floor + 1.0)
+        assert compare(metrics, dict(metrics), 0.25) == []
 
 
 class TestReportRoundTrip:

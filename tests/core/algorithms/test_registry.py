@@ -16,8 +16,8 @@ from repro.errors import CubeError
 class TestRegistry:
     def test_all_algorithms_registered(self):
         assert set(available()) == {
-            "AUTO", "NAIVE", "COUNTER", "BUC", "BUCOPT", "BUCCUST",
-            "TD", "TDOPT", "TDOPTALL", "TDCUST",
+            "AUTO", "NAIVE", "COUNTER", "COLUMNAR", "BUC", "BUCOPT",
+            "BUCCUST", "TD", "TDOPT", "TDOPTALL", "TDCUST",
         }
 
     def test_lookup_case_insensitive(self):

@@ -1,0 +1,259 @@
+"""Unit tests for the columnar encoding itself (layout, views, caching)."""
+
+import pickle
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.axes import AxisSpec
+from repro.core.bindings import AnnotatedValue, FactRow, FactTable
+from repro.core.columnar import (
+    COLUMNAR_ENTRIES_PER_PAGE,
+    ColumnarFactTable,
+)
+from repro.core.incremental import ingest_rows, retract_rows
+from repro.core.lattice import CubeLattice
+from repro.patterns.relaxation import Relaxation
+from repro.testing import messy_workload, small_workload
+
+
+def two_axis_table(rows):
+    axes = [
+        AxisSpec.from_path(
+            "$a", "a", frozenset({Relaxation.LND, Relaxation.PC_AD})
+        ),
+        AxisSpec.from_path("$b", "b", frozenset({Relaxation.LND})),
+    ]
+    return FactTable(CubeLattice(axes), rows)
+
+
+def make_row(number, a_values, b_values, measure=1.0):
+    return FactRow(
+        fact_id=(0, number),
+        measure=measure,
+        axes=(tuple(a_values), tuple(b_values)),
+    )
+
+
+class TestEncoding:
+    def test_dictionary_first_seen_order(self):
+        table = two_axis_table(
+            [
+                make_row(0, [AnnotatedValue("x", 0b11)], [AnnotatedValue("p", 1)]),
+                make_row(1, [AnnotatedValue("y", 0b11)], [AnnotatedValue("p", 1)]),
+                make_row(2, [AnnotatedValue("x", 0b11)], [AnnotatedValue("q", 1)]),
+            ]
+        )
+        encoded = table.columnar()
+        assert encoded.columns[0].dictionary == ("x", "y")
+        assert encoded.columns[1].dictionary == ("p", "q")
+        assert list(encoded.columns[0].codes) == [0, 1, 0]
+
+    def test_offsets_address_multi_valued_rows(self):
+        table = two_axis_table(
+            [
+                make_row(
+                    0,
+                    [AnnotatedValue("x", 0b11), AnnotatedValue("y", 0b10)],
+                    [AnnotatedValue("p", 1)],
+                ),
+                make_row(1, [], [AnnotatedValue("p", 1)]),
+                make_row(2, [AnnotatedValue("y", 0b11)], []),
+            ]
+        )
+        encoded = table.columnar()
+        assert list(encoded.columns[0].offsets) == [0, 2, 2, 3]
+        assert list(encoded.columns[1].offsets) == [0, 1, 2, 2]
+
+    def test_union_masks_are_participation_bits(self):
+        table = two_axis_table(
+            [
+                make_row(
+                    0,
+                    [AnnotatedValue("x", 0b10), AnnotatedValue("y", 0b10)],
+                    [AnnotatedValue("p", 1)],
+                ),
+                make_row(1, [AnnotatedValue("x", 0b11)], []),
+            ]
+        )
+        encoded = table.columnar()
+        # Row 0 binds axis $a only under PC-AD (bit 1), row 1 under both.
+        assert list(encoded.columns[0].union_masks) == [0b10, 0b11]
+        assert encoded.null_mask(0, 0) == bytes([1, 0])
+        assert encoded.null_mask(0, 1) == bytes([0, 0])
+        assert encoded.null_mask(1, 0) == bytes([0, 1])
+
+    def test_state_view_flat_when_single_valued(self):
+        table = two_axis_table(
+            [
+                make_row(0, [AnnotatedValue("x", 0b11)], [AnnotatedValue("p", 1)]),
+                make_row(1, [], [AnnotatedValue("q", 1)]),
+            ]
+        )
+        encoded = table.columnar()
+        view = encoded.state_view(0, 0)
+        assert view.per_row is None
+        assert list(view.flat) == [0, -1]
+        assert view.missing == 1
+        assert view.codes_of(0) == (0,)
+        assert view.codes_of(1) == ()
+
+    def test_state_view_per_row_when_multi_valued(self):
+        table = two_axis_table(
+            [
+                make_row(
+                    0,
+                    [AnnotatedValue("x", 0b11), AnnotatedValue("y", 0b11)],
+                    [AnnotatedValue("p", 1)],
+                ),
+            ]
+        )
+        encoded = table.columnar()
+        view = encoded.state_view(0, 0)
+        assert view.flat is None
+        assert view.per_row == ((0, 1),)
+
+    def test_state_view_distinct_codes_despite_duplicates(self):
+        # The same value annotated twice with different masks must count
+        # once under a state both masks match (NAIVE's distinct rule).
+        table = two_axis_table(
+            [
+                make_row(
+                    0,
+                    [AnnotatedValue("x", 0b11), AnnotatedValue("x", 0b10)],
+                    [AnnotatedValue("p", 1)],
+                ),
+            ]
+        )
+        encoded = table.columnar()
+        assert encoded.state_view(0, 1).codes_of(0) == (0,)
+        assert encoded.values_under(0, 0, 1) == ("x",)
+
+    def test_measures_and_fact_ids_lossless(self):
+        table = two_axis_table(
+            [
+                make_row(0, [AnnotatedValue("x", 0b11)], [], measure=0.1),
+                make_row(7, [AnnotatedValue("y", 0b11)], [], measure=-3.75),
+            ]
+        )
+        encoded = table.columnar()
+        assert list(encoded.measures) == [0.1, -3.75]
+        decoded = encoded.to_fact_table()
+        assert decoded.rows == table.rows
+
+    def test_memoryview_accessors(self):
+        table = small_workload(n_facts=10).fact_table()
+        encoded = table.columnar()
+        assert isinstance(encoded.measures_view(), memoryview)
+        assert encoded.codes_view(0).format == "q"
+        assert len(encoded.offsets_view(0)) == len(table) + 1
+
+    def test_stats_and_pages(self):
+        table = small_workload(n_facts=20).fact_table()
+        encoded = table.columnar()
+        stats = encoded.stats()
+        assert stats["n_rows"] == 20
+        assert stats["encoded_pages"] == max(
+            1, -(-encoded.encoded_entries // COLUMNAR_ENTRIES_PER_PAGE)
+        )
+
+
+class TestSemanticsParity:
+    @pytest.mark.parametrize("workload", ["regular", "messy"])
+    def test_key_combinations_and_participates_match(self, workload):
+        build = small_workload if workload == "regular" else messy_workload
+        table = build().fact_table()
+        encoded = table.columnar()
+        for point in table.lattice.points():
+            for index, row in enumerate(table.rows):
+                assert encoded.key_combinations(index, point) == (
+                    table.key_combinations(row, point)
+                )
+                assert encoded.participates(index, point) == (
+                    table.participates(row, point)
+                )
+
+    def test_values_under_matches_rows(self):
+        table = messy_workload().fact_table()
+        encoded = table.columnar()
+        for index, row in enumerate(table.rows):
+            for position, states in enumerate(table.lattice.axis_states):
+                for state in range(len(states.states)):
+                    assert encoded.values_under(index, position, state) == (
+                        tuple(row.values_under(position, state))
+                    )
+
+
+class TestCaching:
+    def test_columnar_is_memoized(self):
+        table = small_workload(n_facts=10).fact_table()
+        assert table.columnar() is table.columnar()
+
+    def test_ingest_invalidates(self):
+        table = small_workload(n_facts=10).fact_table()
+        first = table.columnar()
+        ingest_rows(table, [table.rows[0]])
+        second = table.columnar()
+        assert second is not first
+        assert second.n_rows == 11
+
+    def test_retract_invalidates(self):
+        table = small_workload(n_facts=10).fact_table()
+        first = table.columnar()
+        retract_rows(table, [table.rows[-1]])
+        second = table.columnar()
+        assert second is not first
+        assert second.n_rows == 9
+
+    def test_explicit_invalidation(self):
+        table = small_workload(n_facts=10).fact_table()
+        first = table.columnar()
+        table.invalidate_columnar()
+        assert table.columnar() is not first
+
+    def test_pickle_drops_caches(self):
+        table = small_workload(n_facts=10).fact_table()
+        table.columnar()  # warm the table cache
+        table.rows[0].values_under(0, 0)  # warm a row memo
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone._columnar_cache is None
+        assert "_values_cache" not in clone.rows[0].__dict__
+        assert clone.rows == table.rows
+
+    def test_values_under_memo_returns_same_answer(self):
+        table = messy_workload().fact_table()
+        row = table.rows[0]
+        first = row.values_under(0, 0)
+        again = row.values_under(0, 0)
+        assert first == again
+        fresh = FactRow(row.fact_id, row.measure, row.axes)
+        assert fresh.values_under(0, 0) == first
+
+
+class TestRoundTripAggregates:
+    def test_aggregate_spec_preserved(self):
+        table = small_workload(n_facts=5).fact_table()
+        spec = AggregateSpec("SUM", "@m")
+        table = FactTable(table.lattice, table.rows, spec)
+        decoded = table.columnar().to_fact_table()
+        assert decoded.aggregate == spec
+
+    def test_empty_table(self):
+        table = two_axis_table([])
+        encoded = table.columnar()
+        assert encoded.n_rows == 0
+        assert encoded.to_fact_table().rows == []
+        assert encoded.encoded_pages == 1
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        table = small_workload(n_facts=6).fact_table()
+        snapshot = table.columnar().snapshot()
+        text = json.dumps(snapshot, sort_keys=True)
+        assert json.loads(text) == snapshot
+
+    def test_from_table_equals_accessor(self):
+        table = small_workload(n_facts=6).fact_table()
+        direct = ColumnarFactTable.from_table(table)
+        assert direct.snapshot() == table.columnar().snapshot()

@@ -1,0 +1,278 @@
+"""The differential battery: columnar sweep vs the dict engine.
+
+Reference semantics: serial NAIVE on the dict path.  Every comparison in
+this module is **zero-tolerance** — plain ``==`` on the finalized cuboid
+dicts, no float epsilon — which holds because the columnar sweep folds
+measures in base-row order, the same fold order NAIVE and COUNTER use.
+
+Coverage: every registered algorithm x workload family x lattice point
+set x aggregate function, including multi-valued axes, coverage-gap
+facts, memory-pressure multipass, engine partitioning, and iceberg
+filtering.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec, registered_functions
+from repro.core.algorithms.registry import (
+    ALWAYS_CORRECT,
+    META,
+    NEEDS_BOTH,
+    NEEDS_DISJOINTNESS,
+    available,
+)
+from repro.core.bindings import FactTable
+from repro.core.cube import ExecutionOptions, compute_cube
+from repro.core.properties import PropertyOracle
+from repro.datagen.workload import WorkloadConfig, build_workload
+
+# ----------------------------------------------------------------------
+# workload matrix
+# ----------------------------------------------------------------------
+WORKLOAD_CONFIGS = {
+    # Both summarizability properties hold; single-valued everywhere.
+    "clean": WorkloadConfig(
+        kind="treebank", n_facts=60, n_axes=3, density="dense",
+        coverage=True, disjoint=True, seed=5,
+    ),
+    # Coverage gaps (missing values) + nested extra matches, repeated
+    # values on axes: neither property holds; multi-valued axes appear.
+    "messy": WorkloadConfig(
+        kind="treebank", n_facts=60, n_axes=3, density="sparse",
+        coverage=False, disjoint=False, seed=9,
+    ),
+    # Disjointness broken only (duplicated values, full coverage).
+    "overlap": WorkloadConfig(
+        kind="treebank", n_facts=50, n_axes=3, density="dense",
+        coverage=True, disjoint=False, seed=11,
+    ),
+    # The DBLP-shaped generator (different axis/value structure).
+    "dblp": WorkloadConfig(
+        kind="dblp", n_facts=50, n_axes=3, density="sparse",
+        coverage=False, disjoint=False, seed=3,
+    ),
+}
+
+
+def _vary_measures(table: FactTable) -> FactTable:
+    """Give rows distinct, order-sensitive measures so SUM/AVG/MIN/MAX
+    actually exercise fold order (the generators use constant measures)."""
+    rows = [
+        replace(row, measure=((index * 37) % 11) + (index % 3) * 0.125 + 0.25)
+        for index, row in enumerate(table.rows)
+    ]
+    return FactTable(table.lattice, rows, table.aggregate)
+
+
+def _with_aggregate(table: FactTable, function: str) -> FactTable:
+    spec = (
+        AggregateSpec()
+        if function == "COUNT"
+        else AggregateSpec(function, "@m")
+    )
+    return FactTable(table.lattice, table.rows, spec)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    out = {}
+    for name, config in WORKLOAD_CONFIGS.items():
+        workload = build_workload(config)
+        table = _vary_measures(workload.fact_table())
+        out[name] = (table, workload.oracle(table))
+    return out
+
+
+def point_sets(lattice):
+    """The lattice point sets the battery sweeps."""
+    points = list(lattice.points())
+    mid = sorted(points, key=lattice.rank)[len(points) // 2]
+    antichain = [p for p in points if lattice.rank(p) == lattice.rank(mid)]
+    return {
+        "full": points,
+        "bottom": [lattice.bottom],
+        "top": [lattice.top],
+        "antichain": antichain,
+        "pair": [lattice.bottom, lattice.top],
+    }
+
+
+def exact_equal(result, reference, points):
+    """Zero-tolerance comparison over the requested points."""
+    assert set(result.cuboids) == set(points)
+    for point in points:
+        assert result.cuboids[point] == reference.cuboids[point], point
+
+
+# ----------------------------------------------------------------------
+# columnar vs serial NAIVE: workloads x point sets x aggregates
+# ----------------------------------------------------------------------
+class TestColumnarAgainstNaive:
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_CONFIGS))
+    @pytest.mark.parametrize(
+        "point_set", ["full", "bottom", "top", "antichain", "pair"]
+    )
+    def test_count_bit_identical(self, tables, workload, point_set):
+        table, _ = tables[workload]
+        points = point_sets(table.lattice)[point_set]
+        reference = compute_cube(
+            table, ExecutionOptions(algorithm="NAIVE", points=points)
+        )
+        result = compute_cube(
+            table, ExecutionOptions(algorithm="COLUMNAR", points=points)
+        )
+        exact_equal(result, reference, points)
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_CONFIGS))
+    @pytest.mark.parametrize("function", sorted(registered_functions()))
+    def test_every_aggregate_bit_identical(self, tables, workload, function):
+        table, _ = tables[workload]
+        table = _with_aggregate(table, function)
+        points = list(table.lattice.points())
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(table, ExecutionOptions(algorithm="COLUMNAR"))
+        exact_equal(result, reference, points)
+
+    def test_multipass_under_memory_pressure(self, tables):
+        table, _ = tables["messy"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        starved = compute_cube(
+            table,
+            ExecutionOptions(algorithm="COLUMNAR", memory_entries=16),
+        )
+        assert starved.passes > 1
+        exact_equal(starved, reference, list(table.lattice.points()))
+
+    def test_iceberg_min_support(self, tables):
+        table, _ = tables["clean"]
+        table = _with_aggregate(table, "COUNT")
+        reference = compute_cube(
+            table, ExecutionOptions(algorithm="NAIVE", min_support=3)
+        )
+        result = compute_cube(
+            table, ExecutionOptions(algorithm="COLUMNAR", min_support=3)
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    def test_empty_table(self):
+        config = WORKLOAD_CONFIGS["clean"]
+        workload = build_workload(config)
+        table = workload.fact_table()
+        empty = FactTable(table.lattice, [], table.aggregate)
+        reference = compute_cube(empty, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(empty, ExecutionOptions(algorithm="COLUMNAR"))
+        assert result.cuboids == reference.cuboids
+
+
+# ----------------------------------------------------------------------
+# every registered algorithm against the columnar sweep
+# ----------------------------------------------------------------------
+class TestAllRegisteredAlgorithms:
+    @pytest.mark.parametrize("name", sorted(available()))
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_CONFIGS))
+    def test_count_cubes_bit_identical(self, tables, name, workload):
+        """COUNT cubes are integers, so *every* algorithm that is sound
+        on the workload must be bit-identical to the columnar sweep."""
+        table, truthful = tables[workload]
+        if name in NEEDS_DISJOINTNESS and not truthful.globally_disjoint():
+            pytest.skip("algorithm requires disjointness")
+        if name in NEEDS_BOTH and not (
+            truthful.globally_disjoint() and truthful.globally_covered()
+        ):
+            pytest.skip("algorithm requires both properties")
+        points = list(table.lattice.points())
+        reference = compute_cube(
+            table, ExecutionOptions(algorithm="COLUMNAR", oracle=truthful)
+        )
+        result = compute_cube(
+            table, ExecutionOptions(algorithm=name, oracle=truthful)
+        )
+        exact_equal(result, reference, points)
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(ALWAYS_CORRECT) | set(META))
+    )
+    def test_float_aggregates_agree(self, tables, name):
+        """Always-correct algorithms on an AVG cube: row-order folders
+        (NAIVE/COUNTER/COLUMNAR) are bit-identical; roll-up based ones
+        agree within the documented tolerance."""
+        table, truthful = tables["messy"]
+        table = _with_aggregate(table, "AVG")
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table, ExecutionOptions(algorithm=name, oracle=truthful)
+        )
+        if name in ("NAIVE", "COUNTER", "COLUMNAR"):
+            exact_equal(result, reference, list(table.lattice.points()))
+        else:
+            assert result.same_contents(reference), result.diff(reference)[:3]
+
+
+# ----------------------------------------------------------------------
+# the engine's partition workers on columnar inputs
+# ----------------------------------------------------------------------
+class TestColumnarUnderEngine:
+    @pytest.mark.parametrize(
+        "strategy", ["balanced", "antichain", "axis"]
+    )
+    def test_thread_engine_partitions(self, tables, strategy):
+        table, _ = tables["messy"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm="COLUMNAR",
+                workers=3,
+                engine="thread",
+                partition_strategy=strategy,
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    def test_process_engine(self, tables):
+        table, _ = tables["clean"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm="COLUMNAR", workers=2, engine="process"
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    def test_thread_workers_share_one_encoding(self, tables):
+        """Thread partitions run against the same table object, so the
+        memoized encoding is built once and shared."""
+        table, _ = tables["clean"]
+        table.invalidate_columnar()
+        compute_cube(
+            table,
+            ExecutionOptions(algorithm="COLUMNAR", workers=3, engine="thread"),
+        )
+        cached = table._columnar_cache
+        assert cached is not None
+        assert table.columnar() is cached[1]
+
+
+# ----------------------------------------------------------------------
+# the serving ladder's recompute rung on columnar inputs
+# ----------------------------------------------------------------------
+class TestColumnarUnderServe:
+    def test_recompute_rung_matches_naive(self, tables):
+        from repro.core.query import Query
+        from repro.serve import CubeServer
+
+        table, oracle = tables["clean"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        server = CubeServer(
+            table,
+            oracle,
+            cache_cells=0,
+            options=ExecutionOptions(algorithm="COLUMNAR"),
+        )
+        for point in table.lattice.points():
+            answer = server.query(Query(point=point))
+            assert answer.tier == "recompute"
+            assert answer.as_cuboid() == reference.cuboids[point], point

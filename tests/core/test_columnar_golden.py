@@ -1,0 +1,90 @@
+"""Golden regression test for the columnar physical layout.
+
+The committed snapshot (``tests/core/golden/columnar_fig1.json``) pins
+the full encoding of the paper's Figure 1 workload — dictionaries,
+code/mask/offset columns, per-state null masks — plus every finalized
+cuboid the sweep emits for it.  A layout or kernel change that alters
+any of this shows up as a diff here, so it is deliberate.
+
+Regenerate after an intentional layout change::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.datagen.publications import figure1_document, query1
+    from repro.core.extract import extract_fact_table
+    from repro.core.cube import compute_cube, ExecutionOptions
+
+    table = extract_fact_table(figure1_document(), query1())
+    golden = {
+        "source": "figure1_document() x query1()",
+        "encoding": table.columnar().snapshot(),
+        "cuboids": {
+            table.lattice.describe(point): sorted(
+                [list(key), value] for key, value in cuboid.items()
+            )
+            for point, cuboid in compute_cube(
+                table, ExecutionOptions(algorithm="COLUMNAR")
+            ).cuboids.items()
+        },
+    }
+    with open(
+        "tests/core/golden/columnar_fig1.json", "w", encoding="utf-8"
+    ) as fh:
+        json.dump(golden, fh, indent=2, ensure_ascii=False, sort_keys=True)
+        fh.write("\n")
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.cube import ExecutionOptions, compute_cube
+from repro.core.extract import extract_fact_table
+from repro.datagen.publications import figure1_document, query1
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "columnar_fig1.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def table():
+    return extract_fact_table(figure1_document(), query1())
+
+
+class TestColumnarGolden:
+    def test_encoding_matches_snapshot(self, golden, table):
+        assert table.columnar().snapshot() == golden["encoding"]
+
+    def test_cuboids_match_snapshot(self, golden, table):
+        result = compute_cube(table, ExecutionOptions(algorithm="COLUMNAR"))
+        got = {
+            table.lattice.describe(point): sorted(
+                [list(key), value] for key, value in cuboid.items()
+            )
+            for point, cuboid in result.cuboids.items()
+        }
+        assert got == golden["cuboids"]
+
+    def test_snapshot_covers_null_masks(self, golden):
+        for axis in golden["encoding"]["axes"]:
+            assert axis["null_masks"], axis["axis"]
+            for mask in axis["null_masks"].values():
+                assert len(mask) == golden["encoding"]["n_rows"]
+
+    def test_dict_engine_agrees_with_snapshot(self, golden, table):
+        """The golden is also a NAIVE golden — the two engines pin each
+        other."""
+        result = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        got = {
+            table.lattice.describe(point): sorted(
+                [list(key), value] for key, value in cuboid.items()
+            )
+            for point, cuboid in result.cuboids.items()
+        }
+        assert got == golden["cuboids"]

@@ -142,6 +142,29 @@ class TestMerge:
         assert cost.wall_seconds == pytest.approx(3.0)
         assert {w.worker for w in cost.workers} == {"w0", "w1"}
 
+    def test_scheduled_critical_path_is_deterministic_lpt(self):
+        from repro.core.engine.merge import scheduled_critical_path
+
+        # LPT: 2.0 | 1.0 + 0.5 — independent of which thread ran what.
+        assert scheduled_critical_path([1.0, 2.0, 0.5], 2) == pytest.approx(2.0)
+        assert scheduled_critical_path([], 4) == 0.0
+        assert scheduled_critical_path([1.0], 0) == 0.0
+        # More workers than partitions: path = heaviest partition.
+        assert scheduled_critical_path([0.5, 0.25], 8) == pytest.approx(0.5)
+
+    def test_merge_costs_uses_schedule_when_pool_size_known(self):
+        outcomes = [
+            outcome(0, {(0, 0): {}}, sim=1.0, worker="w0"),
+            outcome(1, {(0, 1): {}}, sim=2.0, worker="w0"),
+            outcome(2, {(0, 2): {}}, sim=0.5, worker="w0"),
+        ]
+        # All three ran on one thread (a stalled pool), but the modeled
+        # path must still be the 2-worker LPT schedule.
+        cost = merge_costs(
+            outcomes, merge_seconds=0.0, total_wall_seconds=1.0, max_workers=2
+        )
+        assert cost.parallel_simulated_seconds == pytest.approx(2.0)
+
     def test_algorithm_name_merge(self):
         same = [outcome(0, {(0, 0): {}}), outcome(1, {(0, 1): {}})]
         assert merged_algorithm_name(same) == "NAIVE"

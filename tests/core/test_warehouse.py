@@ -21,13 +21,13 @@ class TestChooseAlgorithm:
 
         return query1().lattice()
 
-    def test_counter_for_small_low_dimensional(self):
+    def test_columnar_counter_for_small_low_dimensional(self):
         oracle = self._oracle(self._lattice(), False, False)
         rec = choose_algorithm(
             oracle, dense=True, n_axes=3,
             cube_cells_estimate=100, memory_entries=10_000,
         )
-        assert rec.algorithm == "COUNTER"
+        assert rec.algorithm == "COLUMNAR"
 
     def test_tdoptall_for_dense_summarizable(self):
         oracle = self._oracle(self._lattice(), True, True)
@@ -112,7 +112,7 @@ class TestXmlWarehouse:
         rec = session.recommend()
         assert isinstance(rec, Recommendation)
         assert rec.algorithm in {
-            "COUNTER", "BUC", "BUCOPT", "BUCCUST", "TDOPTALL",
+            "COUNTER", "COLUMNAR", "BUC", "BUCOPT", "BUCCUST", "TDOPTALL",
         }
 
     def test_fact_count(self):
