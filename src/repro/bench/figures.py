@@ -43,6 +43,9 @@ class FigureSpec:
     axes: Tuple[int, ...] = DEFAULT_AXES
     expected_shape: str = ""
     memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    #: Each algorithm is timed once per encoding; the duel figures race
+    #: the legacy dict kernels against the columnar ones.
+    encodings: Tuple[str, ...] = ("auto",)
 
     def configs(self, scale: float = 1.0) -> List[WorkloadConfig]:
         n_facts = max(50, int(self.base_facts * scale))
@@ -199,6 +202,29 @@ FIGURES: Dict[str, FigureSpec] = {
                 " and the vectorized sweep folds 8 rows per modeled op"
             ),
         ),
+        FigureSpec(
+            figure_id="figD",
+            title=(
+                "BUC/TD kernel duel: dict vs columnar encoding at 10^5"
+                " facts (dense, both properties hold)"
+            ),
+            kind="treebank",
+            density="dense",
+            coverage=True,
+            disjoint=True,
+            algorithms=("BUC", "TD"),
+            base_facts=100_000,
+            axes=(3,),
+            memory_entries=50_000,
+            encodings=("dict", "auto"),
+            expected_shape=(
+                "each algorithm's columnar run >=2x below its dict run:"
+                " BUC partitions by code-range slicing with vectorized"
+                " gathers instead of re-bucketing FactRow lists, TD"
+                " replaces per-point placement sorts with linear"
+                " counting folds over integer group ids"
+            ),
+        ),
     )
 }
 
@@ -235,16 +261,26 @@ def run_figure(
                 validate=validate,
                 workers=workers,
                 engine=engine,
+                encodings=spec.encodings,
             )
         )
     return spec, runs
 
 
 def series_of(runs: List[AlgorithmRun]) -> Series:
-    """Pivot runs into algorithm -> [(n_axes, simulated seconds)]."""
+    """Pivot runs into algorithm -> [(n_axes, simulated seconds)].
+
+    Runs pinned to a non-default encoding get their own series
+    (``BUC[dict]``) so a duel figure keeps both kernels visible.
+    """
     series: Series = {}
     for run in runs:
-        series.setdefault(run.algorithm, []).append(
+        name = (
+            run.algorithm
+            if run.encoding == "auto"
+            else f"{run.algorithm}[{run.encoding}]"
+        )
+        series.setdefault(name, []).append(
             (run.n_axes, run.simulated_seconds)
         )
     for points in series.values():

@@ -22,9 +22,10 @@ we, recording ``correct=False``).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.algorithms.registry import COLUMNAR_CAPABLE
 from repro.core.bindings import FactTable
 from repro.core.cube import CubeResult, ExecutionOptions, compute_cube
 from repro.core.properties import PropertyOracle
@@ -50,6 +51,13 @@ class AlgorithmRun:
     par_sim_seconds: float = 0.0
     merge_seconds: float = 0.0
     queue_wait_seconds: float = 0.0
+    encoding: str = "auto"
+    #: The full cube result, kept only when ``run_algorithm`` is told to
+    #: (``keep_result=True``) so a duel can reuse one run's output as the
+    #: next run's reference without recomputing.  Never serialized.
+    result: Optional[CubeResult] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def modeled_speedup(self) -> float:
@@ -75,6 +83,7 @@ class AlgorithmRun:
             "par_sim_seconds": round(self.par_sim_seconds, 6),
             "merge_seconds": round(self.merge_seconds, 6),
             "queue_wait_seconds": round(self.queue_wait_seconds, 6),
+            "encoding": self.encoding,
         }
 
 
@@ -88,12 +97,15 @@ def run_algorithm(
     n_facts: int = 0,
     dnf_simulated_limit: Optional[float] = None,
     options: Optional[ExecutionOptions] = None,
+    keep_result: bool = False,
 ) -> AlgorithmRun:
     """Time one algorithm over an extracted fact table.
 
     Pass either an ``algorithm`` name plus the oracle/memory shorthands,
     or a full :class:`ExecutionOptions` (which wins and may carry
-    ``workers``/``engine`` for parallel runs).
+    ``workers``/``engine`` for parallel runs).  ``keep_result=True``
+    attaches the :class:`CubeResult` to the run so it can serve as the
+    reference for a later run without a second compute.
     """
     if options is None:
         options = ExecutionOptions(
@@ -132,6 +144,8 @@ def run_algorithm(
         queue_wait_seconds=(
             metrics.queue_wait_seconds if metrics is not None else 0.0
         ),
+        encoding=options.encoding,
+        result=result if keep_result else None,
     )
 
 
@@ -146,7 +160,8 @@ def prepare_columnar(table: FactTable, algorithms: Sequence[str]) -> None:
     :class:`~repro.core.algorithms.columnar_sweep.ColumnarSweepAlgorithm`),
     so simulated seconds never depend on this warm-up.
     """
-    if any(name in ("COLUMNAR", "AUTO") for name in algorithms):
+    columnar_users = ("COLUMNAR", "AUTO") + COLUMNAR_CAPABLE
+    if any(name in columnar_users for name in algorithms):
         table.columnar()
 
 
@@ -158,8 +173,14 @@ def run_workload(
     dnf_simulated_limit: Optional[float] = None,
     workers: int = 1,
     engine: str = "auto",
+    encodings: Sequence[str] = ("auto",),
 ) -> List[AlgorithmRun]:
-    """Extract once, then time each algorithm (the paper's protocol)."""
+    """Extract once, then time each algorithm (the paper's protocol).
+
+    ``encodings`` times every algorithm once per entry — the duel
+    figures pass ``("dict", "auto")`` to race the legacy kernels against
+    the columnar ones on the same extracted table.
+    """
     table = workload.fact_table()
     oracle = workload.oracle(table)
     prepare_columnar(table, algorithms)
@@ -170,22 +191,24 @@ def run_workload(
     )
     runs: List[AlgorithmRun] = []
     for algorithm in algorithms:
-        runs.append(
-            run_algorithm(
-                table,
-                options=ExecutionOptions(
-                    algorithm=algorithm,
-                    oracle=oracle,
-                    memory_entries=memory_entries,
-                    workers=workers,
-                    engine=engine,
-                ),
-                reference=reference,
-                workload_name=workload.name,
-                n_facts=len(table),
-                dnf_simulated_limit=dnf_simulated_limit,
+        for encoding in encodings:
+            runs.append(
+                run_algorithm(
+                    table,
+                    options=ExecutionOptions(
+                        algorithm=algorithm,
+                        oracle=oracle,
+                        memory_entries=memory_entries,
+                        workers=workers,
+                        engine=engine,
+                        encoding=encoding,
+                    ),
+                    reference=reference,
+                    workload_name=workload.name,
+                    n_facts=len(table),
+                    dnf_simulated_limit=dnf_simulated_limit,
+                )
             )
-        )
     return runs
 
 
@@ -197,6 +220,7 @@ def run_config(
     dnf_simulated_limit: Optional[float] = None,
     workers: int = 1,
     engine: str = "auto",
+    encodings: Sequence[str] = ("auto",),
 ) -> List[AlgorithmRun]:
     """Build the workload from its config, then run."""
     return run_workload(
@@ -207,6 +231,7 @@ def run_config(
         dnf_simulated_limit=dnf_simulated_limit,
         workers=workers,
         engine=engine,
+        encodings=encodings,
     )
 
 
@@ -292,19 +317,14 @@ def run_columnar_duel(
         ),
         workload_name=workload.name,
         n_facts=len(table),
-    )
-    counter_result = compute_cube(
-        table,
-        ExecutionOptions(
-            algorithm="COUNTER", oracle=oracle, memory_entries=memory_entries
-        ),
+        keep_result=True,
     )
     columnar = run_algorithm(
         table,
         options=ExecutionOptions(
             algorithm="COLUMNAR", oracle=oracle, memory_entries=memory_entries
         ),
-        reference=counter_result,
+        reference=counter.result,
         workload_name=workload.name,
         n_facts=len(table),
     )
@@ -324,3 +344,82 @@ def run_columnar_duel(
         "identical": bool(columnar.correct),
     }
     return [counter, columnar], summary
+
+
+def run_buc_td_duel(
+    n_facts: int = DUEL_FACTS,
+    memory_entries: Optional[int] = None,
+) -> "Tuple[List[AlgorithmRun], Dict[str, object]]":
+    """The BUC/TD kernel duel: dict path vs columnar path, per algorithm.
+
+    Same workload as the columnar duel (dense / covered / disjoint at
+    10^5 facts).  For each of BUC and TD the legacy dict kernel is timed
+    with ``encoding="dict"`` and the columnar kernel with the default
+    encoding; the columnar run is validated against the dict run's
+    result, so any kernel divergence fails the smoke.  The summary is
+    flat (``buc_``/``td_`` prefixed) so the perf gate can lift the
+    speedups straight into its metric set.
+    """
+    config = WorkloadConfig(
+        kind=DUEL_CONFIG.kind,
+        n_facts=n_facts,
+        n_axes=DUEL_CONFIG.n_axes,
+        density=DUEL_CONFIG.density,
+        coverage=DUEL_CONFIG.coverage,
+        disjoint=DUEL_CONFIG.disjoint,
+    )
+    workload = build_workload(config)
+    table = workload.fact_table()
+    oracle = workload.oracle(table)
+    prepare_columnar(table, ("BUC", "TD"))
+    runs: List[AlgorithmRun] = []
+    summary: Dict[str, object] = {
+        "workload": workload.name,
+        "facts": len(table),
+    }
+    for algorithm in ("BUC", "TD"):
+        dict_run = run_algorithm(
+            table,
+            options=ExecutionOptions(
+                algorithm=algorithm,
+                oracle=oracle,
+                memory_entries=memory_entries,
+                encoding="dict",
+            ),
+            workload_name=workload.name,
+            n_facts=len(table),
+            keep_result=True,
+        )
+        columnar_run = run_algorithm(
+            table,
+            options=ExecutionOptions(
+                algorithm=algorithm,
+                oracle=oracle,
+                memory_entries=memory_entries,
+            ),
+            reference=dict_run.result,
+            workload_name=workload.name,
+            n_facts=len(table),
+        )
+        runs.extend((dict_run, columnar_run))
+        prefix = algorithm.lower()
+        summary[f"{prefix}_dict_sim_seconds"] = round(
+            dict_run.simulated_seconds, 6
+        )
+        summary[f"{prefix}_columnar_sim_seconds"] = round(
+            columnar_run.simulated_seconds, 6
+        )
+        summary[f"{prefix}_dict_wall_seconds"] = round(
+            dict_run.wall_seconds, 6
+        )
+        summary[f"{prefix}_columnar_wall_seconds"] = round(
+            columnar_run.wall_seconds, 6
+        )
+        summary[f"{prefix}_modeled_speedup"] = round(
+            dict_run.simulated_seconds / columnar_run.simulated_seconds, 3
+        )
+        summary[f"{prefix}_wall_speedup"] = round(
+            dict_run.wall_seconds / columnar_run.wall_seconds, 3
+        )
+        summary[f"{prefix}_identical"] = bool(columnar_run.correct)
+    return runs, summary

@@ -37,7 +37,12 @@ Metrics:
   the gate workload.  Besides the relative tolerance, this metric has an
   **absolute floor** (:data:`ABSOLUTE_FLOORS`): the build fails outright
   if the columnar sweep is less than 3x faster than the dict counter at
-  smoke scale, baseline or no baseline.
+  smoke scale, baseline or no baseline;
+- ``buc_columnar_speedup_vs_dict`` / ``td_columnar_speedup_vs_dict`` —
+  modeled dict-kernel-over-columnar-kernel ratio for the BUC and TD
+  algorithms on the gate workload (the same algorithm run twice, pinned
+  to each encoding).  Both carry a 2.0 absolute floor: the columnar
+  BUC/TD kernels must stay at least 2x under their dict counterparts.
 
 Refresh the committed baseline after an intentional perf change::
 
@@ -70,6 +75,8 @@ METRIC_DIRECTIONS = {
     "cluster_p95_modeled_seconds": "lower",
     "server_p95_modeled_seconds": "lower",
     "columnar_speedup_vs_dict": "higher",
+    "buc_columnar_speedup_vs_dict": "higher",
+    "td_columnar_speedup_vs_dict": "higher",
 }
 
 #: Hard minimums enforced regardless of the committed baseline: a
@@ -77,6 +84,8 @@ METRIC_DIRECTIONS = {
 #: agrees (a baseline refresh must never launder an absolute regression).
 ABSOLUTE_FLOORS = {
     "columnar_speedup_vs_dict": 3.0,
+    "buc_columnar_speedup_vs_dict": 2.0,
+    "td_columnar_speedup_vs_dict": 2.0,
 }
 
 WORKERS = 4
@@ -133,6 +142,10 @@ def collect_metrics() -> Dict[str, float]:
 
     counter = prepared.run("COUNTER", workers=1)
     columnar = prepared.run("COLUMNAR", workers=1)
+    buc_dict = prepared.run("BUC", workers=1, encoding="dict")
+    buc_columnar = prepared.run("BUC", workers=1)
+    td_dict = prepared.run("TD", workers=1, encoding="dict")
+    td_columnar = prepared.run("TD", workers=1)
 
     return {
         "engine_serial_seconds": serial.cost.simulated_seconds,
@@ -148,6 +161,14 @@ def collect_metrics() -> Dict[str, float]:
         "server_p95_modeled_seconds": server_p95,
         "columnar_speedup_vs_dict": (
             counter.cost.simulated_seconds / columnar.cost.simulated_seconds
+        ),
+        "buc_columnar_speedup_vs_dict": (
+            buc_dict.cost.simulated_seconds
+            / buc_columnar.cost.simulated_seconds
+        ),
+        "td_columnar_speedup_vs_dict": (
+            td_dict.cost.simulated_seconds
+            / td_columnar.cost.simulated_seconds
         ),
     }
 
@@ -252,6 +273,50 @@ def write_report(path: str, metrics: Dict[str, float]) -> None:
         handle.write("\n")
 
 
+def format_markdown(
+    metrics: Dict[str, float],
+    baseline: Dict[str, float],
+    failures: List[str],
+) -> str:
+    """A GitHub-flavoured markdown table of the gate's verdict.
+
+    CI appends this to ``$GITHUB_STEP_SUMMARY`` so the metric values,
+    baselines and floors are readable from the run page without digging
+    through logs.
+    """
+    failed_names = {failure.split(":", 1)[0] for failure in failures}
+    lines = [
+        "### Perf gate (modeled metrics)",
+        "",
+        "| metric | value | baseline | floor | direction | status |",
+        "| --- | ---: | ---: | ---: | :---: | :---: |",
+    ]
+    for name, value in sorted(metrics.items()):
+        reference = baseline.get(name)
+        floor = ABSOLUTE_FLOORS.get(name)
+        lines.append(
+            "| {name} | {value:.6f} | {reference} | {floor} |"
+            " {direction} | {status} |".format(
+                name=f"`{name}`",
+                value=value,
+                reference=(
+                    f"{reference:.6f}" if reference is not None else "—"
+                ),
+                floor=f"{floor:.1f}" if floor is not None else "—",
+                direction=METRIC_DIRECTIONS[name],
+                status="❌" if name in failed_names else "✅",
+            )
+        )
+    lines.append("")
+    if failures:
+        lines.append("**Regressions:**")
+        lines.extend(f"- {failure}" for failure in failures)
+    else:
+        lines.append("All metrics within tolerance.")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench.perfgate",
@@ -276,6 +341,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="rewrite the baseline with the collected metrics and exit 0",
     )
+    parser.add_argument(
+        "--summary",
+        metavar="PATH",
+        help="append a markdown metric table to PATH (pass"
+        ' "$GITHUB_STEP_SUMMARY" in CI)',
+    )
     args = parser.parse_args(argv)
 
     metrics = collect_metrics()
@@ -299,6 +370,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 1
     failures = compare(metrics, baseline, args.tolerance)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(format_markdown(metrics, baseline, failures))
     if failures:
         for failure in failures:
             print(f"REGRESSION {failure}", file=sys.stderr)

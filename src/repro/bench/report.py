@@ -40,10 +40,15 @@ def format_figure(spec: FigureSpec, runs: List[AlgorithmRun]) -> str:
         lines.append("   sim-seconds (bar chart)")
         peak = max(run.simulated_seconds for run in runs) or 1.0
         for run in runs:
+            name = (
+                run.algorithm
+                if run.encoding == "auto"
+                else f"{run.algorithm}[{run.encoding}]"
+            )
             bar = "#" * max(1, int(40 * run.simulated_seconds / peak))
             flag = "" if run.correct in (None, True) else "  [INCORRECT]"
             lines.append(
-                f"   {run.algorithm:<10} {run.simulated_seconds:>10.3f} "
+                f"   {name:<10} {run.simulated_seconds:>10.3f} "
                 f"{bar}{flag}"
             )
     wrong = [run for run in runs if run.correct is False]
@@ -68,7 +73,7 @@ def format_runs_csv(runs: List[AlgorithmRun]) -> str:
     header = (
         "workload,algorithm,axes,facts,sim_seconds,wall_seconds,"
         "cells,passes,correct,dnf,workers,engine,par_sim_seconds,"
-        "merge_seconds,queue_wait_seconds"
+        "merge_seconds,queue_wait_seconds,encoding"
     )
     lines = [header]
     for run in runs:

@@ -25,6 +25,7 @@ from repro.bench.figures import FIGURES, run_figure
 from repro.bench.harness import (
     DUEL_FACTS,
     AlgorithmRun,
+    run_buc_td_duel,
     run_columnar_duel,
     run_smoke,
 )
@@ -231,6 +232,7 @@ def _run(args: argparse.Namespace) -> int:
         runs = run_smoke(workers=max(2, args.workers))
         print(format_smoke(runs))
         duel_summary: Optional[Dict[str, Any]] = None
+        buc_td_summary: Optional[Dict[str, Any]] = None
         if args.duel_facts > 0:
             duel_runs, duel_summary = run_columnar_duel(args.duel_facts)
             runs.extend(duel_runs)
@@ -243,10 +245,26 @@ def _run(args: argparse.Namespace) -> int:
                     identical=duel_summary["identical"],
                 )
             )
+            buc_td_runs, buc_td_summary = run_buc_td_duel(args.duel_facts)
+            runs.extend(buc_td_runs)
+            for name in ("buc", "td"):
+                print(
+                    "{algo} duel @ {facts} facts: modeled {modeled}x,"
+                    " wall {wall}x vs dict kernel"
+                    " (identical={identical})".format(
+                        algo=name.upper(),
+                        facts=buc_td_summary["facts"],
+                        modeled=buc_td_summary[f"{name}_modeled_speedup"],
+                        wall=buc_td_summary[f"{name}_wall_speedup"],
+                        identical=buc_td_summary[f"{name}_identical"],
+                    )
+                )
         if args.artifact_dir:
             payload = runs_payload(runs)
             if duel_summary is not None:
                 payload["columnar_duel"] = duel_summary
+            if buc_td_summary is not None:
+                payload["buc_td_duel"] = buc_td_summary
             path = write_bench_artifact("engine", payload, args.artifact_dir)
             print(f"wrote {path}")
         failed = [run for run in runs if run.correct is False]

@@ -53,14 +53,16 @@ def choose_algorithm(
         return Recommendation(
             "TDOPTALL",
             "dense cube with both summarizability properties: pure "
-            "top-down roll-up wins (Fig. 8)",
+            "top-down roll-up wins (Fig. 8), running as columnar "
+            "group-id remaps on the encoded columns",
         )
     if disjoint:
         return Recommendation(
             "BUCOPT",
             "disjointness holds: bottom-up with exclusive partitioning "
             "is safe and fastest for sparse/high-dimensional cubes "
-            "(Figs. 4-7)",
+            "(Figs. 4-7); the columnar kernel partitions by code-range "
+            "slicing with vectorized gathers",
         )
     lattice = oracle.lattice
     partially_disjoint = any(

@@ -25,7 +25,7 @@ class AutoAlgorithm(CubeAlgorithm):
     name = "AUTO"
 
     def run(self, table, oracle=None, memory_entries=None, points=None,
-            min_support=0.0):
+            min_support=0.0, encoding="auto"):
         from repro.core.algorithms.base import DEFAULT_MEMORY_ENTRIES
         from repro.core.algorithms.registry import new_instance
         from repro.core.properties import PropertyOracle
@@ -47,6 +47,7 @@ class AutoAlgorithm(CubeAlgorithm):
             memory_entries=memory_entries,
             points=points,
             min_support=min_support,
+            encoding=encoding,
         )
         result.algorithm = f"AUTO->{result.algorithm}"
         return result

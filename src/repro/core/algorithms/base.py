@@ -47,9 +47,11 @@ class ExecutionContext:
         oracle: Optional[PropertyOracle],
         memory_entries: Optional[int],
         min_support: float = 0.0,
+        encoding: str = "auto",
     ) -> None:
         self.table = table
         self.min_support = min_support
+        self.encoding = encoding
         self.lattice: CubeLattice = table.lattice
         self.cost = CostModel()
         self.budget = MemoryBudget(
@@ -68,6 +70,22 @@ class ExecutionContext:
     def bump(self, phase: str, amount: float = 1) -> None:
         """Count one algorithm phase event (cheap; never per-row)."""
         self.phases[phase] = self.phases.get(phase, 0) + amount
+
+    @property
+    def use_columnar(self) -> bool:
+        """Should an encoding-capable algorithm take its columnar path?
+
+        ``"auto"`` and ``"columnar"`` both say yes; only an explicit
+        ``"dict"`` pins the legacy row path (the duels and differential
+        cross-checks rely on this to time both kernels).
+        """
+        return self.encoding != "dict"
+
+    def charge_encoded_scan(self, encoded_pages: int) -> None:
+        """One sequential pass over the dictionary-encoded columns."""
+        self.bump("base_scans")
+        self.bump("columnar_scans")
+        self.cost.charge_read(encoded_pages)
 
     def charge_base_scan(self) -> None:
         """One sequential pass over the materialized fact table."""
@@ -98,6 +116,7 @@ class CubeAlgorithm:
         memory_entries: Optional[int] = None,
         points: Optional[Sequence[LatticePoint]] = None,
         min_support: float = 0.0,
+        encoding: str = "auto",
     ) -> CubeResult:
         if min_support > 0 and table.aggregate.function.upper() != "COUNT":
             from repro.errors import CubeError
@@ -107,7 +126,11 @@ class CubeAlgorithm:
                 "monotone COUNT aggregate"
             )
         context = ExecutionContext(
-            table, oracle, memory_entries, min_support=min_support
+            table,
+            oracle,
+            memory_entries,
+            min_support=min_support,
+            encoding=encoding,
         )
         wanted: List[LatticePoint] = (
             list(points) if points is not None else list(table.lattice.points())

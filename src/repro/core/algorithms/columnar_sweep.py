@@ -39,29 +39,25 @@ execution, re-reading the encoded table per extra pass.
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple, cast
 
 from repro import obs
 from repro.core.algorithms.base import CubeAlgorithm, ExecutionContext
 from repro.core.bindings import GroupKey
-from repro.core.columnar import ColumnarFactTable, StateView
+from repro.core.columnar import (
+    VECTOR_LANES,
+    ColumnarFactTable,
+    KeptAxis,
+    RowGroups,
+    extend_group_ids,
+    fold_group_ids,
+    make_group_decoder,
+    vector_lanes,
+)
 from repro.core.groupby import Cuboid
 from repro.core.lattice import LatticePoint
 
-#: Rows per charged CPU op for batched column work.  Extending a group-id
-#: column is a flat integer multiply-add over an ``array('q')`` buffer;
-#: the model prices it at one op per 8 rows versus the dict engine's one
-#: op per counter update.
-VECTOR_LANES = 8
-
-#: Per-row group state inside a sweep: ``None`` (row excluded below this
-#: trie node — a coverage gap), a single mixed-radix group id, or a tuple
-#: of group ids (multi-valued cross product).
-RowGroups = Any
-
-#: (dictionary, radix) per kept axis, accumulated along a trie path.
-KeptAxis = Tuple[Tuple[str, ...], int]
+__all__ = ["ColumnarSweepAlgorithm", "VECTOR_LANES"]
 
 
 class ColumnarSweepAlgorithm(CubeAlgorithm):
@@ -80,11 +76,9 @@ class ColumnarSweepAlgorithm(CubeAlgorithm):
         # One sequential scan of the encoded table; the encode work is
         # charged every run so modeled cost never depends on whether the
         # memoized encoding was warm.
-        context.bump("base_scans")
-        context.bump("columnar_scans")
-        context.cost.charge_read(encoded.encoded_pages)
+        context.charge_encoded_scan(encoded.encoded_pages)
         context.cost.charge_cpu(encoded.encoded_entries)
-        context.cost.charge_cpu(_lanes(n_rows))
+        context.cost.charge_cpu(vector_lanes(n_rows))
 
         sweep = _Sweep(context, encoded, table.aggregate.fn)
         with obs.span(
@@ -109,7 +103,7 @@ class ColumnarSweepAlgorithm(CubeAlgorithm):
         for _ in range(passes - 1):
             context.bump("columnar_scans")
             context.cost.charge_read(encoded.encoded_pages)
-            context.cost.charge_cpu(_lanes(n_rows))
+            context.cost.charge_cpu(vector_lanes(n_rows))
             context.charge_spill(context.budget.capacity_entries)
         if obs.enabled():
             obs.count("x3_columnar_rows_total", n_rows)
@@ -119,11 +113,6 @@ class ColumnarSweepAlgorithm(CubeAlgorithm):
             obs.count("x3_columnar_passes_total", passes)
         context.budget.release_all()
         return sweep.cuboids, passes
-
-
-def _lanes(rows: int) -> int:
-    """CPU ops for one batched pass over ``rows`` rows."""
-    return -(-rows // VECTOR_LANES)
 
 
 class _Sweep:
@@ -173,11 +162,11 @@ class _Sweep:
                 continue
             column = self.encoded.columns[position]
             view = self.encoded.state_view(position, state)
-            extended, extended_multi = _extend(
+            extended, extended_multi = extend_group_ids(
                 prefix, has_multi, view, column.radix
             )
             self.nodes += 1
-            self.context.cost.charge_cpu(_lanes(len(prefix)))
+            self.context.cost.charge_cpu(vector_lanes(len(prefix)))
             self.descend(
                 position + 1,
                 extended,
@@ -196,130 +185,19 @@ class _Sweep:
         kept: List[KeptAxis],
     ) -> Cuboid:
         fn = self.fn
-        measures = self.encoded.measures
-        increments = 0
-        cells: Dict[int, Any]
-        if self.fn_name == "COUNT":
-            if has_multi:
-                counter: Counter[int] = Counter(
-                    g for g in prefix if type(g) is int
-                )
-                for g in prefix:
-                    if type(g) is tuple:
-                        counter.update(g)
-                        increments += len(g)
-                increments += len(prefix) - prefix.count(None)
-                increments -= sum(1 for g in prefix if type(g) is tuple)
-            else:
-                counter = Counter(g for g in prefix if g is not None)
-                increments = len(prefix) - prefix.count(None)
-            cells = dict(counter)
-        elif self.fn_name == "SUM" and not has_multi:
-            cells = {}
-            get = cells.get
-            for g, measure in zip(prefix, measures):
-                if g is not None:
-                    cells[g] = get(g, 0.0) + measure
-            increments = len(prefix) - prefix.count(None)
-        else:
-            cells = {}
-            new = fn.new
-            add = fn.add
-            if has_multi:
-                for g, measure in zip(prefix, measures):
-                    if g is None:
-                        continue
-                    if type(g) is int:
-                        cells[g] = add(
-                            cells[g] if g in cells else new(), measure
-                        )
-                        increments += 1
-                    else:
-                        for gid in g:
-                            cells[gid] = add(
-                                cells[gid] if gid in cells else new(),
-                                measure,
-                            )
-                            increments += 1
-            else:
-                for g, measure in zip(prefix, measures):
-                    if g is not None:
-                        cells[g] = add(
-                            cells[g] if g in cells else new(), measure
-                        )
-                increments = len(prefix) - prefix.count(None)
+        cells, increments = fold_group_ids(
+            fn, prefix, has_multi, self.encoded.measures
+        )
         self.increments += increments
         self.total_cells += len(cells)
-        self.context.cost.charge_cpu(_lanes(increments))
+        self.context.cost.charge_cpu(vector_lanes(increments))
         self.context.cost.charge_cpu(len(cells))  # finalize, scalar
 
         finalize = fn.finalize
-        decode = _decoder(kept)
-        return {decode(gid): finalize(state) for gid, state in cells.items()}
-
-
-def _extend(
-    prefix: List[RowGroups],
-    has_multi: bool,
-    view: StateView,
-    radix: int,
-) -> Tuple[List[RowGroups], bool]:
-    """Extend every row's group id(s) with one kept axis's codes."""
-    flat = view.flat
-    if flat is not None and not has_multi:
-        # The vectorized fast path: every row single-valued, ids ints.
-        return (
-            [
-                None if (g is None or c < 0) else g * radix + c
-                for g, c in zip(prefix, flat)
-            ],
-            False,
-        )
-    out: List[RowGroups] = []
-    append = out.append
-    if flat is not None:
-        for g, c in zip(prefix, flat):
-            if g is None or c < 0:
-                append(None)
-            elif type(g) is int:
-                append(g * radix + c)
-            else:
-                append(tuple(gid * radix + c for gid in g))
-        return out, True
-    rows = view.per_row
-    assert rows is not None
-    multi = has_multi
-    for g, codes in zip(prefix, rows):
-        if g is None or not codes:
-            append(None)
-        elif type(g) is int:
-            if len(codes) == 1:
-                append(g * radix + codes[0])
-            else:
-                multi = True
-                append(tuple(g * radix + c for c in codes))
-        else:
-            if len(codes) == 1:
-                code = codes[0]
-                append(tuple(gid * radix + code for gid in g))
-            else:
-                append(
-                    tuple(gid * radix + c for gid in g for c in codes)
-                )
-    return out, multi
-
-
-def _decoder(kept: List[KeptAxis]):
-    """Group-id -> string group key, via reversed mixed-radix divmod."""
-    reversed_kept = list(reversed(kept))
-
-    def decode(gid: int) -> GroupKey:
-        parts: List[Optional[str]] = []
-        remaining = gid
-        for dictionary, radix in reversed_kept:
-            remaining, code = divmod(remaining, radix)
-            parts.append(dictionary[code])
-        parts.reverse()
-        return tuple(parts)
-
-    return decode
+        # The sweep never emits null digits (radix == len(dictionary)),
+        # so every decoded key is a full string tuple.
+        decode = make_group_decoder(kept)
+        return {
+            cast(GroupKey, decode(gid)): finalize(state)
+            for gid, state in cells.items()
+        }

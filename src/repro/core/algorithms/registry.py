@@ -52,6 +52,21 @@ META = ("AUTO",)  # delegates; correct iff its oracle is truthful
 NEEDS_DISJOINTNESS = ("BUCOPT", "TDOPT")
 NEEDS_BOTH = ("TDOPTALL",)
 
+#: Algorithms with both a legacy dict path and a columnar kernel, chosen
+#: by ``ExecutionOptions(encoding=...)``: ``"auto"``/``"columnar"`` run
+#: on the encoded columns, ``"dict"`` pins the legacy FactRow path (what
+#: the duels time the columnar kernels against).  COLUMNAR itself is
+#: columnar-only; NAIVE/COUNTER are dict-only and ignore the option.
+COLUMNAR_CAPABLE = (
+    "BUC",
+    "BUCOPT",
+    "BUCCUST",
+    "TD",
+    "TDOPT",
+    "TDOPTALL",
+    "TDCUST",
+)
+
 
 def available() -> List[str]:
     """Names of all registered algorithms."""

@@ -36,8 +36,9 @@ compression win real columnar stores get from dictionary encoding.
 from __future__ import annotations
 
 from array import array
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bindings import AnnotatedValue, FactRow, FactTable, GroupKey
 from repro.core.lattice import CubeLattice, LatticePoint
@@ -46,6 +47,203 @@ from repro.core.lattice import CubeLattice, LatticePoint
 #: entries per page (:data:`repro.core.algorithms.base.ENTRIES_PER_PAGE`);
 #: dictionary-encoded integer columns pack 8x denser.
 COLUMNAR_ENTRIES_PER_PAGE = 1024
+
+#: Rows per charged CPU op for batched column work.  Extending a group-id
+#: column, gathering a partition or folding a measure slice is a flat
+#: integer/float op over an ``array`` buffer; the model prices it at one
+#: op per 8 rows versus the dict engine's one op per row.
+VECTOR_LANES = 8
+
+#: Per-row group state inside a columnar kernel: ``None`` (row excluded —
+#: a coverage gap), a single mixed-radix group id, or a tuple of group
+#: ids (multi-valued cross product).
+RowGroups = Any
+
+#: (dictionary, radix) per kept axis, accumulated along a sweep path or a
+#: top-down build.  ``radix`` may exceed ``len(dictionary)`` by one when
+#: the axis carries the Sec. 3.5 null digit (augmented keys).
+KeptAxis = Tuple[Tuple[str, ...], int]
+
+#: Group key decoded from a mixed-radix id; ``None`` components are the
+#: null digits of augmented keys.
+DecodedKey = Tuple[Optional[str], ...]
+
+
+def vector_lanes(rows: int) -> int:
+    """CPU ops charged for one batched pass over ``rows`` rows."""
+    return -(-rows // VECTOR_LANES)
+
+
+def extend_group_ids(
+    prefix: List[RowGroups],
+    has_multi: bool,
+    view: StateView,
+    radix: int,
+    missing_code: Optional[int] = None,
+) -> Tuple[List[RowGroups], bool]:
+    """Extend every row's group id(s) with one kept axis's codes.
+
+    The mixed-radix multiply-add ``gid * radix + code`` appends one digit
+    per kept axis; a row with several distinct codes fans out into a
+    tuple of ids (the Sec. 3.3 cross product).
+
+    ``missing_code`` selects the coverage-gap behaviour: ``None`` drops
+    the row (``key_combinations`` semantics — the sweep and BUC paths),
+    while an integer assigns that digit to the gap (the Sec. 3.5 null
+    padding of ``augmented_keys`` — the top-down roll-up paths, which
+    pass ``missing_code=len(dictionary)`` and ``radix=len(dictionary)+1``).
+    """
+    flat = view.flat
+    if flat is not None and not has_multi:
+        # The vectorized fast path: every row single-valued, ids ints.
+        if missing_code is None:
+            return (
+                [
+                    None if (g is None or c < 0) else g * radix + c
+                    for g, c in zip(prefix, flat)
+                ],
+                False,
+            )
+        return (
+            [
+                None
+                if g is None
+                else g * radix + (missing_code if c < 0 else c)
+                for g, c in zip(prefix, flat)
+            ],
+            False,
+        )
+    out: List[RowGroups] = []
+    append = out.append
+    if flat is not None:
+        for g, c in zip(prefix, flat):
+            if g is None or (c < 0 and missing_code is None):
+                append(None)
+                continue
+            code = missing_code if c < 0 else c
+            if type(g) is int:
+                append(g * radix + code)
+            else:
+                append(tuple(gid * radix + code for gid in g))
+        return out, True
+    rows = view.per_row
+    assert rows is not None
+    multi = has_multi
+    for g, codes in zip(prefix, rows):
+        if g is None or (not codes and missing_code is None):
+            append(None)
+            continue
+        if not codes:
+            codes = (missing_code,)  # type: ignore[assignment]
+        if type(g) is int:
+            if len(codes) == 1:
+                append(g * radix + codes[0])
+            else:
+                multi = True
+                append(tuple(g * radix + c for c in codes))
+        else:
+            if len(codes) == 1:
+                code = codes[0]
+                append(tuple(gid * radix + code for gid in g))
+            else:
+                append(
+                    tuple(gid * radix + c for gid in g for c in codes)
+                )
+    return out, multi
+
+
+def fold_group_ids(
+    fn: Any,
+    prefix: List[RowGroups],
+    has_multi: bool,
+    measures: "array[float]",
+) -> Tuple[Dict[int, Any], int]:
+    """Aggregate one group-id column into ``gid -> partial state`` cells.
+
+    Measures fold in base-row order — the same fold order as NAIVE — so
+    finalized floats are bit-identical to the dict engine.  COUNT and SUM
+    take C-speed fast paths whose results equal the generic fold exactly
+    (integer counts; left-to-right float addition from ``fn.new()``).
+
+    Returns ``(cells, increments)``; the cell values are mergeable
+    partial states (``fn.finalize`` pending).
+    """
+    increments = 0
+    cells: Dict[int, Any]
+    if fn.name == "COUNT":
+        if has_multi:
+            counter: Counter[int] = Counter(
+                g for g in prefix if type(g) is int
+            )
+            for g in prefix:
+                if type(g) is tuple:
+                    counter.update(g)
+                    increments += len(g)
+            increments += len(prefix) - prefix.count(None)
+            increments -= sum(1 for g in prefix if type(g) is tuple)
+        else:
+            counter = Counter(g for g in prefix if g is not None)
+            increments = len(prefix) - prefix.count(None)
+        cells = dict(counter)
+    elif fn.name == "SUM" and not has_multi:
+        cells = {}
+        get = cells.get
+        for g, measure in zip(prefix, measures):
+            if g is not None:
+                cells[g] = get(g, 0.0) + measure
+        increments = len(prefix) - prefix.count(None)
+    else:
+        cells = {}
+        new = fn.new
+        add = fn.add
+        if has_multi:
+            for g, measure in zip(prefix, measures):
+                if g is None:
+                    continue
+                if type(g) is int:
+                    cells[g] = add(
+                        cells[g] if g in cells else new(), measure
+                    )
+                    increments += 1
+                else:
+                    for gid in g:
+                        cells[gid] = add(
+                            cells[gid] if gid in cells else new(),
+                            measure,
+                        )
+                        increments += 1
+        else:
+            for g, measure in zip(prefix, measures):
+                if g is not None:
+                    cells[g] = add(
+                        cells[g] if g in cells else new(), measure
+                    )
+            increments = len(prefix) - prefix.count(None)
+    return cells, increments
+
+
+def make_group_decoder(
+    kept: Sequence[KeptAxis],
+) -> Callable[[int], DecodedKey]:
+    """Group-id -> group key, via reversed mixed-radix divmod.
+
+    A digit beyond the dictionary (the augmented-key null slot) decodes
+    to ``None``, matching :func:`repro.core.groupby.augmented_keys`.
+    """
+    reversed_kept = list(reversed(kept))
+
+    def decode(gid: int) -> DecodedKey:
+        parts: List[Optional[str]] = []
+        remaining = gid
+        for dictionary, radix in reversed_kept:
+            remaining, code = divmod(remaining, radix)
+            parts.append(
+                dictionary[code] if code < len(dictionary) else None
+            )
+        parts.reverse()
+        return tuple(parts)
+
+    return decode
 
 
 @dataclass(frozen=True)
@@ -276,6 +474,72 @@ class ColumnarFactTable:
             if not self.columns[position].union_masks[row_index] & bit:
                 return False
         return True
+
+    # ------------------------------------------------------------------
+    # partition refinement (what the BUC kernel reads)
+    # ------------------------------------------------------------------
+    def partition_slices(
+        self,
+        rows: "array[int]",
+        start: int,
+        end: int,
+        axis_position: int,
+        state_index: int,
+        exclusive: bool,
+    ) -> Tuple["array[int]", Tuple[Tuple[int, int, int], ...]]:
+        """Refine one partition of row indices by an (axis, state) pair.
+
+        ``rows[start:end]`` is the current partition (a slice of a flat
+        row-index buffer — BUC's partitions are ``(start, end)`` ranges,
+        never row-dict lists).  The result is ``(refined, slices)``:
+        ``refined`` holds the surviving row indices bucketed by
+        dictionary code, codes ascending, **base-row order preserved
+        within each code** (stable bucketing — what keeps fold order, and
+        therefore floats, identical to NAIVE); each ``slices`` entry is
+        ``(code, bucket_start, bucket_end)`` into ``refined``.
+
+        A row with no value under the state has no code — the union-mask
+        coverage gap — and drops out.  ``exclusive`` places a multi-valued
+        row into its *first* code's bucket only (BUCOPT's disjointness
+        assumption); otherwise the row is replicated into every distinct
+        code's bucket (safe BUC, Sec. 3.4).
+        """
+        view = self.state_view(axis_position, state_index)
+        buckets: Dict[int, List[int]] = {}
+        flat = view.flat
+        if flat is not None:
+            for i in range(start, end):
+                r = rows[i]
+                c = flat[r]
+                if c >= 0:
+                    bucket = buckets.get(c)
+                    if bucket is None:
+                        buckets[c] = [r]
+                    else:
+                        bucket.append(r)
+        else:
+            per_row = view.per_row
+            assert per_row is not None
+            for i in range(start, end):
+                r = rows[i]
+                codes = per_row[r]
+                if not codes:
+                    continue
+                if exclusive:
+                    codes = codes[:1]
+                for c in codes:
+                    bucket = buckets.get(c)
+                    if bucket is None:
+                        buckets[c] = [r]
+                    else:
+                        bucket.append(r)
+        refined: "array[int]" = array("q")
+        slices: List[Tuple[int, int, int]] = []
+        for code in sorted(buckets):
+            bucket_start = len(refined)
+            refined.extend(buckets[code])
+            slices.append((code, bucket_start, len(refined)))
+        return refined, tuple(slices)
 
     # ------------------------------------------------------------------
     # lossless decode

@@ -47,6 +47,7 @@ from repro.errors import CubeError
 
 ENGINE_CHOICES = ("auto", "serial", "thread", "process")
 PARTITION_STRATEGIES = ("balanced", "antichain", "axis")
+ENCODING_CHOICES = ("auto", "columnar", "dict")
 
 _UNSET: Any = object()
 
@@ -82,6 +83,15 @@ class ExecutionOptions:
             spans (parse/timber/algorithm/engine layers) and the unified
             metrics registry.  When a tracer is already active (inside
             ``obs.trace()``), the run joins it regardless of this flag.
+        encoding: which physical fact representation the algorithm
+            iterates — ``"auto"`` lets each algorithm pick its fastest
+            path (the BUC/TD families run on the dictionary-encoded
+            columns), ``"columnar"`` asks for the encoded path
+            explicitly, and ``"dict"`` forces the legacy
+            :class:`~repro.core.bindings.FactRow` path (what the
+            columnar-vs-dict duels and cross-checks pin).  Algorithms
+            with a single physical path (NAIVE, COUNTER, COLUMNAR)
+            ignore it.
     """
 
     algorithm: str = "NAIVE"
@@ -93,6 +103,7 @@ class ExecutionOptions:
     engine: str = "auto"
     partition_strategy: str = "balanced"
     trace: bool = False
+    encoding: str = "auto"
 
     def __post_init__(self) -> None:
         if self.points is not None and not isinstance(self.points, tuple):
@@ -108,6 +119,11 @@ class ExecutionOptions:
             raise CubeError(
                 f"unknown partition strategy {self.partition_strategy!r}; "
                 f"choose from {PARTITION_STRATEGIES}"
+            )
+        if self.encoding not in ENCODING_CHOICES:
+            raise CubeError(
+                f"unknown encoding {self.encoding!r}; choose from "
+                f"{ENCODING_CHOICES}"
             )
 
     # ------------------------------------------------------------------

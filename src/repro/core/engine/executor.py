@@ -75,6 +75,7 @@ def _run_partition(
     oracle: Optional[PropertyOracle],
     memory_entries: Optional[int],
     min_support: float,
+    encoding: str,
     points: Tuple[LatticePoint, ...],
     submitted_at: float,
     traced: bool = False,
@@ -122,6 +123,7 @@ def _run_partition(
                 memory_entries=memory_entries,
                 points=list(points),
                 min_support=min_support,
+                encoding=encoding,
             )
             span.annotate(
                 sim_seconds=run_result.cost.simulated_seconds,
@@ -173,6 +175,7 @@ def _serial_result(
         memory_entries=options.memory_entries,
         points=points,
         min_support=options.min_support,
+        encoding=options.encoding,
     )
     wall = time.perf_counter() - total_begin
     result.metrics = EngineMetrics(
@@ -305,6 +308,7 @@ def _execute(
                         options.oracle,
                         options.memory_entries,
                         options.min_support,
+                        options.encoding,
                         part.points,
                         time.monotonic(),
                         tracer.enabled,

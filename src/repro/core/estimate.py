@@ -12,10 +12,17 @@ The estimates model the same structure the algorithms charge:
 - COUNTER: one scan doing ``sum over points of combos(row)`` increments,
   times the number of memory passes the estimated cell count forces;
 - BUC: total partition traffic ~ sum over lattice prefixes of expected
-  partition sizes, collapsing with cube sparsity;
-- TD: per point, a scan + sort of the base placements;
-- TDOPT/TDOPTALL: base sorts for the all-kept (resp. top) points plus
-  group-row roll-ups for the rest.
+  partition sizes, collapsing with cube sparsity — priced at the
+  columnar kernel's rates (vectorized gathers over encoded columns, no
+  partition sorts, scalar replication bookkeeping only on the safe path);
+- TD: per point, a scan of the encoded columns + the linear counting
+  bucketing of the group-id column;
+- TDOPT/TDOPTALL: encoded builds for the all-kept (resp. top) points
+  plus group-row roll-ups for the rest.
+
+The BUC/TD models track the *columnar* execution paths because that is
+what ``encoding="auto"`` runs; the dict path exists for duels and is not
+what a planner would schedule.
 
 The test suite checks *ranking* fidelity (who is predicted to win vs.
 who actually wins), not absolute error — the same standard the paper's
@@ -34,6 +41,7 @@ from repro.core.algorithms.base import (
     table_pages,
 )
 from repro.core.bindings import FactTable
+from repro.core.columnar import COLUMNAR_ENTRIES_PER_PAGE, VECTOR_LANES
 from repro.core.lattice import LatticePoint
 from repro.timber.stats import CostModel
 
@@ -165,21 +173,41 @@ class CostEstimator:
         )
         return increments * CPU_COST + (io + spill) * IO_COST
 
+    # -- columnar encoding, shared by the BUC/TD models ----------------
+    def _encoded_entries(self) -> float:
+        """Entry footprint of the dictionary-encoded columns: one per row
+        plus one code per annotated value."""
+        values_per_row = 1.0 + sum(
+            max(1.0, self.stats.avg_multiplicity[position].get(0, 1.0))
+            for position in range(self.lattice.axis_count)
+        )
+        return self.stats.n_facts * values_per_row
+
+    def _encoded_pages(self) -> float:
+        return max(
+            1.0, self._encoded_entries() / COLUMNAR_ENTRIES_PER_PAGE
+        )
+
+    def _encode_cost(self) -> float:
+        """Building (or re-charging) the encoding: one CPU op per entry."""
+        return self._encoded_entries() * CPU_COST
+
     # -- bottom-up -----------------------------------------------------
     def _buc(self, optimized: bool) -> float:
         # Partition traffic: every group of every cuboid is aggregated
-        # from its placements once; partitioning sorts shrink quickly so
-        # model them as n log n on the first level plus the cell scan.
+        # from its placements once.  The columnar kernel buckets by
+        # dictionary code (a counting sort — no comparison sorts) with
+        # one vectorized gather op per VECTOR_LANES placements; the safe
+        # path adds two scalar replication-bookkeeping ops per placement.
         traffic = sum(
             self.expected_rows(point) for point in self.lattice.points()
         )
-        per_row = 1.0 if optimized else 2.0
-        sort_cost = self.stats.n_facts * max(
-            1.0, math.log2(max(2, self.stats.n_facts))
-        ) * self.lattice.axis_count
+        per_row = 1.0 / VECTOR_LANES + (0.0 if optimized else 2.0)
         return (
-            traffic * per_row + sort_cost
-        ) * CPU_COST + self.stats.base_pages * IO_COST
+            self._encode_cost()
+            + traffic * per_row * CPU_COST
+            + self._encoded_pages() * IO_COST
+        )
 
     # -- top-down ------------------------------------------------------
     def _sort_cost(self, rows: float) -> float:
@@ -191,13 +219,30 @@ class CostEstimator:
         pages = rows / ENTRIES_PER_PAGE
         return cpu * CPU_COST + 3 * pages * IO_COST
 
+    def _build_cost(self, rows: float, identity_ops: float) -> float:
+        """One from-base columnar build: an encoded scan, a group-id
+        extension per axis, the linear counting-sort bucketing of the
+        gid column (spilled past the memory budget), and the safe
+        path's scalar identity tracking."""
+        extends = self.lattice.axis_count * (
+            self.stats.n_facts / VECTOR_LANES
+        )
+        spill = (
+            2 * (rows / ENTRIES_PER_PAGE) * IO_COST
+            if rows > self.memory_entries
+            else 0.0
+        )
+        return (
+            self._encoded_pages() * IO_COST
+            + (extends + (1.0 + identity_ops) * rows) * CPU_COST
+            + spill
+        )
+
     def _td(self) -> float:
-        total = 0.0
+        total = self._encode_cost()
         for point in self.lattice.points():
             rows = self.expected_rows(point)
-            total += self.stats.base_pages * IO_COST
-            total += 3 * rows * CPU_COST
-            total += self._sort_cost(rows)
+            total += self._build_cost(rows, identity_ops=1.0)
         return total
 
     def _all_kept_points(self) -> List[LatticePoint]:
@@ -208,12 +253,10 @@ class CostEstimator:
         ]
 
     def _tdopt(self) -> float:
-        total = 0.0
+        total = self._encode_cost()
         for point in self._all_kept_points():
             rows = self.expected_rows(point)
-            total += self.stats.base_pages * IO_COST
-            total += 2 * rows * CPU_COST
-            total += self._sort_cost(rows)
+            total += self._build_cost(rows, identity_ops=0.0)
         for point in self.lattice.points():
             if len(self.lattice.kept_axes(point)) == self.lattice.axis_count:
                 continue
@@ -223,8 +266,8 @@ class CostEstimator:
 
     def _tdoptall(self) -> float:
         top_rows = self.expected_rows(self.lattice.top)
-        total = self.stats.base_pages * IO_COST
-        total += 2 * top_rows * CPU_COST + self._sort_cost(top_rows)
+        total = self._encode_cost()
+        total += self._build_cost(top_rows, identity_ops=0.0)
         for point in self.lattice.points():
             if point == self.lattice.top:
                 continue

@@ -28,8 +28,9 @@ from repro.errors import QueryParseError
 from repro.patterns.relaxation import Relaxation
 
 _FOR_RE = re.compile(
-    r"for\s+(?P<bindings>.+?)\s*(?:X\^?3|X~3|X\"3)\s+(?P<measurevar>\S+)\s+by\s+"
-    r"(?P<byclause>.+?)\s*return\s+(?P<agg>\w+)\s*\(\s*(?P<aggarg>[^)]*)\s*\)\s*\.?\s*$",
+    r"for\s+(?P<bindings>.+?)\s*(?:X\^?3|X~3|X\"3)\s+(?P<measurevar>\S+)"
+    r"\s+by\s+(?P<byclause>.+?)\s*return\s+(?P<agg>\w+)"
+    r"\s*\(\s*(?P<aggarg>[^)]*)\s*\)\s*\.?\s*$",
     re.DOTALL | re.IGNORECASE,
 )
 _DOC_RE = re.compile(

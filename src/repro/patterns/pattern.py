@@ -137,7 +137,9 @@ class TreePattern:
     matches anywhere.
     """
 
-    def __init__(self, root: PatternNode, root_axis: EdgeAxis = EdgeAxis.DESCENDANT) -> None:
+    def __init__(
+        self, root: PatternNode, root_axis: EdgeAxis = EdgeAxis.DESCENDANT
+    ) -> None:
         self.root = root
         self.root_axis = root_axis
 

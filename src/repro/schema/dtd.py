@@ -192,7 +192,12 @@ class Dtd:
             # Two alternative routes both existing means values can repeat;
             # join then upgrade repetition.
             result = Cardinality.join(result, card)
-            result = Cardinality.join(result, Cardinality.PLUS if not result.may_be_absent else Cardinality.STAR)
+            repeat = (
+                Cardinality.STAR
+                if result.may_be_absent
+                else Cardinality.PLUS
+            )
+            result = Cardinality.join(result, repeat)
         return result
 
     def _paths_between(

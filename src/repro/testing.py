@@ -50,7 +50,13 @@ class PreparedWorkload:
         self.oracle = self.workload.oracle(self.table)
         self.memory_entries = memory_entries
 
-    def run(self, algorithm: str, workers: int = 1, engine: str = "auto"):
+    def run(
+        self,
+        algorithm: str,
+        workers: int = 1,
+        engine: str = "auto",
+        encoding: str = "auto",
+    ):
         return compute_cube(
             self.table,
             ExecutionOptions(
@@ -59,6 +65,7 @@ class PreparedWorkload:
                 memory_entries=self.memory_entries,
                 workers=workers,
                 engine=engine,
+                encoding=encoding,
             ),
         )
 

@@ -175,7 +175,8 @@ def select(doc: Document, path: str) -> List[PathTarget]:
     ``/a/b`` starts at the root (the first step must match the root tag
     when using the child axis); ``//a`` searches the whole tree.
     """
-    steps = parse_path(path.lstrip("/") if path.startswith("/") and not path.startswith("//") else path)
+    absolute = path.startswith("/") and not path.startswith("//")
+    steps = parse_path(path.lstrip("/") if absolute else path)
     if path.startswith("//"):
         # Descendant-or-self from a virtual super-root.
         first = steps[0]

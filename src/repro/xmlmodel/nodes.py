@@ -152,7 +152,11 @@ class Element:
         """True if ``other`` is a proper descendant (via region encoding
         when indexed, otherwise by walking parents)."""
         if self.start >= 0 and other.start >= 0:
-            return self.start < other.start and other.end <= self.end and self is not other
+            return (
+                self.start < other.start
+                and other.end <= self.end
+                and self is not other
+            )
         return any(anc is self for anc in other.iter_ancestors())
 
     # ------------------------------------------------------------------
@@ -250,7 +254,10 @@ class Document:
         return max(node.level for node in self._elements)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Document {self.name or self.root.tag!r} elements={len(self._elements)}>"
+        return (
+            f"<Document {self.name or self.root.tag!r}"
+            f" elements={len(self._elements)}>"
+        )
 
 
 def validate_regions(doc: Document) -> None:
@@ -265,12 +272,15 @@ def validate_regions(doc: Document) -> None:
     """
     for node in doc.elements:
         if not node.start < node.end:
-            raise XmlStructureError(f"bad region on <{node.tag}>: {node.start},{node.end}")
+            raise XmlStructureError(
+                f"bad region on <{node.tag}>: {node.start},{node.end}"
+            )
         prev_end = node.start
         for child in node.children:
             if child.level != node.level + 1:
                 raise XmlStructureError(
-                    f"bad level on <{child.tag}>: {child.level} under level {node.level}"
+                    f"bad level on <{child.tag}>: {child.level} under"
+                    f" level {node.level}"
                 )
             if not (prev_end < child.start and child.end < node.end):
                 raise XmlStructureError(

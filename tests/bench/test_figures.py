@@ -7,7 +7,7 @@ class TestSpecs:
     def test_all_figures_defined(self):
         assert set(FIGURES) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "figC",
+            "figC", "figD",
         }
 
     def test_settings_match_paper(self):
@@ -42,6 +42,19 @@ class TestSpecs:
         assert spec.base_facts == 100_000
         assert spec.axes == (3,)
         assert spec.coverage and spec.disjoint
+
+    def test_buc_td_duel_figure(self):
+        spec = FIGURES["figD"]
+        assert spec.algorithms == ("BUC", "TD")
+        assert spec.encodings == ("dict", "auto")
+        assert spec.base_facts == 100_000
+        assert spec.axes == (3,)
+        assert spec.coverage and spec.disjoint
+
+    def test_duel_series_split_by_encoding(self):
+        spec, runs = run_figure("figD", scale=0.002)
+        series = series_of(runs)
+        assert set(series) == {"BUC", "BUC[dict]", "TD", "TD[dict]"}
 
 
 class TestRunFigure:

@@ -18,6 +18,7 @@ import pytest
 from repro.core.aggregates import AggregateSpec, registered_functions
 from repro.core.algorithms.registry import (
     ALWAYS_CORRECT,
+    COLUMNAR_CAPABLE,
     META,
     NEEDS_BOTH,
     NEEDS_DISJOINTNESS,
@@ -208,6 +209,138 @@ class TestAllRegisteredAlgorithms:
             exact_equal(result, reference, list(table.lattice.points()))
         else:
             assert result.same_contents(reference), result.diff(reference)[:3]
+
+
+# ----------------------------------------------------------------------
+# columnar BUC/TD kernels vs their own dict paths and serial NAIVE
+# ----------------------------------------------------------------------
+def _skip_unless_sound(name, oracle):
+    if name in NEEDS_DISJOINTNESS and not oracle.globally_disjoint():
+        pytest.skip("algorithm requires disjointness")
+    if name in NEEDS_BOTH and not (
+        oracle.globally_disjoint() and oracle.globally_covered()
+    ):
+        pytest.skip("algorithm requires both properties")
+
+
+class TestColumnarBucTdKernels:
+    @pytest.mark.parametrize("name", sorted(COLUMNAR_CAPABLE))
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_CONFIGS))
+    def test_columnar_matches_dict_kernel(self, tables, name, workload):
+        """The columnar kernel and the legacy dict path of the *same*
+        algorithm are bit-identical on every workload family."""
+        table, truthful = tables[workload]
+        _skip_unless_sound(name, truthful)
+        points = list(table.lattice.points())
+        dict_run = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name, oracle=truthful, encoding="dict"
+            ),
+        )
+        columnar_run = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name, oracle=truthful, encoding="columnar"
+            ),
+        )
+        exact_equal(columnar_run, dict_run, points)
+
+    @pytest.mark.parametrize("name", ["BUC", "TD"])
+    @pytest.mark.parametrize("function", sorted(registered_functions()))
+    def test_every_aggregate_matches_naive(self, tables, name, function):
+        table, _ = tables["messy"]
+        table = _with_aggregate(table, function)
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table, ExecutionOptions(algorithm=name, encoding="columnar")
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    @pytest.mark.parametrize("name", ["BUCCUST", "TDCUST"])
+    def test_cust_with_denying_oracle(self, tables, name):
+        """CUST kernels degrade to the safe plan when the oracle denies
+        every property — and stay bit-identical to NAIVE doing it."""
+        table, _ = tables["clean"]
+        denying = PropertyOracle.from_flags(table.lattice, False, False)
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name, oracle=denying, encoding="columnar"
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    @pytest.mark.parametrize("name", ["BUCCUST", "TDCUST"])
+    def test_cust_with_truthful_oracle(self, tables, name):
+        table, truthful = tables["clean"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name, oracle=truthful, encoding="columnar"
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    @pytest.mark.parametrize("name", ["BUC", "TD"])
+    def test_tight_memory_budget(self, tables, name):
+        """A budget far below the fact count forces the spill path; the
+        answer must not change."""
+        table, _ = tables["messy"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        starved = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name, encoding="columnar", memory_entries=16
+            ),
+        )
+        exact_equal(starved, reference, list(table.lattice.points()))
+
+    @pytest.mark.parametrize("name", ["BUC", "TD"])
+    def test_under_thread_engine(self, tables, name):
+        table, _ = tables["messy"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name,
+                encoding="columnar",
+                workers=3,
+                engine="thread",
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    @pytest.mark.parametrize("name", ["BUC", "TD"])
+    def test_under_process_engine(self, tables, name):
+        table, _ = tables["clean"]
+        reference = compute_cube(table, ExecutionOptions(algorithm="NAIVE"))
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name,
+                encoding="columnar",
+                workers=2,
+                engine="process",
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
+
+    @pytest.mark.parametrize("name", ["BUC", "TD"])
+    def test_iceberg_min_support(self, tables, name):
+        table, _ = tables["overlap"]
+        reference = compute_cube(
+            table, ExecutionOptions(algorithm="NAIVE", min_support=3)
+        )
+        result = compute_cube(
+            table,
+            ExecutionOptions(
+                algorithm=name, encoding="columnar", min_support=3
+            ),
+        )
+        exact_equal(result, reference, list(table.lattice.points()))
 
 
 # ----------------------------------------------------------------------
