@@ -42,7 +42,14 @@ Metrics:
   modeled dict-kernel-over-columnar-kernel ratio for the BUC and TD
   algorithms on the gate workload (the same algorithm run twice, pinned
   to each encoding).  Both carry a 2.0 absolute floor: the columnar
-  BUC/TD kernels must stay at least 2x under their dict counterparts.
+  BUC/TD kernels must stay at least 2x under their dict counterparts;
+- ``tracing_overhead_ratio`` — the warm serve replay's p95 modeled
+  latency with a :class:`repro.obs.trace_store.TraceStore` attached at
+  full sampling, over the same replay untraced.  Tracing must never
+  leak into the cost model: spans observe modeled time, they do not
+  spend it.  The metric carries an **absolute ceiling**
+  (:data:`ABSOLUTE_CEILINGS`) of 1.10 — the build fails outright if the
+  traced replay models more than 10% slower, baseline or no baseline.
 
 Refresh the committed baseline after an intentional perf change::
 
@@ -77,6 +84,7 @@ METRIC_DIRECTIONS = {
     "columnar_speedup_vs_dict": "higher",
     "buc_columnar_speedup_vs_dict": "higher",
     "td_columnar_speedup_vs_dict": "higher",
+    "tracing_overhead_ratio": "lower",
 }
 
 #: Hard minimums enforced regardless of the committed baseline: a
@@ -86,6 +94,12 @@ ABSOLUTE_FLOORS = {
     "columnar_speedup_vs_dict": 3.0,
     "buc_columnar_speedup_vs_dict": 2.0,
     "td_columnar_speedup_vs_dict": 2.0,
+}
+
+#: Hard maximums, the floor's mirror image: a "lower" metric above its
+#: ceiling fails the gate regardless of the committed baseline.
+ABSOLUTE_CEILINGS = {
+    "tracing_overhead_ratio": 1.10,
 }
 
 WORKERS = 4
@@ -104,8 +118,13 @@ def collect_metrics() -> Dict[str, float]:
     table = prepared.table
     replay = sample_points(table.lattice, REPLAY_REQUESTS, REPLAY_SEED)
 
-    def replay_server(cache_cells: int) -> CubeServer:
-        server = CubeServer(table, prepared.oracle, cache_cells=cache_cells)
+    def replay_server(cache_cells: int, trace_store=None) -> CubeServer:
+        server = CubeServer(
+            table,
+            prepared.oracle,
+            cache_cells=cache_cells,
+            trace_store=trace_store,
+        )
         for point in replay:
             server.query(Query(point=point))
         return server
@@ -120,6 +139,15 @@ def collect_metrics() -> Dict[str, float]:
     # the p95 is over all 80 requests — deterministic because it is a
     # quantile of modeled (not wall) latencies.
     warm_window = warm_server.telemetry.snapshot()
+
+    # The same warm replay with every request traced at full sampling:
+    # spans must observe modeled time, never add to it, so the p95
+    # ratio stays ~1.0 (the gate's absolute ceiling is 1.10).
+    from repro.obs.trace_store import TraceStore
+
+    traced_window = replay_server(
+        total_cells, trace_store=TraceStore(seed=REPLAY_SEED)
+    ).telemetry.snapshot()
 
     from repro.cluster import ClusterCoordinator
 
@@ -169,6 +197,10 @@ def collect_metrics() -> Dict[str, float]:
         "td_columnar_speedup_vs_dict": (
             td_dict.cost.simulated_seconds
             / td_columnar.cost.simulated_seconds
+        ),
+        "tracing_overhead_ratio": (
+            traced_window.modeled_quantiles[0.95]
+            / warm_window.modeled_quantiles[0.95]
         ),
     }
 
@@ -221,6 +253,12 @@ def compare(
                 f"{name}: {value:.6f} is below the absolute floor "
                 f"{floor:.6f}"
             )
+        ceiling = ABSOLUTE_CEILINGS.get(name)
+        if ceiling is not None and value > ceiling:
+            failures.append(
+                f"{name}: {value:.6f} is above the absolute ceiling "
+                f"{ceiling:.6f}"
+            )
         reference = baseline.get(name)
         if reference is None:
             continue  # a metric new since the baseline cannot regress
@@ -260,6 +298,7 @@ def write_report(path: str, metrics: Dict[str, float]) -> None:
         "metrics": metrics,
         "directions": METRIC_DIRECTIONS,
         "floors": ABSOLUTE_FLOORS,
+        "ceilings": ABSOLUTE_CEILINGS,
         "workload": {
             "kind": "treebank",
             "density": "dense",
@@ -288,21 +327,23 @@ def format_markdown(
     lines = [
         "### Perf gate (modeled metrics)",
         "",
-        "| metric | value | baseline | floor | direction | status |",
-        "| --- | ---: | ---: | ---: | :---: | :---: |",
+        "| metric | value | baseline | floor | ceiling | direction | status |",
+        "| --- | ---: | ---: | ---: | ---: | :---: | :---: |",
     ]
     for name, value in sorted(metrics.items()):
         reference = baseline.get(name)
         floor = ABSOLUTE_FLOORS.get(name)
+        ceiling = ABSOLUTE_CEILINGS.get(name)
         lines.append(
             "| {name} | {value:.6f} | {reference} | {floor} |"
-            " {direction} | {status} |".format(
+            " {ceiling} | {direction} | {status} |".format(
                 name=f"`{name}`",
                 value=value,
                 reference=(
                     f"{reference:.6f}" if reference is not None else "—"
                 ),
                 floor=f"{floor:.1f}" if floor is not None else "—",
+                ceiling=f"{ceiling:.2f}" if ceiling is not None else "—",
                 direction=METRIC_DIRECTIONS[name],
                 status="❌" if name in failed_names else "✅",
             )

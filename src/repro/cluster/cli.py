@@ -30,6 +30,7 @@ from repro.core.cube import ENGINE_CHOICES, ExecutionOptions, compute_cube
 from repro.core.lattice import LatticePoint
 from repro.core.properties import PropertyOracle
 from repro.errors import X3Error
+from repro.obs.trace_store import TraceStore
 from repro.serve.cli import load_table, sample_points
 
 
@@ -135,6 +136,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the cluster event log as JSON Lines (events of the"
         " last replayed shard count)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace every replayed request (HTTP-less roots; spans "
+        "cover coordinator, shards, and replica engines)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head sampling rate in [0, 1] (default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed for deterministic trace/span id generation",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        help="dump the last replay's traces as canonical JSONL "
+        "(implies --trace)",
+    )
     return parser
 
 
@@ -215,6 +241,11 @@ def replay(
     deadline = (
         None if args.hedge_deadline < 0 else args.hedge_deadline
     )
+    trace_store = (
+        TraceStore(sample_rate=args.trace_sample, seed=args.trace_seed)
+        if (args.trace or args.trace_jsonl)
+        else None
+    )
     coordinator = ClusterCoordinator(
         table,
         n_shards,
@@ -224,6 +255,7 @@ def replay(
         cache_cells=args.cache_cells,
         chaos=chaos,
         hedge_deadline_seconds=deadline,
+        trace_store=trace_store,
     )
     points = sample_points(table.lattice, args.requests, args.seed)
     writes = plan_writes(table.rows, args.requests, args.writes)
@@ -325,6 +357,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.log_jsonl and last is not None:
             written = last.events.write_jsonl(args.log_jsonl)
             print(f"wrote {written} cluster events to {args.log_jsonl}")
+        if last is not None and last.trace_store is not None:
+            stats = last.trace_store.stats()
+            print(
+                f"tracing: {stats['started']} started, "
+                f"{stats['sampled']} sampled, "
+                f"{stats['retained']} tail-retained, "
+                f"{stats['stored']} stored"
+            )
+            if args.trace_jsonl:
+                count = last.trace_store.write_jsonl(args.trace_jsonl)
+                print(f"wrote {count} traces to {args.trace_jsonl}")
     finally:
         if last is not None:
             last.close()

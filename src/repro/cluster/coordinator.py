@@ -37,7 +37,7 @@ from __future__ import annotations
 import threading
 import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
@@ -64,6 +64,8 @@ from repro.cluster.shard import ShardAnswer, ShardReplica
 from repro.cluster.versions import VersionVector
 from repro.errors import ClusterError, InvalidQuery, ShardUnavailable
 from repro.obs.events import ClusterEvent, EventLog, RungDecision
+from repro.obs.trace_store import TraceStore
+from repro.obs import trace_store as tracing
 from repro.timber.stats import CostModel
 
 _CPU_OP_SECONDS = CostModel.cpu_op_cost
@@ -135,6 +137,12 @@ class ClusterCoordinator:
         max_read_rounds: whole-scatter retry bound when a gathered
             version vector is inconsistent.
         event_log_capacity: ring capacity of the cluster event log.
+        trace_store: optional distributed-tracing store.  When set, a
+            read entering without an upstream binding opens its own
+            trace root; per-shard child spans (carrying replica, tier,
+            hedge/failover outcomes) parent under the request span no
+            matter which scatter pool thread ran them, and the
+            replicas' local ladder spans nest below those.
     """
 
     def __init__(
@@ -151,6 +159,7 @@ class ClusterCoordinator:
         max_stale_retries: int = 3,
         max_read_rounds: int = 8,
         event_log_capacity: int = 8192,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         if n_shards <= 0:
             raise ClusterError(
@@ -170,6 +179,7 @@ class ClusterCoordinator:
         self.max_stale_retries = max_stale_retries
         self.max_read_rounds = max_read_rounds
         self.events = EventLog(event_log_capacity)
+        self.trace_store = trace_store
 
         slices = partition_rows(table.rows, n_shards)
         self.shards: List[List[ShardReplica]] = [
@@ -251,6 +261,20 @@ class ClusterCoordinator:
         trail is a single synthesized ``scatter-gather`` decision (each
         replica's own ladder walk lives in its local event log).
         """
+        store = self.trace_store
+        if store is None or tracing.bound():
+            return self._query_impl(query)
+        with store.root(
+            "cluster.query", category="cluster", kind=query.kind
+        ) as root:
+            result = self._query_impl(query)
+            if root.enabled:
+                root.set_sim(result.modeled_seconds).annotate(
+                    point=result.point
+                )
+            return result
+
+    def _query_impl(self, query: Query) -> QueryResult:
         self._check_measure(query.measure)
         point = resolve_target(self.lattice, query)
         cuboid, vector, latency = self._request(point, kind=query.kind)
@@ -262,7 +286,7 @@ class ClusterCoordinator:
                 f"{list(vector.versions)}"
             ),
         )
-        return finish_query(
+        result = finish_query(
             self.lattice,
             query,
             point,
@@ -272,6 +296,12 @@ class ClusterCoordinator:
             (rung,),
             latency,
         )
+        binding = tracing.current_span()
+        if binding.enabled:
+            result = replace(result, trace_id=binding.trace_id_hex)
+            if result.deadline_exceeded:
+                binding.set_status("deadline")
+        return result
 
     def explain_query(self, query: Query) -> QueryExplanation:
         """The scatter plan, without executing the gather.
@@ -338,26 +368,44 @@ class ClusterCoordinator:
         wrong version) are rejected, lagging replicas synced, and the
         scatter retried up to ``max_read_rounds`` times.
         """
-        cuboid, vector, _ = self._request(
-            self.resolve_point(spec), kind=kind
-        )
-        return cuboid, vector
+        point = self.resolve_point(spec)
+        store = self.trace_store
+        if store is None or tracing.bound():
+            cuboid, vector, _ = self._request(point, kind=kind)
+            return cuboid, vector
+        with store.root(
+            "cluster.query", category="cluster", kind=kind
+        ) as root:
+            cuboid, vector, latency = self._request(point, kind=kind)
+            if root.enabled:
+                root.set_sim(latency).annotate(
+                    point=self.lattice.describe(point)
+                )
+            return cuboid, vector
 
     def _request(
         self, point: LatticePoint, *, kind: str
     ) -> Tuple[Cuboid, VersionVector, float]:
         described = self.lattice.describe(point)
+        tspan = tracing.trace_span(
+            "cluster.request",
+            category="cluster",
+            point=described,
+            kind=kind,
+            shards=self.n_shards,
+        )
         with obs.span(
             "cluster.request",
             category="cluster",
             point=described,
             kind=kind,
             shards=self.n_shards,
-        ) as span:
+        ) as span, tspan:
             cuboid, vector, latency = self._gather(point, described, kind)
             span.annotate(
                 cells=len(cuboid), modeled_seconds=round(latency, 6)
             )
+            tspan.annotate(cells=len(cuboid)).set_sim(latency)
         obs.count("x3_cluster_requests_total", kind=kind)
         obs.observe("x3_cluster_request_modeled_seconds", latency)
         return cuboid, vector, latency
@@ -454,6 +502,7 @@ class ClusterCoordinator:
                         f"(round {round_index + 1})"
                     ),
                     versions=vector,
+                    trace_id=tracing.current_span().trace_id_hex,
                 )
             )
             self.sync_all()
@@ -504,9 +553,13 @@ class ClusterCoordinator:
                 )
                 for shard_id in range(self.n_shards)
             ]
+        # Capture the request's trace binding before the fan-out so the
+        # per-shard spans parent under it on whichever pool thread runs.
+        binding = tracing.capture()
         futures = [
             self._pool.submit(
-                self._read_shard,
+                self._read_shard_bound,
+                binding,
                 op,
                 shard_id,
                 point,
@@ -516,6 +569,20 @@ class ClusterCoordinator:
             for shard_id in range(self.n_shards)
         ]
         return [future.result() for future in futures]
+
+    def _read_shard_bound(
+        self,
+        binding,
+        op: int,
+        shard_id: int,
+        point: LatticePoint,
+        fault: ReadFault,
+        expected_version: int,
+    ) -> _ShardReadOutcome:
+        with tracing.resume(binding):
+            return self._read_shard(
+                op, shard_id, point, fault, expected_version
+            )
 
     def _read_shard(
         self,
@@ -534,9 +601,17 @@ class ClusterCoordinator:
         events: List[ClusterEvent] = []
         fault_pending = fault is not NO_FAULT
         replicas = self.shards[shard_id]
+        # Deterministic span id per shard (key, not a shared counter):
+        # the fan-out threads race, but the ids must not.
+        tspan = tracing.trace_span(
+            "cluster.shard",
+            category="cluster",
+            key=f"s{shard_id}",
+            shard=shard_id,
+        )
         with obs.span(
             "cluster.shard", category="cluster", shard=shard_id
-        ) as span:
+        ) as span, tspan:
             for replica in replicas:
                 if not replica.healthy:
                     self._count_failover(events, op, shard_id, replica)
@@ -587,7 +662,14 @@ class ClusterCoordinator:
                     tier=answer.tier,
                     modeled_seconds=round(latency, 6),
                 )
+                tspan.annotate(
+                    replica=answer.replica,
+                    tier=answer.tier,
+                    hedged=any(e.kind == "hedge" for e in events),
+                    failover=any(e.kind == "failover" for e in events),
+                ).set_sim(latency)
                 return _ShardReadOutcome(answer, latency, events)
+            tspan.set_status("error").annotate(error="ShardUnavailable")
         raise ShardUnavailable(shard_id, -1, "no healthy replica")
 
     def _read_replica(
@@ -720,6 +802,8 @@ class ClusterCoordinator:
     ) -> Tuple[Cuboid, VersionVector, float]:
         with obs.span(
             "cluster.merge", category="cluster", shards=len(outcomes)
+        ), tracing.trace_span(
+            "cluster.merge", category="cluster", shards=len(outcomes)
         ):
             states = merge_states(
                 self._fn,
@@ -750,6 +834,7 @@ class ClusterCoordinator:
                 ),
                 versions=vector,
                 modeled_seconds=latency,
+                trace_id=tracing.current_span().trace_id_hex,
             )
         )
         return cuboid, VersionVector(vector), latency
@@ -872,6 +957,7 @@ class ClusterCoordinator:
             replica=replica,
             detail=detail,
             modeled_seconds=modeled_seconds,
+            trace_id=tracing.current_span().trace_id_hex,
         )
 
     def modeled_latencies(self) -> List[float]:

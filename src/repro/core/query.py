@@ -318,6 +318,7 @@ class QueryResult:
     modeled_seconds: float
     cells: int  #: size of the resolved cuboid, pre-transform
     deadline_exceeded: bool = False
+    trace_id: str = ""  #: 32-hex trace id when the request was sampled
 
     def as_cuboid(self) -> Dict[GroupKey, float]:
         if not isinstance(self.payload, dict):
@@ -345,6 +346,8 @@ class QueryResult:
             "deadline_exceeded": self.deadline_exceeded,
             "rungs": [decision.to_dict() for decision in self.rungs],
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         if isinstance(self.payload, dict):
             out["groups"] = [
                 {"key": list(key), "value": value}

@@ -52,12 +52,31 @@ from repro.obs.export import (
     collapsed_stacks,
     prometheus_text,
 )
-from repro.obs.live import LiveTelemetry, WindowSnapshot
+from repro.obs.live import Exemplar, LiveTelemetry, WindowSnapshot
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.propagate import (
+    TRACEPARENT_HEADER,
+    HeadSampler,
+    IdSource,
+    TraceContext,
+    derive_span_id,
+    parse_traceparent,
+)
+from repro.obs.trace_store import (
+    NULL_TRACE_SPAN,
+    TraceRecord,
+    TraceSpan,
+    TraceStore,
+    bound,
+    capture,
+    current_span,
+    resume,
+    trace_span,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -75,32 +94,48 @@ __all__ = [
     "Counter",
     "EventLog",
     "EvictionRecord",
+    "Exemplar",
     "Gauge",
+    "HeadSampler",
     "Histogram",
+    "IdSource",
     "LiveTelemetry",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NULL_TRACE_SPAN",
     "RequestEvent",
     "RungDecision",
     "Span",
     "SpanRecord",
+    "TRACEPARENT_HEADER",
     "Trace",
+    "TraceContext",
+    "TraceRecord",
+    "TraceSpan",
+    "TraceStore",
     "Tracer",
     "WindowSnapshot",
     "WriteEvent",
     "activate",
+    "bound",
+    "capture",
     "chrome_trace_events",
     "chrome_trace_json",
     "collapsed_stacks",
     "count",
+    "current_span",
     "current_tracer",
+    "derive_span_id",
     "enabled",
     "gauge",
     "observe",
+    "parse_traceparent",
     "prometheus_text",
+    "resume",
     "span",
     "trace",
+    "trace_span",
 ]
 
 

@@ -60,6 +60,7 @@ class EvictionRecord:
     point: str  #: described lattice point of the entry
     priority: float
     cells: int
+    trace_id: str = ""  #: trace of the request that caused the change
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -83,6 +84,7 @@ class RequestEvent:
     cells: int  #: size of the answer, in cells
     rungs: Tuple[RungDecision, ...] = ()
     cache_audit: Tuple[EvictionRecord, ...] = ()
+    trace_id: str = ""  #: hex trace id when the request was sampled
 
     def to_dict(self) -> Dict[str, Any]:
         out = asdict(self)
@@ -134,6 +136,7 @@ class ClusterEvent:
     detail: str  #: human-readable why
     versions: Tuple[int, ...] = ()  #: version vector, when relevant
     modeled_seconds: float = 0.0  #: modeled latency, when relevant
+    trace_id: str = ""  #: hex trace id when the request was sampled
 
     def to_dict(self) -> Dict[str, Any]:
         out = asdict(self)

@@ -19,8 +19,54 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+)
 from repro.obs.tracer import SpanRecord
+
+#: ``# HELP`` text for the well-known series; anything else gets a
+#: generated line so every exported family is self-describing.
+HELP_TEXTS: Dict[str, str] = {
+    "x3_serve_requests_total": "Requests served, by ladder rung.",
+    "x3_serve_request_modeled_seconds": (
+        "Modeled (simulated) latency of served requests."
+    ),
+    "x3_serve_request_wall_seconds": (
+        "Host wall latency of served requests."
+    ),
+    "x3_serve_slo_violations_total": (
+        "Requests over the modeled-latency SLO threshold."
+    ),
+    "x3_serve_cache_audit_total": (
+        "Cache-state changes, by audit kind."
+    ),
+    "x3_serve_window_modeled_latency_seconds": (
+        "Sliding-window modeled latency quantiles."
+    ),
+    "x3_serve_window_wall_latency_seconds": (
+        "Sliding-window wall latency quantiles."
+    ),
+    "x3_serve_window_requests": "Requests inside the sliding window.",
+    "x3_serve_window_hit_ratio": (
+        "Fraction of window requests answered above the recompute rung."
+    ),
+    "x3_serve_window_eviction_churn": (
+        "Cache-state changes inside the sliding window."
+    ),
+    "x3_serve_window_slo_burn_rate": (
+        "Error-budget burn rate over the sliding window (1.0 spends the"
+        " budget exactly)."
+    ),
+    "x3_trace_started_total": "Requests that minted or joined a trace.",
+    "x3_trace_sampled_total": "Requests head-sampled into the store.",
+    "x3_trace_retained_total": (
+        "Traces tail-retained (error / deadline / p99-slow)."
+    ),
+}
 
 
 def _split_thread(label: str) -> tuple:
@@ -134,6 +180,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     for metric in registry.collect():
         if metric.name not in seen_types:
             seen_types[metric.name] = metric.kind
+            help_text = HELP_TEXTS.get(
+                metric.name, f"{metric.name} ({metric.kind})."
+            )
+            lines.append(f"# HELP {metric.name} {help_text}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             lines.append(
@@ -147,7 +197,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             for bound, count in zip(metric.bounds, metric.bucket_counts):
                 bucket_labels = base_labels + [("le", _prom_value(bound))]
                 inner = ",".join(
-                    f'{key}="{value}"' for key, value in bucket_labels
+                    f'{key}="{escape_label_value(value)}"'
+                    for key, value in bucket_labels
                 )
                 lines.append(
                     f"{metric.name}_bucket{{{inner}}} {count}"

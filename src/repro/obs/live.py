@@ -63,6 +63,22 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 @dataclass(frozen=True)
+class Exemplar:
+    """One trace exemplifying a latency-histogram bucket.
+
+    The newest sampled request landing in each
+    ``(tier, bucket bound)`` cell of the modeled-latency histogram is
+    remembered by trace id, so a dashboard can jump from "the p99
+    bucket is filling" straight to a concrete trace that landed there.
+    """
+
+    tier: str
+    bucket_le: float  #: upper bound of the histogram bucket
+    trace_id: str  #: 32-hex trace id
+    modeled_seconds: float  #: the observed value
+
+
+@dataclass(frozen=True)
 class _Sample:
     """One request, reduced to what the windows need."""
 
@@ -139,6 +155,7 @@ class LiveTelemetry:
         self._lock = threading.Lock()
         self._samples: Deque[_Sample] = deque(maxlen=max_samples)
         self._churn: Deque[Tuple[float, str]] = deque(maxlen=max_samples)
+        self._exemplars: Dict[Tuple[str, float], Exemplar] = {}
 
     # ------------------------------------------------------------------
     # ingestion
@@ -157,6 +174,16 @@ class LiveTelemetry:
         )
         with self._lock:
             self._samples.append(sample)
+            if event.trace_id:
+                for bound in SERVE_LATENCY_BUCKETS:
+                    if event.modeled_seconds <= bound:
+                        self._exemplars[(event.tier, bound)] = Exemplar(
+                            tier=event.tier,
+                            bucket_le=bound,
+                            trace_id=event.trace_id,
+                            modeled_seconds=event.modeled_seconds,
+                        )
+                        break
             self._prune(now)
         registry = self.registry
         registry.counter(
@@ -238,6 +265,16 @@ class LiveTelemetry:
     def snapshots(self) -> List[WindowSnapshot]:
         """One snapshot per configured window, shortest first."""
         return [self.snapshot(window) for window in self.windows]
+
+    def exemplars(self) -> List[Exemplar]:
+        """The newest trace exemplar per (tier, latency bucket), in a
+        stable (tier, bound) order.  Only sampled requests (those whose
+        event carried a trace id) contribute."""
+        with self._lock:
+            return [
+                self._exemplars[key]
+                for key in sorted(self._exemplars.keys())
+            ]
 
     # ------------------------------------------------------------------
     # registry export

@@ -39,6 +39,16 @@ def _label_items(labels: Mapping[str, Any]) -> LabelItems:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote, and newline must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 class Metric:
     """Common identity: kind, name, sorted label pairs."""
 
@@ -52,7 +62,10 @@ class Metric:
     def label_string(self) -> str:
         if not self.labels:
             return ""
-        inner = ",".join(f'{key}="{value}"' for key, value in self.labels)
+        inner = ",".join(
+            f'{key}="{escape_label_value(value)}"'
+            for key, value in self.labels
+        )
         return "{" + inner + "}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

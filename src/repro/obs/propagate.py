@@ -1,0 +1,208 @@
+"""W3C-traceparent-style context propagation primitives.
+
+This module is the *pure* half of distributed tracing: ids, the header
+codec, and sampling decisions.  It holds no state beyond a seeded
+counter and imports nothing from the serving stack, so every layer
+(HTTP front door, cluster coordinator, shard servers, engine workers)
+can depend on it without cycles.
+
+Three design rules, all serving replay determinism:
+
+- **Seeded ids.**  :class:`IdSource` derives 128-bit trace ids and
+  64-bit span ids from a seed plus an atomic counter through the
+  SplitMix64 finalizer — never from ``os.urandom`` or wall time — so a
+  deterministic replay mints byte-identical ids on every run.
+- **Derived child ids.**  Spans created concurrently (scatter-gather
+  fan-out, process-pool absorption) get ids *derived* from the parent
+  id and a stable key (:func:`derive_span_id`), not allocated from a
+  shared counter, so thread scheduling cannot permute them.
+- **Sampling is a pure function of the trace id.**
+  :meth:`HeadSampler.decide` hashes the trace id; every process that
+  sees the same trace makes the same head-sampling call without any
+  coordination.
+
+The header format is the W3C ``traceparent`` single-line form::
+
+    00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+
+with version ``00`` and the low flag bit meaning *sampled*.  Parsing is
+strict: malformed headers, version ``ff``, and all-zero ids are
+rejected (returning ``None``) and the server mints a fresh context
+instead — a bad upstream header must never corrupt local telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+#: The request/response header name carrying the context.
+TRACEPARENT_HEADER = "traceparent"
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+
+#: Golden-ratio increment, the classic SplitMix64 stream constant.
+_SEED_SALT = 0x9E3779B97F4A7C15
+#: Distinct salt so sampling buckets are independent of id bits reuse.
+_SAMPLE_SALT = 0xA24BAED4963EE407
+
+
+def mix64(value: int) -> int:
+    """The SplitMix64 finalizer: a fast, well-mixed 64-bit bijection."""
+    value &= _MASK64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _MASK64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _MASK64
+    value ^= value >> 31
+    return value
+
+
+def _fnv64(text: str) -> int:
+    """FNV-1a over UTF-8 bytes; stable across runs and platforms."""
+    acc = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        acc = ((acc ^ byte) * 0x100000001B3) & _MASK64
+    return acc
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's trace identity: ids plus the sampling verdict.
+
+    ``trace_id`` is 128 bits and shared by every span of the request
+    across every process; ``span_id`` is the 64-bit id of the *current*
+    span (the one a downstream callee should parent under).
+    """
+
+    trace_id: int
+    span_id: int
+    sampled: bool
+
+    @property
+    def trace_id_hex(self) -> str:
+        return f"{self.trace_id & _MASK128:032x}"
+
+    @property
+    def span_id_hex(self) -> str:
+        return f"{self.span_id & _MASK64:016x}"
+
+    def to_traceparent(self) -> str:
+        """Render the W3C single-line header value."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id_hex}-{self.span_id_hex}-{flags}"
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The context a callee should propagate: same trace, new span."""
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header value; ``None`` when invalid.
+
+    Accepts any known-shape version except the reserved ``ff``; the
+    trace id and parent span id must be well-formed hex and non-zero,
+    per the W3C spec.  Returning ``None`` (rather than raising) lets
+    the server fall back to minting a fresh context.
+    """
+    if header is None:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_hex, span_hex, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(parts) > 4 and version == "00":
+        return None  # version 00 allows no extra fields
+    if (
+        len(version) != 2
+        or len(trace_hex) != 32
+        or len(span_hex) != 16
+        or len(flags) != 2
+    ):
+        return None
+    if version == "ff":
+        return None
+    try:
+        int(version, 16)
+        trace_id = int(trace_hex, 16)
+        span_id = int(span_hex, 16)
+        flag_bits = int(flags, 16)
+    except ValueError:
+        return None
+    if trace_id == 0 or span_id == 0:
+        return None
+    return TraceContext(trace_id, span_id, bool(flag_bits & 1))
+
+
+class IdSource:
+    """Deterministic, thread-safe trace/span id generation.
+
+    Every id is ``mix64`` of the seed and an atomic counter, so a
+    replay with the same seed mints the same ids in the same order —
+    the property the determinism CI job diffs for.  Ids are never zero
+    (the W3C invalid value); the astronomically unlikely zero output is
+    bumped to one.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = mix64(seed ^ _SEED_SALT)
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    def _next(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    def trace_id(self) -> int:
+        """A fresh 128-bit trace id (two mixed 64-bit halves)."""
+        n = self._next()
+        high = mix64(self._seed ^ (2 * n))
+        low = mix64(self._seed ^ (2 * n + 1))
+        value = ((high << 64) | low) & _MASK128
+        return value or 1
+
+    def span_id(self) -> int:
+        """A fresh 64-bit span id."""
+        value = mix64(self._seed + 3 * self._next())
+        return value or 1
+
+
+def derive_span_id(parent_span_id: int, key: str) -> int:
+    """A child span id as a pure function of its parent and a key.
+
+    Concurrent span creators (one per shard in a scatter, one per
+    engine partition) derive their ids from ``(parent, stable key)``
+    instead of racing on a shared counter, so the resulting id tree is
+    identical no matter how the pool interleaves the work.
+    """
+    value = mix64((parent_span_id & _MASK64) ^ _fnv64(key))
+    return value or 1
+
+
+@dataclass(frozen=True)
+class HeadSampler:
+    """Head-based sampling: keep a fixed fraction of traces.
+
+    The verdict is a pure function of the trace id (a hash bucket
+    compare), so every process in the request path independently
+    reaches the same decision, and replays are stable.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(
+                f"sample rate must be in [0, 1], got {self.rate!r}"
+            )
+
+    def decide(self, trace_id: int) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        bucket = mix64(trace_id ^ _SAMPLE_SALT) % (1 << 32)
+        return bucket < int(self.rate * (1 << 32))

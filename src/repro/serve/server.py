@@ -44,8 +44,10 @@ import threading
 import time
 import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
+    Any,
+    Callable,
     Dict,
     Iterator,
     List,
@@ -92,6 +94,8 @@ from repro.obs.events import (
     WriteEvent,
 )
 from repro.obs.live import LiveTelemetry
+from repro.obs.trace_store import TraceStore
+from repro.obs import trace_store as tracing
 from repro.serve.cache import CuboidCache
 from repro.serve.singleflight import SingleFlight
 from repro.timber.stats import CostModel
@@ -111,6 +115,11 @@ _PATCH_DELETE = {"COUNT"}
 
 # Modeled serve-side costs, on the cost model's simulated-seconds scale.
 _CPU_OP_SECONDS = CostModel.cpu_op_cost
+
+#: Serializes engine-traced recomputes across every server in the
+#: process: the session tracer is process-global, so two concurrently
+#: active private tracers would capture each other's spans.
+_ENGINE_TRACE_LOCK = threading.Lock()
 
 PointSpec = Union[LatticePoint, str]
 
@@ -240,6 +249,20 @@ class CubeServer:
         telemetry: sliding-window telemetry sink; a default
             :class:`~repro.obs.live.LiveTelemetry` is created when
             omitted.
+        trace_store: distributed-trace sink.  When set, every query
+            joins (or, at this server's edge, mints) a
+            :class:`~repro.obs.propagate.TraceContext`; sampled
+            requests record a span tree — ladder walk, single-flight
+            links, absorbed engine-worker spans — and stamp their trace
+            id on the request/eviction events.  ``None`` (the default)
+            keeps the query path exactly as before: zero tracing cost.
+        engine_trace: absorb the engine's span records into traced
+            recomputes.  The session tracer is process-global, so
+            servers whose recomputes may run concurrently in one
+            process (cluster replicas behind a scatter pool) must set
+            this False — a concurrently active private tracer would
+            capture the other threads' spans, breaking both span
+            parentage and replay determinism.
     """
 
     def __init__(
@@ -254,6 +277,8 @@ class CubeServer:
         incremental: Optional[IncrementalCube] = None,
         event_log_capacity: int = 4096,
         telemetry: Optional[LiveTelemetry] = None,
+        trace_store: Optional[TraceStore] = None,
+        engine_trace: bool = True,
     ) -> None:
         self.table = table
         self.lattice = table.lattice
@@ -277,6 +302,8 @@ class CubeServer:
         self._counters = _Counters()
         self.events = EventLog(event_log_capacity)
         self.telemetry = telemetry if telemetry is not None else LiveTelemetry()
+        self.trace_store = trace_store
+        self.engine_trace = engine_trace
         self._audit_local = threading.local()
         self.cache = CuboidCache(cache_cells, observer=self._on_cache_audit)
         self._flight = SingleFlight()
@@ -323,6 +350,7 @@ class CubeServer:
             point=self.lattice.describe(point),
             priority=priority,
             cells=cells,
+            trace_id=tracing.current_span().trace_id_hex,
         )
         sink = getattr(self._audit_local, "sink", None)
         if sink is not None:
@@ -351,11 +379,30 @@ class CubeServer:
         wraps the answer in a :class:`QueryResult` carrying the version
         it is exact at plus the full rung trail — the same trail the
         request log records, because it *is* that event's trail.
+
+        When a :class:`TraceStore` is attached and no upstream span is
+        bound (a direct caller, not the HTTP/cluster path), the query
+        opens its own trace root so standalone serving sessions are
+        traceable too.
         """
+        store = self.trace_store
+        if store is None or tracing.bound():
+            return self._query_impl(query)
+        with store.root(
+            "serve.query", category="serve", kind=query.kind
+        ) as root:
+            result = self._query_impl(query)
+            if root.enabled:
+                root.set_sim(result.modeled_seconds).annotate(
+                    tier=result.tier, point=result.point
+                )
+            return result
+
+    def _query_impl(self, query: Query) -> QueryResult:
         self._check_measure(query.measure)
         point = resolve_target(self.lattice, query)
         cuboid, version, event = self._serve(point, kind=query.kind)
-        return finish_query(
+        result = finish_query(
             self.lattice,
             query,
             point,
@@ -365,6 +412,12 @@ class CubeServer:
             event.rungs,
             event.modeled_seconds,
         )
+        binding = tracing.current_span()
+        if binding.enabled:
+            result = replace(result, trace_id=binding.trace_id_hex)
+            if result.deadline_exceeded:
+                binding.set_status("deadline")
+        return result
 
     def explain_query(self, query: Query) -> QueryExplanation:
         """The ladder plan for ``query``, without executing it."""
@@ -464,14 +517,18 @@ class CubeServer:
         this request — no racing readback from the log)."""
         described = self.lattice.describe(point)
         started = time.perf_counter()
+        tspan = tracing.trace_span(
+            "serve.request", category="serve", point=described, kind=kind
+        )
         with obs.span(
             "serve.request",
             category="serve",
             point=described,
-        ) as span:
+        ) as span, tspan:
             with self._capture_audit() as audit:
                 cuboid, version, tier, cost, rungs = self._resolve(point)
             span.annotate(tier=tier, cells=len(cuboid))
+            tspan.annotate(tier=tier, cells=len(cuboid)).set_sim(cost)
         wall = time.perf_counter() - started
         obs.count("x3_serve_requests_total", tier=tier)
         with self._lock:
@@ -493,6 +550,7 @@ class CubeServer:
                 cells=len(cuboid),
                 rungs=rungs,
                 cache_audit=tuple(audit),
+                trace_id=tracing.current_span().trace_id_hex,
             )
         )
         self.telemetry.record(event)
@@ -695,12 +753,23 @@ class CubeServer:
             )
         )
         # Recompute outside the lock, deduplicated per (point, version).
-        (cuboid, cost), shared = self._flight.do(
+        # The leader publishes its trace span identity into the flight so
+        # followers can link their join spans to the span that computed.
+        (cuboid, cost), shared, leader_span = self._flight.do_meta(
             (point, version),
-            lambda: self._recompute(snapshot_rows, point),
+            lambda publish: self._recompute(snapshot_rows, point, publish),
         )
         if shared:
             obs.count("x3_serve_singleflight_shared_total")
+            if tracing.current_span().enabled and leader_span:
+                with tracing.trace_span(
+                    "serve.singleflight.join",
+                    category="serve",
+                    point=self.lattice.describe(point),
+                    link_trace_id=leader_span[0],
+                    link_span_id=leader_span[1],
+                ):
+                    pass
         else:
             # Only the flight leader admits, and the cache receives a
             # private copy: the flight result itself stays immutable, so
@@ -794,6 +863,11 @@ class CubeServer:
             category="serve",
             source=self.lattice.describe(source),
             target=self.lattice.describe(point),
+        ), tracing.trace_span(
+            "serve.rollup",
+            category="serve",
+            source=self.lattice.describe(source),
+            target=self.lattice.describe(point),
         ):
             out = rollup_cuboid(
                 self.lattice, source_cuboid, source, point
@@ -803,18 +877,55 @@ class CubeServer:
         return out, cost
 
     def _recompute(
-        self, rows: List[FactRow], point: LatticePoint
+        self,
+        rows: List[FactRow],
+        point: LatticePoint,
+        publish: Optional[Callable[[Any], None]] = None,
     ) -> Tuple[Cuboid, float]:
         snapshot = FactTable(self.lattice, rows, self.table.aggregate)
+        tspan = tracing.trace_span(
+            "serve.recompute",
+            category="serve",
+            point=self.lattice.describe(point),
+            rows=len(rows),
+        )
+        # Only request a private engine trace when this server is
+        # allowed to (``engine_trace``; cluster replicas are not — their
+        # recomputes run concurrently and the session tracer is
+        # process-global) and no session tracer is already active (with
+        # one active the run joins the session trace, whose records
+        # would be the whole session, not this recompute).
+        want_engine_trace = (
+            tspan.enabled and self.engine_trace and not obs.enabled()
+        )
+        options = self.options.replace(points=(point,))
+        if want_engine_trace:
+            options = options.replace(trace=True)
         with obs.span(
             "serve.recompute",
             category="serve",
             point=self.lattice.describe(point),
             rows=len(rows),
-        ):
-            result: CubeResult = compute_cube(
-                snapshot, self.options.replace(points=(point,))
-            )
+        ), tspan:
+            if publish is not None and tspan.enabled:
+                publish((tspan.trace_id_hex, tspan.span_id_hex))
+            if want_engine_trace:
+                # Serialize traced computes: two private tracers active
+                # at once would capture each other's spans.
+                with _ENGINE_TRACE_LOCK:
+                    result: CubeResult = compute_cube(snapshot, options)
+                if result.trace is not None:
+                    tspan.absorb(
+                        [
+                            record
+                            for record in result.trace.records
+                            if record.category
+                            in ("engine", "algorithm", "timber")
+                        ]
+                    )
+            else:
+                result = compute_cube(snapshot, options)
+            tspan.set_sim(result.cost.simulated_seconds)
         cost = result.cost.simulated_seconds
         with self._lock:
             self._measured_cost[point] = cost

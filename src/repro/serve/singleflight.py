@@ -22,6 +22,7 @@ class _Call:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.joiners = 0
+        self.meta: Any = None  #: leader-published linking metadata
 
 
 class SingleFlight:
@@ -67,6 +68,51 @@ class SingleFlight:
                 self._calls.pop(key, None)
             call.done.set()
         return call.result, False
+
+    def do_meta(
+        self,
+        key: Hashable,
+        fn: Callable[[Callable[[Any], None]], Any],
+    ) -> Tuple[Any, bool, Any]:
+        """Like :meth:`do`, but with leader-published metadata.
+
+        ``fn`` receives a one-argument ``publish`` callable the leader
+        may invoke (typically first thing) to attach metadata to the
+        flight — e.g. its trace span id, so followers can link their
+        join spans to the span that actually computed.  Returns
+        ``(result, shared, meta)``; followers see the leader's metadata
+        because they only unblock after the leader finished.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is not None:
+                call.joiners += 1
+                self._shared_total += 1
+                leader = False
+            else:
+                call = _Call()
+                self._calls[key] = call
+                self._led_total += 1
+                leader = True
+        if not leader:
+            call.done.wait()
+            if call.error is not None:
+                raise call.error
+            return call.result, True, call.meta
+
+        def publish(meta: Any, call: _Call = call) -> None:
+            call.meta = meta
+
+        try:
+            call.result = fn(publish)
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.done.set()
+        return call.result, False, call.meta
 
     # ------------------------------------------------------------------
     @property

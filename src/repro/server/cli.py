@@ -31,6 +31,7 @@ from repro.core.cube import ENGINE_CHOICES, ExecutionOptions
 from repro.core.properties import PropertyOracle
 from repro.errors import X3Error
 from repro.obs.live import LiveTelemetry
+from repro.obs.trace_store import TraceStore
 from repro.serve.cli import load_table
 from repro.serve.server import CubeServer
 from repro.server.http import (
@@ -153,6 +154,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write one JSON line per load-generator request",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable distributed tracing (traceparent propagation, "
+        "GET /api/v1/traces, x3-trace explorer input)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head sampling rate in [0, 1] (default 1.0; tail "
+        "retention keeps error/slow traces regardless)",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed for deterministic trace/span id generation",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        help="dump the retained traces as canonical JSONL on exit "
+        "(implies --trace)",
+    )
     return parser
 
 
@@ -169,7 +196,9 @@ def parse_tokens(pairs: Optional[List[str]]) -> TenantAuth:
 
 
 def build_backend(
-    args: argparse.Namespace, table: FactTable
+    args: argparse.Namespace,
+    table: FactTable,
+    trace_store: Optional[TraceStore] = None,
 ) -> Union[CubeServer, ClusterCoordinator]:
     oracle = (
         PropertyOracle.from_data(table) if args.oracle == "data" else None
@@ -186,12 +215,24 @@ def build_backend(
             options=options,
             cache_cells=args.cache_cells,
             hedge_deadline_seconds=None,
+            trace_store=trace_store,
         )
     return CubeServer(
         table,
         oracle,
         options=options,
         cache_cells=args.cache_cells,
+        trace_store=trace_store,
+    )
+
+
+def build_trace_store(
+    args: argparse.Namespace,
+) -> Optional[TraceStore]:
+    if not (args.trace or args.trace_jsonl):
+        return None
+    return TraceStore(
+        sample_rate=args.trace_sample, seed=args.trace_seed
     )
 
 
@@ -204,7 +245,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
-    backend = build_backend(args, table)
+    try:
+        trace_store = build_trace_store(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    backend = build_backend(args, table, trace_store)
     catalog = CubeCatalog()
     catalog.register(
         LogicalCube.from_lattice(
@@ -220,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         catalog,
         auth=auth,
         admission=AdmissionController(args.max_inflight),
+        trace_store=trace_store,
     )
     telemetry = LiveTelemetry()
 
@@ -273,6 +320,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"wrote {written} latency records to "
                 f"{args.latency_jsonl}"
             )
+        if trace_store is not None:
+            stats = trace_store.stats()
+            print(
+                f"tracing: {stats['started']} started, "
+                f"{stats['sampled']} sampled, "
+                f"{stats['retained']} tail-retained, "
+                f"{stats['stored']} stored"
+            )
+            if args.trace_jsonl:
+                count = trace_store.write_jsonl(args.trace_jsonl)
+                print(
+                    f"wrote {count} traces to {args.trace_jsonl}"
+                )
         failed = sum(
             count
             for status, count in report.statuses.items()

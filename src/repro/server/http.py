@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import (
     Any,
@@ -55,6 +55,8 @@ from repro.errors import (
 )
 from repro.obs.live import SERVE_LATENCY_BUCKETS
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagate import TRACEPARENT_HEADER
+from repro.obs.trace_store import TraceStore
 from repro.server.model import BoundCube, CubeCatalog
 
 API_PREFIX = "/api/v1"
@@ -214,6 +216,12 @@ class X3Api:
             when omitted.  ``/metrics`` concatenates this registry's
             exposition with each distinct backend's own (via
             ``prometheus()`` where the backend offers it).
+        trace_store: optional distributed-tracing store.  When set,
+            every request parses (or mints) a W3C ``traceparent``,
+            binds the request root span around routing so backend spans
+            nest under it, echoes the context in a ``traceparent``
+            response header, and the store is served at
+            ``GET /api/v1/traces[/{id}]``.
     """
 
     def __init__(
@@ -223,6 +231,7 @@ class X3Api:
         auth: Optional[TenantAuth] = None,
         admission: Optional[AdmissionController] = None,
         registry: Optional[MetricsRegistry] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.catalog = catalog
         self.auth = auth if auth is not None else TenantAuth()
@@ -232,6 +241,7 @@ class X3Api:
         self.registry = (
             registry if registry is not None else MetricsRegistry()
         )
+        self.trace_store = trace_store
 
     # ------------------------------------------------------------------
     # the single entry point
@@ -243,8 +253,51 @@ class X3Api:
         body: Optional[bytes] = None,
         headers: Optional[Mapping[str, str]] = None,
     ) -> ApiResponse:
-        """Serve one request; never raises (errors become responses)."""
+        """Serve one request; never raises (errors become responses).
+
+        With a trace store attached, the request runs under a root span
+        whose context comes from the incoming ``traceparent`` header
+        when one parses (the upstream's sampling verdict is honored) or
+        is freshly minted otherwise; the response always echoes the
+        context back in a ``traceparent`` header.
+        """
         headers = headers or {}
+        store = self.trace_store
+        if store is None:
+            return self._handle(method, path, body, headers)
+        traceparent = next(
+            (
+                value
+                for name, value in headers.items()
+                if name.lower() == TRACEPARENT_HEADER
+            ),
+            None,
+        )
+        with store.root(
+            "http.request",
+            category="http",
+            traceparent=traceparent,
+            method=method,
+            path=path.split("?", 1)[0],
+        ) as root:
+            response = self._handle(method, path, body, headers)
+            if root.enabled:
+                root.annotate(status=response.status)
+                if response.status >= 500:
+                    root.set_status("error")
+            return replace(
+                response,
+                headers=response.headers
+                + ((TRACEPARENT_HEADER, root.traceparent),),
+            )
+
+    def _handle(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Mapping[str, str],
+    ) -> ApiResponse:
         route = "unroutable"
         try:
             tenant = self.auth.authenticate(headers)
@@ -293,6 +346,19 @@ class X3Api:
             if method != "GET":
                 return "metrics", self._method_not_allowed(method)
             return "metrics", self._metrics()
+        if path == API_PREFIX + "/healthz":
+            if method != "GET":
+                return "healthz", self._method_not_allowed(method)
+            return "healthz", self._healthz()
+        if path == API_PREFIX + "/traces":
+            if method != "GET":
+                return "traces", self._method_not_allowed(method)
+            return "traces", self._traces(None)
+        if path.startswith(API_PREFIX + "/traces/"):
+            if method != "GET":
+                return "trace", self._method_not_allowed(method)
+            trace_id = path[len(API_PREFIX + "/traces/"):]
+            return "trace", self._traces(trace_id)
         if path == API_PREFIX + "/cubes":
             if method != "GET":
                 return "cubes", self._method_not_allowed(method)
@@ -405,11 +471,146 @@ class X3Api:
         return Query.from_dict(payload)
 
     # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _healthz(self) -> ApiResponse:
+        """Per-backend shard/replica health, summarized once per
+        distinct backend (two cubes over one backend report it once,
+        under the first cube name that uses it)."""
+        backends: Dict[str, Any] = {}
+        seen: Set[int] = set()
+        degraded = False
+        for name in self.catalog.names():
+            backend = self.catalog.get(name).backend
+            if id(backend) in seen:
+                continue
+            seen.add(id(backend))
+            shards = getattr(backend, "shards", None)
+            if shards is not None:
+                replicas = [
+                    [replica.healthy for replica in shard]
+                    for shard in shards
+                ]
+                healthy = sum(sum(shard) for shard in replicas)
+                total = sum(len(shard) for shard in replicas)
+                lagging = sum(
+                    1
+                    for shard in shards
+                    for replica in shard
+                    if replica.healthy and replica.lagging
+                )
+                shard_down = any(
+                    not any(shard) for shard in replicas
+                )
+                degraded = degraded or healthy < total or lagging > 0
+                backends[name] = {
+                    "kind": "cluster",
+                    "status": (
+                        "down"
+                        if shard_down
+                        else ("ok" if healthy == total and not lagging
+                              else "degraded")
+                    ),
+                    "shards": len(replicas),
+                    "replicas_per_shard": (
+                        len(replicas[0]) if replicas else 0
+                    ),
+                    "healthy_replicas": healthy,
+                    "total_replicas": total,
+                    "lagging_replicas": lagging,
+                    "replica_health": replicas,
+                    "version": list(backend.version_token()),
+                }
+            else:
+                backends[name] = {
+                    "kind": "server",
+                    "status": "ok",
+                    "version": list(backend.version_token()),
+                }
+        status = "degraded" if degraded else "ok"
+        return ApiResponse.json(
+            200, {"status": status, "backends": backends}
+        )
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+    def _traces(self, trace_id: Optional[str]) -> ApiResponse:
+        store = self.trace_store
+        if store is None:
+            return ApiResponse.error(
+                404,
+                "not_found",
+                "tracing is not enabled on this server",
+            )
+        if trace_id is not None:
+            record = store.get(trace_id)
+            if record is None:
+                return ApiResponse.error(
+                    404,
+                    "not_found",
+                    f"no retained trace {trace_id!r} (it may never "
+                    f"have been sampled, or was ring-evicted)",
+                )
+            return ApiResponse.json(200, record.to_dict())
+        exemplars: List[Dict[str, Any]] = []
+        seen: Set[int] = set()
+        for name in self.catalog.names():
+            backend = self.catalog.get(name).backend
+            if id(backend) in seen:
+                continue
+            seen.add(id(backend))
+            telemetry = getattr(backend, "telemetry", None)
+            if telemetry is None:
+                continue
+            for exemplar in telemetry.exemplars():
+                exemplars.append(
+                    {
+                        "cube": name,
+                        "tier": exemplar.tier,
+                        "bucket_le": exemplar.bucket_le,
+                        "trace_id": exemplar.trace_id,
+                        "modeled_seconds": exemplar.modeled_seconds,
+                    }
+                )
+        summaries = [
+            {
+                "trace_id": record.trace_id,
+                "name": record.name,
+                "status": record.status,
+                "retained": record.retained,
+                "sim_seconds": record.sim_seconds,
+                "wall_seconds": record.wall_seconds,
+                "spans": len(record.spans),
+            }
+            for record in store.traces()
+        ]
+        return ApiResponse.json(
+            200,
+            {
+                "traces": summaries,
+                "stats": store.stats(),
+                "exemplars": exemplars,
+            },
+        )
+
+    # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
     def _metrics(self) -> ApiResponse:
         from repro.obs.export import prometheus_text
 
+        if self.trace_store is not None:
+            stats = self.trace_store.stats()
+            self.registry.gauge("x3_trace_started_total").set(
+                float(stats["started"])
+            )
+            self.registry.gauge("x3_trace_sampled_total").set(
+                float(stats["sampled"])
+            )
+            self.registry.gauge("x3_trace_retained_total").set(
+                float(stats["retained"])
+            )
         chunks: List[str] = [prometheus_text(self.registry)]
         seen: Set[int] = set()
         for name in self.catalog.names():

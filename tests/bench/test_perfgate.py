@@ -7,6 +7,7 @@ import pytest
 
 import repro.bench.perfgate as perfgate
 from repro.bench.perfgate import (
+    ABSOLUTE_CEILINGS,
     ABSOLUTE_FLOORS,
     METRIC_DIRECTIONS,
     compare,
@@ -73,6 +74,18 @@ class TestCompare:
     def test_absolute_floor_cleared_passes(self):
         floor = ABSOLUTE_FLOORS["columnar_speedup_vs_dict"]
         metrics = dict(FAKE_METRICS, columnar_speedup_vs_dict=floor + 1.0)
+        assert compare(metrics, dict(metrics), 0.25) == []
+
+    def test_absolute_ceiling_fails_even_with_matching_baseline(self):
+        metrics = dict(FAKE_METRICS, tracing_overhead_ratio=1.5)
+        failures = compare(metrics, dict(metrics), 0.25)
+        assert len(failures) == 1
+        assert "absolute ceiling" in failures[0]
+        assert "tracing_overhead_ratio" in failures[0]
+
+    def test_absolute_ceiling_cleared_passes(self):
+        ceiling = ABSOLUTE_CEILINGS["tracing_overhead_ratio"]
+        metrics = dict(FAKE_METRICS, tracing_overhead_ratio=ceiling - 0.1)
         assert compare(metrics, dict(metrics), 0.25) == []
 
 

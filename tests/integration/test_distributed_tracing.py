@@ -1,0 +1,331 @@
+"""End-to-end distributed tracing invariants.
+
+The acceptance bar for the tracing layer: a deterministic traced replay
+— chaos cluster included — yields exactly one trace per sampled
+request, every span of a trace carries that trace's id, request/cluster
+events are stamped with the ids of the traces that produced them, the
+engine's process-pool spans re-parent into the request trace, and two
+seeded runs dump byte-identical JSONL once wall-clock keys are
+stripped.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.serve.server as serve_server
+from repro.cluster.chaos import ChaosEngine, get_profile
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.core.cube import ExecutionOptions
+from repro.core.query import Query
+from repro.obs.trace_store import TraceStore
+from repro.serve import CubeServer
+from repro.serve.cli import sample_points
+from repro.testing import small_workload
+
+
+def fresh(**overrides):
+    workload = small_workload(**overrides)
+    table = workload.fact_table()
+    return table, workload.oracle(table)
+
+
+def strip_wall(text):
+    """Canonical JSONL minus every ``*wall_seconds`` key — what the CI
+    determinism job compares across two seeded runs."""
+    out = []
+    for line in text.strip().split("\n"):
+        if not line:
+            continue
+        record = json.loads(line)
+        record.pop("wall_seconds", None)
+        for span in record.get("spans", []):
+            span.pop("wall_seconds", None)
+            span.pop("start_wall_seconds", None)
+        out.append(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+        )
+    return "\n".join(out)
+
+
+class TestServerTracing:
+    def test_one_trace_per_query_spanning_serve_and_engine(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=1)
+        server = CubeServer(table, oracle, trace_store=store)
+        points = sample_points(table.lattice, 10, 3)
+        for point in points:
+            result = server.query(Query(point=point))
+            assert len(result.trace_id) == 32
+        traces = store.traces()
+        assert len(traces) == 10
+        for record in traces:
+            assert record.name == "serve.query"
+            assert {span.trace_id for span in record.spans} == {
+                record.trace_id
+            }
+            names = {span.name for span in record.spans}
+            assert "serve.request" in names
+        # cold recomputes absorbed the engine's spans into the trace
+        categories = {
+            span.category
+            for record in traces
+            for span in record.spans
+        }
+        assert "serve" in categories
+        assert "engine" in categories or "algorithm" in categories
+
+    def test_request_events_stamped_with_the_trace_id(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=1)
+        server = CubeServer(table, oracle, trace_store=store)
+        points = sample_points(table.lattice, 8, 3)
+        results = [server.query(Query(point=point)) for point in points]
+        events = server.events.requests()
+        assert len(events) == len(results)
+        for event, result in zip(events, results):
+            assert event.trace_id == result.trace_id
+
+    def test_untraced_server_emits_no_trace_ids(self):
+        table, oracle = fresh()
+        server = CubeServer(table, oracle)
+        result = server.query(Query(point=next(iter(table.lattice.points()))))
+        assert result.trace_id == ""
+        assert "trace_id" not in result.to_dict()
+        assert server.events.requests()[0].trace_id == ""
+
+    def test_exemplars_link_latency_buckets_to_traces(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=1)
+        server = CubeServer(table, oracle, trace_store=store)
+        for point in sample_points(table.lattice, 10, 3):
+            server.query(Query(point=point))
+        exemplars = server.telemetry.exemplars()
+        assert exemplars
+        stored_ids = {record.trace_id for record in store.traces()}
+        for exemplar in exemplars:
+            assert exemplar.trace_id in stored_ids
+            assert exemplar.modeled_seconds <= exemplar.bucket_le
+
+    def test_process_pool_spans_reparent_into_the_trace(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=1)
+        server = CubeServer(
+            table,
+            oracle,
+            options=ExecutionOptions(
+                algorithm="TD", workers=2, engine="process"
+            ),
+            trace_store=store,
+        )
+        point = next(iter(table.lattice.points()))
+        server.query(Query(point=point))
+        (record,) = store.traces()
+        engine_spans = [
+            span
+            for span in record.spans
+            if span.category in ("engine", "algorithm")
+        ]
+        assert engine_spans
+        ids = {span.span_id for span in record.spans}
+        for span in engine_spans:
+            # every absorbed span re-parents inside this trace
+            assert span.parent_id in ids
+            assert span.trace_id == record.trace_id
+            # host pids never leak into the trace
+            assert "pid-" not in json.dumps(span.attrs)
+
+    def test_singleflight_follower_links_to_the_leader_span(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=1)
+        server = CubeServer(
+            table, oracle, cache_cells=0, trace_store=store
+        )
+        point = next(iter(table.lattice.points()))
+        leader_started = threading.Event()
+        release = threading.Event()
+        real_compute = serve_server.compute_cube
+        calls = []
+
+        def slow_compute(snapshot, options):
+            calls.append(1)
+            leader_started.set()
+            release.wait(timeout=5.0)
+            return real_compute(snapshot, options)
+
+        serve_server.compute_cube = slow_compute
+        try:
+            leader = threading.Thread(
+                target=server.query, args=(Query(point=point),)
+            )
+            leader.start()
+            assert leader_started.wait(timeout=5.0)
+            follower = threading.Thread(
+                target=server.query, args=(Query(point=point),)
+            )
+            follower.start()
+            # follower must be parked inside the flight before release
+            deadline = 50
+            while server._flight.shared_total == 0 and deadline:
+                threading.Event().wait(0.02)
+                deadline -= 1
+            release.set()
+            leader.join(timeout=5.0)
+            follower.join(timeout=5.0)
+        finally:
+            serve_server.compute_cube = real_compute
+        assert len(calls) == 1  # the flight deduplicated the recompute
+        traces = store.traces()
+        assert len(traces) == 2
+        joins = [
+            span
+            for record in traces
+            for span in record.spans
+            if span.name == "serve.singleflight.join"
+        ]
+        assert len(joins) == 1
+        join = joins[0]
+        leader_trace = next(
+            record
+            for record in traces
+            if record.trace_id == join.attrs["link_trace_id"]
+        )
+        assert join.trace_id != leader_trace.trace_id
+        leader_span_ids = {
+            span.span_id for span in leader_trace.spans
+        }
+        assert join.attrs["link_span_id"] in leader_span_ids
+
+
+class TestClusterTracing:
+    def run_cluster(self, requests=100, chaos="heavy"):
+        table, oracle = fresh()
+        store = TraceStore(seed=5)
+        coordinator = ClusterCoordinator(
+            table,
+            3,
+            2,
+            oracle=oracle,
+            cache_cells=0,
+            chaos=(
+                ChaosEngine(get_profile(chaos), seed=11)
+                if chaos
+                else None
+            ),
+            hedge_deadline_seconds=0.001,
+            trace_store=store,
+        )
+        points = sample_points(table.lattice, requests, 7)
+        try:
+            for point in points:
+                coordinator.query(Query(point=point))
+        finally:
+            coordinator.close()
+        return coordinator, store
+
+    def test_single_trace_id_spans_coordinator_to_shards_100_of_100(
+        self,
+    ):
+        coordinator, store = self.run_cluster(requests=100)
+        traces = store.traces()
+        assert len(traces) == 100
+        for record in traces:
+            assert {span.trace_id for span in record.spans} == {
+                record.trace_id
+            }, record.trace_id
+            shard_spans = [
+                span
+                for span in record.spans
+                if span.name == "cluster.shard"
+            ]
+            assert len(shard_spans) >= 3  # one per shard minimum
+            names = {span.name for span in record.spans}
+            assert "cluster.query" in names
+            assert "cluster.request" in names
+            assert "cluster.merge" in names
+            # replica ladder spans nest under the shard reads
+            assert "serve.request" in names
+            # replicas never absorb the process-global engine tracer
+            # (concurrent recomputes would cross-contaminate), so
+            # cluster traces are schedule-independent
+            assert not any(
+                span.category in ("engine", "algorithm")
+                for span in record.spans
+            )
+
+    def test_shard_spans_record_replica_and_degradation(self):
+        coordinator, store = self.run_cluster(requests=60)
+        shard_spans = [
+            span
+            for record in store.traces()
+            for span in record.spans
+            if span.name == "cluster.shard" and span.status == "ok"
+        ]
+        assert all("replica" in span.attrs for span in shard_spans)
+        stats = coordinator.stats()
+        if stats.hedges:
+            assert any(
+                span.attrs.get("hedged") for span in shard_spans
+            )
+        if stats.failovers:
+            assert any(
+                span.attrs.get("failover") for span in shard_spans
+            )
+
+    def test_two_seeded_runs_are_byte_identical_modulo_wall(self):
+        _, first = self.run_cluster(requests=40)
+        _, second = self.run_cluster(requests=40)
+        assert strip_wall(first.to_jsonl()) == strip_wall(
+            second.to_jsonl()
+        )
+
+    def test_events_carry_the_ids_of_their_traces(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=5)
+        with ClusterCoordinator(
+            table,
+            2,
+            2,
+            oracle=oracle,
+            cache_cells=0,
+            hedge_deadline_seconds=None,
+            trace_store=store,
+        ) as coordinator:
+            for point in sample_points(table.lattice, 20, 7):
+                coordinator.query(Query(point=point))
+            events = coordinator.events.cluster_events()
+        stored = {record.trace_id for record in store.traces()}
+        reads = [
+            event for event in events if event.kind == "read"
+        ]
+        assert reads
+        for event in reads:
+            assert event.trace_id in stored
+
+
+class TestSamplingE2E:
+    def test_head_sampling_records_a_strict_subset(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=2, sample_rate=0.5)
+        server = CubeServer(table, oracle, trace_store=store)
+        points = sample_points(table.lattice, 40, 3)
+        with_id = 0
+        for point in points:
+            result = server.query(Query(point=point))
+            if result.trace_id:
+                with_id += 1
+        stats = store.stats()
+        assert stats["started"] == 40
+        assert 0 < stats["sampled"] < 40
+        assert with_id == stats["sampled"] == len(store.traces())
+
+    def test_unsampled_requests_record_zero_spans(self):
+        table, oracle = fresh()
+        store = TraceStore(seed=2, sample_rate=0.0)
+        server = CubeServer(table, oracle, trace_store=store)
+        for point in sample_points(table.lattice, 10, 3):
+            result = server.query(Query(point=point))
+            assert result.trace_id == ""
+        assert store.traces() == ()
+        assert store.stats()["sampled"] == 0

@@ -1,6 +1,7 @@
 """Unit tests for the trace/metrics exporters."""
 
 import json
+import re
 
 from repro.obs import (
     MetricsRegistry,
@@ -131,3 +132,72 @@ class TestPrometheus:
 
     def test_empty_registry(self):
         assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestPrometheusFormat:
+    """Line-level conformance to the text exposition format 0.0.4."""
+
+    LINE = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+        r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+        r" (\+Inf|-?[0-9.e+-]+)$"
+    )
+
+    def test_every_family_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("x3_ops_total").inc()
+        registry.gauge("x3_serve_window_hit_ratio", window="60s").set(0.5)
+        registry.histogram("x3_seconds", buckets=(1.0,)).observe(0.5)
+        text = prometheus_text(registry)
+        for name in (
+            "x3_ops_total",
+            "x3_serve_window_hit_ratio",
+            "x3_seconds",
+        ):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+            # HELP precedes TYPE precedes the samples
+            assert text.index(f"# HELP {name}") < text.index(
+                f"# TYPE {name}"
+            )
+
+    def test_known_series_get_curated_help_text(self):
+        registry = MetricsRegistry()
+        registry.gauge("x3_serve_window_hit_ratio", window="60s").set(0.5)
+        registry.gauge("x3_trace_retained_total").set(3)
+        text = prometheus_text(registry)
+        assert (
+            "# HELP x3_serve_window_hit_ratio Fraction of window "
+            "requests" in text
+        )
+        assert "# HELP x3_trace_retained_total Traces tail-retained" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "x3_ops_total", point='$a:"rigid"\\$b', note="a\nb"
+        ).inc()
+        text = prometheus_text(registry)
+        assert 'point="$a:\\"rigid\\"\\\\$b"' in text
+        assert 'note="a\\nb"' in text
+
+    def test_histogram_bucket_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "x3_seconds", buckets=(1.0,), tier='cache"hit'
+        ).observe(0.5)
+        text = prometheus_text(registry)
+        assert 'tier="cache\\"hit"' in text
+
+    def test_sample_lines_match_the_grammar(self):
+        registry = MetricsRegistry()
+        registry.counter("x3_ops_total", algorithm="BUC").inc(3)
+        registry.gauge("x3_serve_window_hit_ratio", window="60s").set(0.5)
+        registry.histogram(
+            "x3_seconds", buckets=(0.1, 1.0), tier="cache"
+        ).observe(0.5)
+        for line in prometheus_text(registry).strip().split("\n"):
+            if line.startswith("#"):
+                continue
+            assert self.LINE.match(line), line

@@ -1,0 +1,198 @@
+"""Unit tests for W3C-traceparent propagation (repro.obs.propagate)."""
+
+import threading
+
+import pytest
+
+from repro.obs.propagate import (
+    TRACEPARENT_HEADER,
+    HeadSampler,
+    IdSource,
+    TraceContext,
+    derive_span_id,
+    mix64,
+    parse_traceparent,
+)
+
+
+class TestMix64:
+    def test_bijective_looking_and_bounded(self):
+        outputs = {mix64(n) for n in range(1000)}
+        assert len(outputs) == 1000  # no collisions at small scale
+        assert all(0 <= value < (1 << 64) for value in outputs)
+
+    def test_deterministic(self):
+        assert mix64(42) == mix64(42)
+
+    def test_masks_wide_input(self):
+        assert mix64((1 << 64) + 5) == mix64(5)
+
+
+class TestTraceContext:
+    def test_hex_widths_are_fixed(self):
+        context = TraceContext(trace_id=1, span_id=2, sampled=True)
+        assert len(context.trace_id_hex) == 32
+        assert len(context.span_id_hex) == 16
+        assert context.trace_id_hex.endswith("1")
+
+    def test_traceparent_roundtrip_sampled(self):
+        context = TraceContext(
+            trace_id=0xABCDEF, span_id=0x1234, sampled=True
+        )
+        header = context.to_traceparent()
+        assert header.startswith("00-")
+        assert header.endswith("-01")
+        parsed = parse_traceparent(header)
+        assert parsed == context
+
+    def test_traceparent_roundtrip_unsampled(self):
+        context = TraceContext(trace_id=7, span_id=9, sampled=False)
+        header = context.to_traceparent()
+        assert header.endswith("-00")
+        assert parse_traceparent(header) == context
+
+    def test_child_keeps_trace_and_verdict(self):
+        context = TraceContext(trace_id=11, span_id=22, sampled=True)
+        child = context.child(33)
+        assert child.trace_id == 11
+        assert child.span_id == 33
+        assert child.sampled is True
+
+
+class TestParseTraceparent:
+    def test_none_and_garbage(self):
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+        assert parse_traceparent("nonsense") is None
+        assert parse_traceparent("00-abc-def-01") is None
+
+    def test_zero_ids_rejected(self):
+        zeros32 = "0" * 32
+        zeros16 = "0" * 16
+        good32 = "0" * 31 + "1"
+        good16 = "0" * 15 + "1"
+        assert parse_traceparent(f"00-{zeros32}-{good16}-01") is None
+        assert parse_traceparent(f"00-{good32}-{zeros16}-01") is None
+
+    def test_version_ff_rejected(self):
+        good32 = "a" * 32
+        good16 = "b" * 16
+        assert parse_traceparent(f"ff-{good32}-{good16}-01") is None
+
+    def test_future_version_with_extra_fields_accepted(self):
+        good32 = "a" * 32
+        good16 = "b" * 16
+        parsed = parse_traceparent(f"01-{good32}-{good16}-01-extra")
+        assert parsed is not None
+        assert parsed.sampled is True
+
+    def test_version_00_with_extra_fields_rejected(self):
+        good32 = "a" * 32
+        good16 = "b" * 16
+        assert (
+            parse_traceparent(f"00-{good32}-{good16}-01-extra") is None
+        )
+
+    def test_non_hex_rejected(self):
+        bad32 = "g" * 32
+        good16 = "b" * 16
+        assert parse_traceparent(f"00-{bad32}-{good16}-01") is None
+
+    def test_case_and_whitespace_normalized(self):
+        good32 = "A" * 32
+        good16 = "B" * 16
+        parsed = parse_traceparent(f"  00-{good32}-{good16}-01  ")
+        assert parsed is not None
+        assert parsed.trace_id == int("a" * 32, 16)
+
+    def test_flag_bit_decides_sampled(self):
+        good32 = "a" * 32
+        good16 = "b" * 16
+        assert parse_traceparent(f"00-{good32}-{good16}-00").sampled is False
+        assert parse_traceparent(f"00-{good32}-{good16}-01").sampled is True
+        # higher flag bits do not affect the sampled verdict
+        assert parse_traceparent(f"00-{good32}-{good16}-02").sampled is False
+
+    def test_header_name_constant(self):
+        assert TRACEPARENT_HEADER == "traceparent"
+
+
+class TestIdSource:
+    def test_same_seed_same_sequence(self):
+        a = IdSource(seed=5)
+        b = IdSource(seed=5)
+        assert [a.trace_id() for _ in range(10)] == [
+            b.trace_id() for _ in range(10)
+        ]
+        assert [a.span_id() for _ in range(10)] == [
+            b.span_id() for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        assert IdSource(seed=1).trace_id() != IdSource(seed=2).trace_id()
+
+    def test_ids_never_zero(self):
+        source = IdSource()
+        assert all(source.trace_id() != 0 for _ in range(100))
+        assert all(source.span_id() != 0 for _ in range(100))
+
+    def test_thread_safety_no_duplicates(self):
+        source = IdSource(seed=3)
+        out = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [source.span_id() for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(out)) == len(out) == 800
+
+
+class TestDeriveSpanId:
+    def test_pure_function(self):
+        assert derive_span_id(42, "s0") == derive_span_id(42, "s0")
+
+    def test_distinct_keys_distinct_ids(self):
+        ids = {derive_span_id(42, f"s{n}") for n in range(64)}
+        assert len(ids) == 64
+
+    def test_distinct_parents_distinct_ids(self):
+        assert derive_span_id(1, "s0") != derive_span_id(2, "s0")
+
+    def test_never_zero(self):
+        assert derive_span_id(0, "") != 0
+
+
+class TestHeadSampler:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            HeadSampler(-0.1)
+        with pytest.raises(ValueError):
+            HeadSampler(1.5)
+
+    def test_extremes(self):
+        keep_all = HeadSampler(1.0)
+        keep_none = HeadSampler(0.0)
+        assert all(keep_all.decide(n) for n in range(1, 100))
+        assert not any(keep_none.decide(n) for n in range(1, 100))
+
+    def test_verdict_is_pure_function_of_trace_id(self):
+        sampler = HeadSampler(0.5)
+        other = HeadSampler(0.5)
+        source = IdSource(seed=9)
+        ids = [source.trace_id() for _ in range(200)]
+        assert [sampler.decide(t) for t in ids] == [
+            other.decide(t) for t in ids
+        ]
+
+    def test_half_rate_keeps_roughly_half(self):
+        sampler = HeadSampler(0.5)
+        source = IdSource(seed=1)
+        kept = sum(sampler.decide(source.trace_id()) for _ in range(1000))
+        assert 400 <= kept <= 600

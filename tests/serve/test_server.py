@@ -369,9 +369,9 @@ class TestConcurrency:
         release = threading.Event()
         original = server._recompute
 
-        def gated(rows, target):
+        def gated(rows, target, publish=None):
             assert release.wait(timeout=5.0)
-            return original(rows, target)
+            return original(rows, target, publish)
 
         server._recompute = gated
         results = []
@@ -406,10 +406,10 @@ class TestConcurrency:
         entered = threading.Event()
         original = server._recompute
 
-        def gated(rows, target):
+        def gated(rows, target, publish=None):
             entered.set()
             assert release.wait(timeout=5.0)
-            return original(rows, target)
+            return original(rows, target, publish)
 
         server._recompute = gated
         outcome = {}
