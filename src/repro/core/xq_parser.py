@@ -11,142 +11,39 @@ Accepted shape::
         $y (LND)
     return COUNT($b).
 
-``X^3`` may also be written ``X3`` or ``X~3`` (OCR variants of the
-operator glyph).  The fact variable is whichever variable the ``doc()``
-binding introduces; every axis path must be relative to it.
+``X^3`` may also be written ``X3``, ``X~3`` or ``X"3`` (OCR variants
+of the operator glyph).  The fact variable is whichever variable the
+``doc()`` binding introduces; every axis path must be relative to it.
+
+.. deprecated::
+    This module is a thin compatibility front end over the
+    :mod:`repro.lang` tokenizer/parser/compiler (the original DOTALL
+    regex silently misparsed nested parentheses and raised
+    position-free errors).  New code should call
+    :func:`repro.lang.parser.parse_statement` and
+    :func:`repro.lang.compiler.compile_x3` directly — they expose the
+    typed AST and source positions this shim discards.
 """
 
 from __future__ import annotations
 
-import re
-from typing import Dict, List
-
-from repro.core.aggregates import AggregateSpec
-from repro.core.axes import AxisSpec
 from repro.core.query import X3Query
 from repro.errors import QueryParseError
-from repro.patterns.relaxation import Relaxation
-
-_FOR_RE = re.compile(
-    r"for\s+(?P<bindings>.+?)\s*(?:X\^?3|X~3|X\"3)\s+(?P<measurevar>\S+)"
-    r"\s+by\s+(?P<byclause>.+?)\s*return\s+(?P<agg>\w+)"
-    r"\s*\(\s*(?P<aggarg>[^)]*)\s*\)\s*\.?\s*$",
-    re.DOTALL | re.IGNORECASE,
-)
-_DOC_RE = re.compile(
-    r"(?P<var>\$\w+)\s+in\s+doc\(\"(?P<doc>[^\"]*)\"\)\s*//\s*(?P<tag>[\w:.-]+)"
-)
-_BIND_RE = re.compile(r"(?P<var>\$\w+)\s+in\s+(?P<path>\S+)")
-_BY_RE = re.compile(
-    r"(?P<var>\$\w+)\s*\((?P<relaxations>[^)]*)\)", re.DOTALL
-)
+from repro.lang.ast import X3Statement
+from repro.lang.compiler import compile_x3
+from repro.lang.parser import parse_statement
 
 
 def parse_x3_query(text: str) -> X3Query:
-    """Parse an augmented FLWOR text into an :class:`X3Query`."""
-    match = _FOR_RE.search(text.strip())
-    if not match:
+    """Parse an augmented FLWOR text into an :class:`X3Query`.
+
+    Raises :class:`~repro.errors.QueryParseError` (with the source
+    position where the new parser can pin one) on any malformed input.
+    """
+    statement = parse_statement(text)
+    if not isinstance(statement, X3Statement):
         raise QueryParseError(
-            "query must have the shape: for ... X^3 <measure> by ... return AGG(...)"
+            "query must have the shape: for ... X^3 <measure> by ... "
+            "return AGG(...)"
         )
-    bindings_text = match.group("bindings")
-    doc_match = _DOC_RE.search(bindings_text)
-    if not doc_match:
-        raise QueryParseError(
-            'the first binding must be: $var in doc("...")//tag'
-        )
-    fact_var = doc_match.group("var")
-    document = doc_match.group("doc")
-    fact_tag = doc_match.group("tag")
-
-    # Axis bindings: every non-doc binding, in order.
-    paths: Dict[str, str] = {}
-    order: List[str] = []
-    for binding in _split_top_level(bindings_text):
-        if "doc(" in binding:
-            continue
-        bind_match = _BIND_RE.search(binding)
-        if not bind_match:
-            raise QueryParseError(f"cannot parse binding {binding.strip()!r}")
-        var = bind_match.group("var")
-        path = bind_match.group("path").rstrip(",")
-        prefix = fact_var + "/"
-        if path.startswith(fact_var + "//"):
-            relative = "//" + path[len(fact_var) + 2 :]
-        elif path.startswith(prefix):
-            relative = path[len(prefix) :]
-        else:
-            raise QueryParseError(
-                f"axis {var} must be relative to the fact variable {fact_var}"
-            )
-        paths[var] = relative
-        order.append(var)
-
-    # Measure: "$b/@id" or "$b".
-    measure_var = match.group("measurevar").rstrip(",")
-    fact_id_path = "@id"
-    if measure_var.startswith(fact_var + "/"):
-        fact_id_path = measure_var[len(fact_var) + 1 :]
-    elif measure_var == fact_var:
-        fact_id_path = ""
-
-    # X^3 by-clause: per-variable relaxations.
-    axes: List[AxisSpec] = []
-    seen = set()
-    for by_match in _BY_RE.finditer(match.group("byclause")):
-        var = by_match.group("var")
-        if var not in paths:
-            raise QueryParseError(f"X^3 clause names unbound variable {var}")
-        relaxations = frozenset(
-            Relaxation.from_text(token)
-            for token in by_match.group("relaxations").split(",")
-            if token.strip()
-        )
-        axes.append(AxisSpec.from_path(var, paths[var], relaxations))
-        seen.add(var)
-    if not axes:
-        raise QueryParseError("X^3 clause lists no axes")
-    missing = [var for var in order if var not in seen]
-    if missing:
-        raise QueryParseError(
-            f"bound variables missing from the X^3 clause: {missing}"
-        )
-
-    # RETURN clause.
-    agg_name = match.group("agg").upper()
-    agg_arg = match.group("aggarg").strip()
-    measure_path = ""
-    if agg_arg.startswith(fact_var + "/"):
-        measure_path = agg_arg[len(fact_var) + 1 :]
-    aggregate = AggregateSpec(agg_name, measure_path)
-
-    return X3Query(
-        fact_tag=fact_tag,
-        axes=tuple(axes),
-        aggregate=aggregate,
-        fact_id_path=fact_id_path,
-        document=document,
-    )
-
-
-def _split_top_level(text: str) -> List[str]:
-    """Split the for-clause on commas not inside parentheses/quotes."""
-    parts: List[str] = []
-    depth = 0
-    current: List[str] = []
-    in_quote = False
-    for char in text:
-        if char == '"':
-            in_quote = not in_quote
-        elif char == "(" and not in_quote:
-            depth += 1
-        elif char == ")" and not in_quote:
-            depth -= 1
-        if char == "," and depth == 0 and not in_quote:
-            parts.append("".join(current))
-            current = []
-        else:
-            current.append(char)
-    if current:
-        parts.append("".join(current))
-    return parts
+    return compile_x3(statement)

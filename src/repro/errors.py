@@ -73,7 +73,31 @@ class QueryError(X3Error):
 
 
 class QueryParseError(QueryError):
-    """Raised when an X^3 FLWOR text cannot be parsed."""
+    """Raised when an X^3QL / FLWOR text cannot be parsed.
+
+    Attributes:
+        line: 1-based line of the offending source position (0 when the
+            error has no position, e.g. pre-tokenizer shape checks).
+        column: 1-based column of the offending source position.
+        incomplete: the parser ran out of input mid-statement — the text
+            so far is a valid prefix.  The REPL uses this to keep
+            reading continuation lines instead of reporting an error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: int = 0,
+        column: int = 0,
+        incomplete: bool = False,
+    ) -> None:
+        self.line = line
+        self.column = column
+        self.incomplete = incomplete
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
 
 
 class CubeError(X3Error):
@@ -96,6 +120,28 @@ class InvalidQuery(CubeError):
     drilldown.  Serving entry points raise this instead of ad-hoc
     ``ValueError``/``KeyError`` so transports can map it 1:1 to a
     status code (HTTP 400)."""
+
+
+class QueryCompileError(InvalidQuery):
+    """A well-formed X^3QL statement that does not compile against the
+    logical model: an unknown dimension or level, a filter on a verb
+    that cannot carry one, a key on a non-cell query.  Subclasses
+    :class:`InvalidQuery` so transports keep the HTTP 400 mapping;
+    carries the source position of the offending clause.
+
+    Attributes:
+        line: 1-based source line of the offending clause (0: none).
+        column: 1-based source column of the offending clause.
+    """
+
+    def __init__(
+        self, message: str, *, line: int = 0, column: int = 0
+    ) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
 
 
 class UnknownCube(X3Error):

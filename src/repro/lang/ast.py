@@ -1,0 +1,240 @@
+"""The typed X^3QL abstract syntax tree.
+
+Two statement families share one AST module:
+
+- :class:`X3Statement` — the paper's augmented FLWOR form (Query 1):
+  a ``doc()`` fact binding, per-variable grouping paths, the ``X^3 ...
+  by`` clause with per-axis permitted relaxations, and the aggregate
+  ``return``.  It compiles to a :class:`repro.core.query.X3Query`
+  cube *definition*.
+- :class:`NavStatement` — the navigation verbs over an already-served
+  cube (``ROLLUP`` / ``DRILLDOWN`` / ``SLICE`` / ``DICE`` / ``CELL``,
+  optionally wrapped in ``EXPLAIN``), with ``BY`` grouping levels,
+  ``WHERE`` filters, ``AT VERSION`` read fences, ``WITHIN`` deadlines
+  and ``MEASURE`` schema checks.  It compiles to a frozen
+  :class:`repro.core.query.Query` against the logical catalog.
+
+Every node is a frozen dataclass.  Source positions ride along on a
+``compare=False`` field so that two parses of the same *text* are equal
+regardless of surrounding whitespace — the property the pretty-print /
+re-parse round-trip (``parse(pretty(ast)) == ast``) is fuzzed on.
+``pretty()`` renders the canonical textual form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.lang.tokens import is_bare_name
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A 1-based source position (excluded from node equality)."""
+
+    line: int = 0
+    column: int = 0
+
+
+_NO_POS = Pos()
+
+
+def quote(value: str) -> str:
+    """Render a string literal (no escape sequences: pick whichever
+    quote the value does not contain)."""
+    if "'" not in value:
+        return f"'{value}'"
+    if '"' not in value:
+        return f'"{value}"'
+    raise ValueError(
+        f"value {value!r} contains both quote kinds and has no textual "
+        f"form in X^3QL"
+    )
+
+
+def _level_text(level: str) -> str:
+    return level if is_bare_name(level) else quote(level)
+
+
+def _number_text(value: float) -> str:
+    """A float literal the tokenizer can re-lex (never exponent form)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    text = repr(value)
+    if "e" in text or "E" in text:
+        text = f"{value:.15f}".rstrip("0")
+    return text
+
+
+# ======================================================================
+# the FLWOR X^3 statement
+# ======================================================================
+@dataclass(frozen=True)
+class PathExpr:
+    """A variable-rooted path (``$b/@id``; ``path`` empty for ``$b``)."""
+
+    var: str
+    path: str = ""
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        if not self.path:
+            return self.var
+        sep = "" if self.path.startswith("/") else "/"
+        return f"{self.var}{sep}{self.path}"
+
+
+@dataclass(frozen=True)
+class AxisBinding:
+    """One ``for`` binding: ``$n in $b/author/name`` (path relative to
+    the fact variable, leading ``//`` preserved)."""
+
+    var: str
+    source_var: str
+    path: str
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        sep = "" if self.path.startswith("/") else "/"
+        return f"{self.var} in {self.source_var}{sep}{self.path}"
+
+
+@dataclass(frozen=True)
+class AxisRelaxations:
+    """One ``by`` entry: ``$n (LND, SP, PC-AD)`` (names unvalidated
+    until compile time, stored uppercased)."""
+
+    var: str
+    relaxations: Tuple[str, ...]
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        return f"{self.var} ({', '.join(self.relaxations)})"
+
+
+@dataclass(frozen=True)
+class X3Statement:
+    """The augmented FLWOR form of the paper's Query 1."""
+
+    document: str
+    fact_tag: str
+    fact_var: str
+    bindings: Tuple[AxisBinding, ...]
+    measure: PathExpr
+    by: Tuple[AxisRelaxations, ...]
+    aggregate: str
+    aggregate_arg: Optional[PathExpr]
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        lines = [
+            f'for {self.fact_var} in doc({quote(self.document)})'
+            f"//{self.fact_tag},"
+        ]
+        for position, binding in enumerate(self.bindings):
+            comma = "," if position < len(self.bindings) - 1 else ""
+            lines.append(f"    {binding.pretty()}{comma}")
+        for position, entry in enumerate(self.by):
+            prefix = (
+                f"X^3 {self.measure.pretty()} by "
+                if position == 0
+                else "       "
+            )
+            comma = "," if position < len(self.by) - 1 else ""
+            lines.append(f"{prefix}{entry.pretty()}{comma}")
+        arg = self.aggregate_arg.pretty() if self.aggregate_arg else ""
+        lines.append(f"return {self.aggregate}({arg}).")
+        return "\n".join(lines)
+
+
+# ======================================================================
+# the navigation statement
+# ======================================================================
+#: The verbs, in grammar order.
+NAV_VERBS = ("ROLLUP", "DRILLDOWN", "SLICE", "DICE", "CELL")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``BY`` entry: ``nation:detail`` (dimension to level)."""
+
+    name: str
+    level: str
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        return f"{self.name}:{_level_text(self.level)}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One ``WHERE`` term: ``name IN ('a', 'b')`` or ``name = 'a'``
+    (the single-value form canonicalizes to ``=``)."""
+
+    name: str
+    values: Tuple[str, ...]
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        if len(self.values) == 1:
+            return f"{self.name} = {quote(self.values[0])}"
+        body = ", ".join(quote(value) for value in self.values)
+        return f"{self.name} IN ({body})"
+
+
+@dataclass(frozen=True)
+class NavStatement:
+    """One navigation query over a named cube."""
+
+    verb: str
+    cube: str
+    group_by: Tuple[Assignment, ...] = ()
+    axis: Optional[str] = None  #: ``ON`` operand (drilldown / slice)
+    value: Optional[str] = None  #: ``ON axis = value`` (slice)
+    key: Optional[Tuple[Optional[str], ...]] = None  #: ``KEY`` (cell)
+    where: Tuple[Predicate, ...] = ()
+    at_version: Optional[Tuple[int, ...]] = None
+    within_seconds: Optional[float] = None
+    measure: Optional[str] = None
+    explain: bool = False
+    pos: Pos = field(default=_NO_POS, compare=False)
+
+    def pretty(self) -> str:
+        parts = []
+        if self.explain:
+            parts.append("EXPLAIN")
+        parts.append(self.verb)
+        parts.append(self.cube)
+        if self.axis is not None:
+            parts.append(f"ON {self.axis}")
+            if self.value is not None:
+                parts.append(f"= {quote(self.value)}")
+        if self.key is not None:
+            body = ", ".join(
+                "NULL" if part is None else quote(part)
+                for part in self.key
+            )
+            parts.append(f"KEY ({body})")
+        if self.group_by:
+            body = ", ".join(item.pretty() for item in self.group_by)
+            parts.append(f"BY {body}")
+        if self.where:
+            body = " AND ".join(term.pretty() for term in self.where)
+            parts.append(f"WHERE {body}")
+        if self.at_version is not None:
+            body = ", ".join(str(part) for part in self.at_version)
+            parts.append(f"AT VERSION {body}")
+        if self.within_seconds is not None:
+            parts.append(f"WITHIN {_number_text(self.within_seconds)}s")
+        if self.measure is not None:
+            parts.append(f"MEASURE {self.measure}")
+        return " ".join(parts)
+
+
+Statement = Union[X3Statement, NavStatement]
+
+
+def pretty(statement: Statement) -> str:
+    """The canonical text of a statement (``parse(pretty(s)) == s``)."""
+    return statement.pretty()

@@ -1,0 +1,524 @@
+"""The X^3QL recursive-descent parser.
+
+Grammar (keywords case-insensitive, ``--`` comments, ``;`` separates
+statements)::
+
+    statement   := flwor | nav
+
+    flwor       := FOR docbind (',' axisbind)*
+                   x3op pathexpr BY byentry (',' byentry)*
+                   RETURN NAME '(' pathexpr? ')' '.'?
+    docbind     := VAR IN DOC '(' STRING ')' '//' NAME
+    axisbind    := VAR IN VAR steps
+    steps       := (('/' | '//') NAME)+
+    x3op        := 'X^3' | 'X3' | 'X~3' | 'X"3'
+    pathexpr    := VAR steps?
+    byentry     := VAR '(' (NAME (',' NAME)*)? ')'
+
+    nav         := EXPLAIN? verb NAME operand? clause*
+    verb        := ROLLUP | DRILLDOWN | SLICE | DICE | CELL
+    operand     := ON NAME ('=' STRING)?          -- drilldown / slice
+                 | KEY '(' keypart (',' keypart)* ')'     -- cell
+    keypart     := STRING | NULL
+    clause      := BY assign (',' assign)*        -- each at most once
+                 | WHERE pred (AND pred)*
+                 | AT VERSION INT (',' INT)*
+                 | WITHIN NUMBER unit?
+                 | MEASURE NAME
+    assign      := NAME (':' | '=') (NAME | STRING)
+    pred        := NAME '=' STRING
+                 | NAME IN '(' STRING (',' STRING)* ')'
+    unit        := s | sec | secs | seconds | ms | millis | milliseconds
+
+Every syntax error is a :class:`~repro.errors.QueryParseError` carrying
+the 1-based source position of the offending token; running out of
+input mid-statement sets its ``incomplete`` flag, which the REPL uses
+to keep reading continuation lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, NoReturn, Optional, Tuple
+
+from repro.errors import QueryParseError
+from repro.lang.ast import (
+    Assignment,
+    AxisBinding,
+    AxisRelaxations,
+    NAV_VERBS,
+    NavStatement,
+    PathExpr,
+    Pos,
+    Predicate,
+    Statement,
+    X3Statement,
+)
+from repro.lang.tokens import Token, TokenKind, tokenize
+
+#: ``WITHIN`` units, as a factor over seconds.
+_UNITS = {
+    "s": 1.0,
+    "sec": 1.0,
+    "secs": 1.0,
+    "second": 1.0,
+    "seconds": 1.0,
+    "ms": 1e-3,
+    "millis": 1e-3,
+    "millisecond": 1e-3,
+    "milliseconds": 1e-3,
+}
+
+_CLAUSE_KEYWORDS = ("BY", "WHERE", "AT", "WITHIN", "MEASURE")
+
+
+class Parser:
+    """One pass over a token list (see module docstring for grammar)."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind in (TokenKind.EOF, TokenKind.SEMI)
+
+    def fail(self, message: str, token: Optional[Token] = None) -> NoReturn:
+        token = token if token is not None else self.peek()
+        raise QueryParseError(
+            message,
+            line=token.line,
+            column=token.column,
+            incomplete=token.kind is TokenKind.EOF,
+        )
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            self.fail(
+                f"expected {what or kind.value}, found {token.describe()}"
+            )
+        return self.advance()
+
+    def is_keyword(self, word: str, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return (
+            token.kind is TokenKind.NAME
+            and token.text.upper() == word.upper()
+        )
+
+    def take_keyword(self, word: str) -> bool:
+        if self.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not self.is_keyword(word):
+            self.fail(f"expected '{word}', found {token.describe()}")
+        return self.advance()
+
+    def name(self, what: str) -> Token:
+        return self.expect(TokenKind.NAME, what)
+
+    @staticmethod
+    def pos_of(token: Token) -> Pos:
+        return Pos(token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def statement(self) -> Statement:
+        token = self.peek()
+        if token.kind is TokenKind.EOF:
+            self.fail("empty statement")
+        if self.is_keyword("FOR"):
+            return self.flwor()
+        if self.is_keyword("EXPLAIN") or any(
+            self.is_keyword(verb) for verb in NAV_VERBS
+        ):
+            return self.nav()
+        self.fail(
+            f"expected 'for' or a navigation verb "
+            f"{'/'.join(NAV_VERBS)} or EXPLAIN, found {token.describe()}"
+        )
+
+    # ------------------------------------------------------------------
+    # the FLWOR X^3 statement
+    # ------------------------------------------------------------------
+    def flwor(self) -> X3Statement:
+        start = self.expect_keyword("FOR")
+        fact_var, document, fact_tag = self.doc_binding()
+        bindings: List[AxisBinding] = []
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            bindings.append(self.axis_binding())
+        self.x3_operator()
+        measure = self.path_expr()
+        self.expect_keyword("BY")
+        by: List[AxisRelaxations] = [self.by_entry()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            by.append(self.by_entry())
+        self.expect_keyword("RETURN")
+        aggregate = self.name("an aggregate function name")
+        self.expect(TokenKind.LPAREN, "'('")
+        arg: Optional[PathExpr] = None
+        if self.peek().kind is TokenKind.VAR:
+            arg = self.path_expr()
+        self.expect(TokenKind.RPAREN, "')'")
+        if self.peek().kind is TokenKind.DOT:
+            self.advance()
+        return X3Statement(
+            document=document,
+            fact_tag=fact_tag,
+            fact_var=fact_var,
+            bindings=tuple(bindings),
+            measure=measure,
+            by=tuple(by),
+            aggregate=aggregate.text.upper(),
+            aggregate_arg=arg,
+            pos=self.pos_of(start),
+        )
+
+    def doc_binding(self) -> Tuple[str, str, str]:
+        """``$b in doc("book.xml")//publication`` (must come first)."""
+        var = self.expect(TokenKind.VAR, "the fact variable")
+        self.expect_keyword("IN")
+        if not self.is_keyword("DOC"):
+            self.fail(
+                'the first binding must be: $var in doc("...")//tag'
+            )
+        self.advance()
+        self.expect(TokenKind.LPAREN, "'('")
+        document = self.expect(TokenKind.STRING, "a document name")
+        self.expect(TokenKind.RPAREN, "')'")
+        self.expect(TokenKind.DSLASH, "'//'")
+        tag = self.name("the fact tag")
+        return var.text, str(document.value), tag.text
+
+    def axis_binding(self) -> AxisBinding:
+        var = self.expect(TokenKind.VAR, "an axis variable")
+        self.expect_keyword("IN")
+        source = self.expect(TokenKind.VAR, "the fact variable")
+        path = self.steps(required=True)
+        return AxisBinding(
+            var=var.text,
+            source_var=source.text,
+            path=path,
+            pos=self.pos_of(var),
+        )
+
+    def steps(self, required: bool) -> str:
+        """Re-assemble ``(/|//) name`` steps into relative path text
+        (leading single ``/`` dropped: the path is fact-relative)."""
+        parts: List[str] = []
+        while self.peek().kind in (TokenKind.SLASH, TokenKind.DSLASH):
+            axis = self.advance()
+            name = self.name("a step name")
+            if axis.kind is TokenKind.DSLASH:
+                parts.append(f"//{name.text}")
+            elif parts:
+                parts.append(f"/{name.text}")
+            else:
+                parts.append(name.text)
+        if required and not parts:
+            self.fail(
+                f"expected a path step ('/name' or '//name'), found "
+                f"{self.peek().describe()}"
+            )
+        return "".join(parts)
+
+    def x3_operator(self) -> None:
+        token = self.peek()
+        if token.kind is TokenKind.X3OP or self.is_keyword("X3"):
+            self.advance()
+            return
+        self.fail(
+            f"expected the X^3 operator, found {token.describe()}"
+        )
+
+    def path_expr(self) -> PathExpr:
+        var = self.expect(TokenKind.VAR, "a variable")
+        path = self.steps(required=False)
+        return PathExpr(var=var.text, path=path, pos=self.pos_of(var))
+
+    def by_entry(self) -> AxisRelaxations:
+        var = self.expect(TokenKind.VAR, "a grouping variable")
+        self.expect(TokenKind.LPAREN, "'('")
+        names: List[str] = []
+        if self.peek().kind is not TokenKind.RPAREN:
+            names.append(
+                self.name("a relaxation name").text.upper()
+            )
+            while self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                names.append(
+                    self.name("a relaxation name").text.upper()
+                )
+        self.expect(TokenKind.RPAREN, "')'")
+        return AxisRelaxations(
+            var=var.text,
+            relaxations=tuple(names),
+            pos=self.pos_of(var),
+        )
+
+    # ------------------------------------------------------------------
+    # the navigation statement
+    # ------------------------------------------------------------------
+    def nav(self) -> NavStatement:
+        start = self.peek()
+        explain = self.take_keyword("EXPLAIN")
+        verb_token = self.peek()
+        verb = next(
+            (word for word in NAV_VERBS if self.is_keyword(word)), None
+        )
+        if verb is None:
+            self.fail(
+                f"expected a navigation verb {'/'.join(NAV_VERBS)}, "
+                f"found {verb_token.describe()}"
+            )
+        self.advance()
+        cube = self.name("a cube name")
+
+        axis: Optional[str] = None
+        value: Optional[str] = None
+        key: Optional[Tuple[Optional[str], ...]] = None
+        if verb in ("DRILLDOWN", "SLICE"):
+            self.expect_keyword("ON")
+            axis = self.name("a dimension name").text
+            if verb == "SLICE":
+                self.expect(TokenKind.EQ, "'='")
+                value = str(
+                    self.expect(TokenKind.STRING, "a value string").value
+                )
+        elif verb == "CELL":
+            self.expect_keyword("KEY")
+            key = self.key_tuple()
+
+        group_by: Tuple[Assignment, ...] = ()
+        where: Tuple[Predicate, ...] = ()
+        at_version: Optional[Tuple[int, ...]] = None
+        within: Optional[float] = None
+        measure: Optional[str] = None
+        seen: List[str] = []
+        while not self.at_end():
+            token = self.peek()
+            keyword = next(
+                (
+                    word
+                    for word in _CLAUSE_KEYWORDS
+                    if self.is_keyword(word)
+                ),
+                None,
+            )
+            if keyword is None:
+                self.fail(
+                    f"expected a clause ({', '.join(_CLAUSE_KEYWORDS)}) "
+                    f"or end of statement, found {token.describe()}"
+                )
+            if keyword in seen:
+                self.fail(f"duplicate {keyword} clause", token)
+            seen.append(keyword)
+            self.advance()
+            if keyword == "BY":
+                group_by = self.assignments()
+            elif keyword == "WHERE":
+                where = self.predicates()
+            elif keyword == "AT":
+                self.expect_keyword("VERSION")
+                at_version = self.int_list()
+            elif keyword == "WITHIN":
+                within = self.duration()
+            else:  # MEASURE
+                measure = self.name("an aggregate name").text.upper()
+        return NavStatement(
+            verb=verb,
+            cube=cube.text,
+            group_by=group_by,
+            axis=axis,
+            value=value,
+            key=key,
+            where=where,
+            at_version=at_version,
+            within_seconds=within,
+            measure=measure,
+            explain=explain,
+            pos=self.pos_of(start),
+        )
+
+    def key_tuple(self) -> Tuple[Optional[str], ...]:
+        self.expect(TokenKind.LPAREN, "'('")
+        parts: List[Optional[str]] = [self.key_part()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            parts.append(self.key_part())
+        self.expect(TokenKind.RPAREN, "')'")
+        return tuple(parts)
+
+    def key_part(self) -> Optional[str]:
+        token = self.peek()
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return str(token.value)
+        if self.is_keyword("NULL"):
+            self.advance()
+            return None
+        self.fail(
+            f"expected a quoted key value or NULL, found "
+            f"{token.describe()}"
+        )
+
+    def assignments(self) -> Tuple[Assignment, ...]:
+        out = [self.assignment()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            out.append(self.assignment())
+        return tuple(out)
+
+    def assignment(self) -> Assignment:
+        name = self.name("a dimension name")
+        if self.peek().kind not in (TokenKind.COLON, TokenKind.EQ):
+            self.fail(
+                f"expected ':' after dimension {name.text!r}, found "
+                f"{self.peek().describe()}"
+            )
+        self.advance()
+        token = self.peek()
+        if token.kind is TokenKind.NAME:
+            self.advance()
+            level = token.text
+        elif token.kind is TokenKind.STRING:
+            self.advance()
+            level = str(token.value)
+        else:
+            self.fail(
+                f"expected a level name for dimension {name.text!r}, "
+                f"found {token.describe()}"
+            )
+        return Assignment(
+            name=name.text, level=level, pos=self.pos_of(name)
+        )
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        out = [self.predicate()]
+        while self.take_keyword("AND"):
+            out.append(self.predicate())
+        return tuple(out)
+
+    def predicate(self) -> Predicate:
+        name = self.name("a dimension name")
+        if self.peek().kind is TokenKind.EQ:
+            self.advance()
+            token = self.expect(TokenKind.STRING, "a value string")
+            return Predicate(
+                name=name.text,
+                values=(str(token.value),),
+                pos=self.pos_of(name),
+            )
+        if self.take_keyword("IN"):
+            self.expect(TokenKind.LPAREN, "'('")
+            values = [
+                str(self.expect(TokenKind.STRING, "a value string").value)
+            ]
+            while self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                values.append(
+                    str(
+                        self.expect(
+                            TokenKind.STRING, "a value string"
+                        ).value
+                    )
+                )
+            self.expect(TokenKind.RPAREN, "')'")
+            return Predicate(
+                name=name.text,
+                values=tuple(values),
+                pos=self.pos_of(name),
+            )
+        self.fail(
+            f"expected '=' or IN after dimension {name.text!r}, found "
+            f"{self.peek().describe()}"
+        )
+
+    def int_list(self) -> Tuple[int, ...]:
+        out = [self.integer()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            out.append(self.integer())
+        return tuple(out)
+
+    def integer(self) -> int:
+        token = self.expect(TokenKind.NUMBER, "an integer")
+        value = float(token.value)
+        if value != int(value):
+            self.fail(
+                f"expected an integer, found {token.text!r}", token
+            )
+        return int(value)
+
+    def duration(self) -> float:
+        token = self.expect(TokenKind.NUMBER, "a duration")
+        value = float(token.value)
+        if self.peek().kind is TokenKind.NAME:
+            unit = self.peek()
+            factor = _UNITS.get(unit.text.lower())
+            if factor is not None:
+                self.advance()
+                value *= factor
+            elif unit.text.upper() not in _CLAUSE_KEYWORDS:
+                self.fail(
+                    f"unknown duration unit {unit.text!r} (use s or ms)",
+                    unit,
+                )
+        return value
+
+
+# ----------------------------------------------------------------------
+# module-level entry points
+# ----------------------------------------------------------------------
+def parse_statement(text: str) -> Statement:
+    """Parse exactly one statement (trailing ``;`` allowed).
+
+    Raises :class:`~repro.errors.QueryParseError` — and nothing else —
+    on any malformed input.
+    """
+    parser = Parser(tokenize(text))
+    statement = parser.statement()
+    while parser.peek().kind is TokenKind.SEMI:
+        parser.advance()
+    if parser.peek().kind is not TokenKind.EOF:
+        parser.fail(
+            f"unexpected {parser.peek().describe()} after the statement "
+            f"(separate statements with ';')"
+        )
+    return statement
+
+
+def parse_statements(text: str) -> List[Statement]:
+    """Parse a ``;``-separated script into its statements."""
+    parser = Parser(tokenize(text))
+    out: List[Statement] = []
+    while True:
+        while parser.peek().kind is TokenKind.SEMI:
+            parser.advance()
+        if parser.peek().kind is TokenKind.EOF:
+            return out
+        out.append(parser.statement())
+        if parser.peek().kind not in (TokenKind.SEMI, TokenKind.EOF):
+            parser.fail(
+                f"unexpected {parser.peek().describe()} after a "
+                f"statement (separate statements with ';')"
+            )

@@ -1,0 +1,286 @@
+"""The X^3QL tokenizer: hand-written, position-carrying.
+
+Every token records the 1-based ``(line, column)`` where it begins, so
+both the parser and the compiler can raise
+:class:`~repro.errors.QueryParseError` pointing at the exact source
+character.  The lexical vocabulary is shared by the two statement
+families of the language — the paper's augmented FLWOR ``X^3`` clause
+and the navigation verbs (``ROLLUP`` / ``DRILLDOWN`` / ``SLICE`` /
+``DICE`` / ``CELL`` / ``EXPLAIN``):
+
+- **names** start with a letter, ``_`` or ``@`` and may contain
+  letters, digits, ``_``, ``+`` and ``-`` (so the lattice state labels
+  ``PC-AD`` and ``SP+PC-AD`` lex as single names); a ``.`` is accepted
+  mid-name only when a name character follows, which keeps the FLWOR
+  terminator ``return COUNT($b).`` unambiguous;
+- **variables** are ``$`` followed by a simple identifier (``$n``);
+- **strings** use ``'`` or ``"`` with no escape sequences (a value
+  containing both quote kinds is not representable — the domain is XML
+  tag names and grouping values, which never need it);
+- **numbers** are ``digits[.digits]`` (deadlines, version vectors);
+- the ``X^3`` operator glyph also lexes from its OCR variants ``X~3``
+  and ``X"3`` (plain ``X3`` is an ordinary name the parser accepts in
+  operator position);
+- ``--`` starts a comment running to end of line.
+
+Keywords are *contextual*: the tokenizer emits plain NAME tokens and
+the parser matches them case-insensitively, so a dimension named
+``cell`` stays usable anywhere the grammar expects a bare name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Tuple, Union
+
+from repro.errors import QueryParseError
+
+
+class TokenKind(Enum):
+    """Lexical classes of X^3QL."""
+
+    NAME = "name"
+    VAR = "variable"
+    STRING = "string"
+    NUMBER = "number"
+    X3OP = "X^3"
+    SLASH = "/"
+    DSLASH = "//"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    SEMI = ";"
+    DOT = "."
+    EQ = "="
+    EOF = "end of input"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position.
+
+    ``value`` is the normalized payload: the name text for NAME/VAR,
+    the unquoted body for STRING, the float for NUMBER, and the token
+    text otherwise.
+    """
+
+    kind: TokenKind
+    text: str
+    value: Union[str, float]
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "end of input"
+        return f"{self.kind.value} {self.text!r}"
+
+
+_NAME_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_@"
+)
+_NAME_CONT = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_+-"
+)
+_VAR_CONT = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+_DIGITS = frozenset("0123456789")
+
+#: Single-character tokens (``/`` and ``-`` handled separately).
+_PUNCT = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    "=": TokenKind.EQ,
+}
+
+
+def is_bare_name(text: str) -> bool:
+    """Would ``text`` lex back as one NAME token (the pretty-printer's
+    bare-vs-quoted decision)?"""
+    if not text or text[0] not in _NAME_START:
+        return False
+    if text.startswith("--"):
+        return False
+    for position, char in enumerate(text[1:], start=1):
+        if char in _NAME_CONT:
+            continue
+        if (
+            char == "."
+            and position + 1 < len(text)
+            and text[position + 1] in _NAME_CONT
+        ):
+            continue
+        return False
+    # A name whose tail would open a comment does not survive a round
+    # trip (``a--b`` lexes as ``a`` + comment).
+    return "--" not in text
+
+
+class Tokenizer:
+    """Lexes one source text into a token list (see module docstring)."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def _fail(self, message: str, line: int, column: int) -> "QueryParseError":
+        return QueryParseError(message, line=line, column=column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    # ------------------------------------------------------------------
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                out.append(
+                    Token(TokenKind.EOF, "", "", self.line, self.column)
+                )
+                return out
+            out.append(self._next_token())
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+        # The X^3 operator glyph and its OCR variants.
+        if char in "Xx" and self._peek(1) in '^~"' and self._peek(2) == "3":
+            text = self.text[self.pos : self.pos + 3]
+            self._advance(3)
+            return Token(TokenKind.X3OP, text, "X^3", line, column)
+        if char == "/":
+            if self._peek(1) == "/":
+                self._advance(2)
+                return Token(TokenKind.DSLASH, "//", "//", line, column)
+            self._advance()
+            return Token(TokenKind.SLASH, "/", "/", line, column)
+        if char in _PUNCT:
+            self._advance()
+            return Token(_PUNCT[char], char, char, line, column)
+        if char in "'\"":
+            return self._string(line, column)
+        if char in _DIGITS:
+            return self._number(line, column)
+        if char == ".":
+            self._advance()
+            return Token(TokenKind.DOT, ".", ".", line, column)
+        if char == "$":
+            return self._variable(line, column)
+        if char in _NAME_START:
+            return self._name(line, column)
+        raise self._fail(f"unexpected character {char!r}", line, column)
+
+    # ------------------------------------------------------------------
+    def _string(self, line: int, column: int) -> Token:
+        quote = self._peek()
+        self._advance()
+        begin = self.pos
+        while self.pos < len(self.text) and self._peek() != quote:
+            self._advance()
+        if self.pos >= len(self.text):
+            raise QueryParseError(
+                "unterminated string literal",
+                line=line,
+                column=column,
+                incomplete=True,
+            )
+        body = self.text[begin : self.pos]
+        self._advance()
+        return Token(
+            TokenKind.STRING, quote + body + quote, body, line, column
+        )
+
+    def _number(self, line: int, column: int) -> Token:
+        begin = self.pos
+        while self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            self._advance()
+            while self._peek() in _DIGITS:
+                self._advance()
+        text = self.text[begin : self.pos]
+        return Token(TokenKind.NUMBER, text, float(text), line, column)
+
+    def _variable(self, line: int, column: int) -> Token:
+        begin = self.pos
+        self._advance()  # the '$'
+        while self._peek() in _VAR_CONT:
+            self._advance()
+        text = self.text[begin : self.pos]
+        if len(text) == 1:
+            raise self._fail("'$' must start a variable name", line, column)
+        return Token(TokenKind.VAR, text, text, line, column)
+
+    def _name(self, line: int, column: int) -> Token:
+        begin = self.pos
+        self._advance()
+        while True:
+            char = self._peek()
+            if char in _NAME_CONT:
+                # '--' opens a comment even mid-name.
+                if char == "-" and self._peek(1) == "-":
+                    break
+                self._advance()
+            elif char == "." and self._peek(1) in _NAME_CONT:
+                self._advance()
+            else:
+                break
+        text = self.text[begin : self.pos]
+        return Token(TokenKind.NAME, text, text, line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens ending with EOF.
+
+    Raises :class:`~repro.errors.QueryParseError` (only) on lexically
+    invalid input, with the position of the offending character.
+    """
+    if not isinstance(text, str):
+        raise QueryParseError(
+            f"query text must be a string, got {type(text).__name__}"
+        )
+    return Tokenizer(text).tokens()
+
+
+def statement_spans(tokens: List[Token]) -> List[Tuple[int, int]]:
+    """Split a token list into per-statement ``[begin, end)`` spans on
+    top-level semicolons (empty statements are dropped)."""
+    spans: List[Tuple[int, int]] = []
+    begin = 0
+    for index, token in enumerate(tokens):
+        if token.kind is TokenKind.SEMI or token.kind is TokenKind.EOF:
+            if index > begin:
+                spans.append((begin, index))
+            begin = index + 1
+    return spans

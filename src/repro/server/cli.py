@@ -126,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
         "none registered the server is open (anonymous tenant)",
     )
     parser.add_argument(
+        "--lang",
+        metavar="STMT",
+        help="boot, POST the X^3QL statement to /api/v1/query over "
+        "the live socket, print the round-trip and exit (smoke mode)",
+    )
+    parser.add_argument(
         "--serve-forever",
         action="store_true",
         help="serve in the foreground instead of running the load "
@@ -236,6 +242,40 @@ def build_trace_store(
     )
 
 
+def run_lang_smoke(
+    front: X3HttpServer, args: argparse.Namespace
+) -> int:
+    """POST ``--lang`` X^3QL text at the live socket and print the
+    round-trip: the end-to-end smoke CI runs against the text front
+    door (real HTTP, not the in-process API core)."""
+    import json
+    from urllib.error import HTTPError
+    from urllib.request import Request, urlopen
+
+    url = f"http://{front.host}:{front.port}/api/v1/query"
+    request = Request(
+        url,
+        data=args.lang.encode("utf-8"),
+        headers={"Content-Type": "text/plain"},
+        method="POST",
+    )
+    token = next(iter(args.auth_token or []), None)
+    if token:
+        request.add_header(
+            "Authorization", f"Bearer {token.partition('=')[0]}"
+        )
+    try:
+        with urlopen(request, timeout=30.0) as reply:
+            payload = json.loads(reply.read().decode("utf-8"))
+            status = reply.status
+    except HTTPError as error:
+        payload = json.loads(error.read().decode("utf-8"))
+        status = error.code
+    print(f"lang: POST {url} -> {status}")
+    print(json.dumps(payload, indent=1))
+    return 0 if status == 200 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -277,6 +317,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({args.backend} backend, cube {args.cube_name!r}, "
             f"{len(table)} facts, {table.lattice.size()} cuboids)"
         )
+        if args.lang:
+            front.start()
+            try:
+                return run_lang_smoke(front, args)
+            finally:
+                front.close()
         if args.serve_forever:
             try:
                 front.serve_forever()

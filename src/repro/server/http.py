@@ -49,6 +49,7 @@ from repro.core.query import Query
 from repro.errors import (
     InvalidQuery,
     Overloaded,
+    QueryParseError,
     StaleVersion,
     UnknownCube,
     X3Error,
@@ -316,6 +317,20 @@ class X3Api:
                     ),
                 ),
             )
+        except QueryParseError as error:
+            # X^3QL syntax errors: still a caller mistake (400), but a
+            # distinct kind carrying the source position for editors.
+            response = ApiResponse.json(
+                400,
+                {
+                    "error": {
+                        "kind": "parse_error",
+                        "message": str(error),
+                        "line": error.line,
+                        "column": error.column,
+                    }
+                },
+            )
         except InvalidQuery as error:
             response = ApiResponse.error(400, "invalid_query", str(error))
         except UnknownCube as error:
@@ -359,6 +374,11 @@ class X3Api:
                 return "trace", self._method_not_allowed(method)
             trace_id = path[len(API_PREFIX + "/traces/"):]
             return "trace", self._traces(trace_id)
+        if path == API_PREFIX + "/query":
+            if method != "POST":
+                return "query", self._method_not_allowed(method)
+            with self.admission.admit():
+                return "query", self._lang_query(body, tenant)
         if path == API_PREFIX + "/cubes":
             if method != "GET":
                 return "cubes", self._method_not_allowed(method)
@@ -469,6 +489,105 @@ class X3Api:
                 for dim, values in filters.items()
             }
         return Query.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    # the X^3QL text endpoint
+    # ------------------------------------------------------------------
+    def _lang_query(
+        self, body: Optional[bytes], tenant: str
+    ) -> ApiResponse:
+        """``POST /api/v1/query``: one X^3QL statement as raw text (or
+        JSON ``{"query": "..."}``), compiled against the catalog and
+        answered by the cube's own backend.
+
+        The response is the ordinary :class:`QueryResult` wire form
+        plus the resolved ``cube`` and compiled ``query``, with the
+        deterministic parse+compile cost folded into
+        ``modeled_seconds`` (broken out as ``lang_modeled_seconds``).
+        """
+        # Imported lazily: repro.lang.compiler resolves names through
+        # repro.server.model, so a module-level import would cycle
+        # through this package's __init__.
+        from repro.lang.compiler import CompiledDefinition, compile_text
+
+        text = self._lang_text(body)
+        compiled = compile_text(text, self.catalog)
+        if isinstance(compiled, CompiledDefinition):
+            # The FLWOR form defines a cube rather than querying one:
+            # answer with the definition, not a cuboid.
+            spec = compiled.spec
+            return ApiResponse.json(
+                200,
+                {
+                    "kind": "definition",
+                    "fact_tag": spec.fact_tag,
+                    "document": spec.document,
+                    "axes": [axis.name for axis in spec.axes],
+                    "lattice_points": spec.lattice().size(),
+                    "flwor": spec.to_flwor(),
+                    "lang_modeled_seconds": compiled.modeled_seconds,
+                },
+            )
+        bound = self.catalog.get(compiled.cube)
+        self.registry.counter(
+            "x3_http_lang_statements_total",
+            verb=compiled.statement.verb,
+        ).inc()
+        if compiled.explain:
+            explanation = bound.backend.explain_query(compiled.query)
+            payload = explanation.to_dict()
+        else:
+            result = bound.backend.query(compiled.query)
+            self.registry.counter(
+                "x3_http_tenant_requests_total",
+                tenant=tenant,
+                cube=compiled.cube,
+            ).inc()
+            self.registry.histogram(
+                "x3_http_query_modeled_seconds",
+                buckets=SERVE_LATENCY_BUCKETS,
+                kind=result.kind,
+            ).observe(result.modeled_seconds + compiled.modeled_seconds)
+            payload = result.to_dict()
+            payload["modeled_seconds"] = (
+                result.modeled_seconds + compiled.modeled_seconds
+            )
+        payload["cube"] = compiled.cube
+        payload["query"] = compiled.query.to_dict()
+        payload["lang_modeled_seconds"] = compiled.modeled_seconds
+        return ApiResponse.json(200, payload)
+
+    @staticmethod
+    def _lang_text(body: Optional[bytes]) -> str:
+        """The request body to statement text: raw X^3QL, a JSON
+        string, or a JSON object with a ``query`` field."""
+        if not body:
+            raise InvalidQuery(
+                "POST /api/v1/query needs a body holding the "
+                "statement text"
+            )
+        try:
+            text = body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise QueryParseError(
+                f"request body is not UTF-8: {error}"
+            ) from None
+        if text.lstrip()[:1] in ('{', '"'):
+            try:
+                decoded = json.loads(text)
+            except json.JSONDecodeError:
+                return text  # raw X^3QL, not JSON after all
+            if isinstance(decoded, str):
+                return decoded
+            if isinstance(decoded, dict):
+                query = decoded.get("query")
+                if isinstance(query, str):
+                    return query
+                raise InvalidQuery(
+                    "JSON body must carry the statement text in a "
+                    "'query' string field"
+                )
+        return text
 
     # ------------------------------------------------------------------
     # health

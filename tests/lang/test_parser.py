@@ -1,0 +1,273 @@
+"""Unit tests for the X^3QL recursive-descent parser."""
+
+import pytest
+
+from repro.datagen.publications import QUERY1_TEXT
+from repro.errors import QueryParseError
+from repro.lang.ast import (
+    Assignment,
+    AxisBinding,
+    NavStatement,
+    PathExpr,
+    Predicate,
+    X3Statement,
+    pretty,
+)
+from repro.lang.parser import parse_statement, parse_statements
+
+
+class TestFlwor:
+    def test_query1(self):
+        statement = parse_statement(QUERY1_TEXT)
+        assert isinstance(statement, X3Statement)
+        assert statement.document == "book.xml"
+        assert statement.fact_tag == "publication"
+        assert statement.fact_var == "$b"
+        assert [b.var for b in statement.bindings] == ["$n", "$p", "$y"]
+        assert statement.bindings[0] == AxisBinding(
+            "$n", "$b", "author/name"
+        )
+        assert statement.measure == PathExpr("$b", "@id")
+        assert statement.by[0].var == "$n"
+        assert statement.aggregate == "COUNT"
+        assert statement.aggregate_arg == PathExpr("$b", "")
+
+    def test_relaxations_uppercased(self):
+        text = (
+            'for $b in doc("d.xml")//f, $n in $b/a '
+            "X^3 $b/@id by $n (lnd, sp, pc-ad) return COUNT()."
+        )
+        statement = parse_statement(text)
+        assert statement.by[0].relaxations == ("LND", "SP", "PC-AD")
+
+    def test_descendant_step_preserved(self):
+        text = (
+            'for $b in doc("d.xml")//f, $n in $b//a/b '
+            "X^3 $b by $n (LND) return COUNT()."
+        )
+        statement = parse_statement(text)
+        assert statement.bindings[0].path == "//a/b"
+        assert statement.measure.path == ""
+
+    def test_aggregate_argument(self):
+        text = (
+            'for $b in doc("d.xml")//f, $n in $b/a '
+            "X^3 $b/@id by $n (LND) return SUM($b/price)."
+        )
+        statement = parse_statement(text)
+        assert statement.aggregate == "SUM"
+        assert statement.aggregate_arg == PathExpr("$b", "price")
+
+    def test_trailing_dot_optional(self):
+        base = (
+            'for $b in doc("d.xml")//f, $n in $b/a '
+            "X^3 $b by $n (LND) return COUNT()"
+        )
+        assert parse_statement(base) == parse_statement(base + ".")
+
+    def test_first_binding_must_be_doc(self):
+        with pytest.raises(QueryParseError, match="doc"):
+            parse_statement(
+                "for $b in $x/f X^3 $b by $b (LND) return COUNT()."
+            )
+
+    def test_unfinished_flwor_is_incomplete(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_statement('for $b in doc("d.xml")//f, $n in $b/a')
+        assert excinfo.value.incomplete
+
+    def test_x3_operator_spellings(self):
+        tail = " $b by $n (LND) return COUNT()."
+        head = 'for $b in doc("d.xml")//f, $n in $b/a '
+        reference = parse_statement(head + "X^3" + tail)
+        for glyph in ("X~3", 'X"3', "X3", "x3"):
+            assert parse_statement(head + glyph + tail) == reference
+
+
+class TestNav:
+    def test_rollup(self):
+        statement = parse_statement("ROLLUP pubs BY n:detail, y:all")
+        assert statement == NavStatement(
+            verb="ROLLUP",
+            cube="pubs",
+            group_by=(
+                Assignment("n", "detail"),
+                Assignment("y", "all"),
+            ),
+        )
+
+    def test_keywords_case_insensitive(self):
+        lowered = parse_statement("rollup pubs by n:detail")
+        assert lowered.verb == "ROLLUP"
+        assert lowered == parse_statement("ROLLUP pubs BY n:detail")
+
+    def test_drilldown(self):
+        statement = parse_statement("DRILLDOWN pubs ON n BY y:detail")
+        assert statement.verb == "DRILLDOWN"
+        assert statement.axis == "n"
+
+    def test_slice(self):
+        statement = parse_statement("SLICE pubs ON y = '2003'")
+        assert statement.axis == "y"
+        assert statement.value == "2003"
+
+    def test_dice(self):
+        statement = parse_statement(
+            "DICE pubs WHERE y IN ('2003', '2004') AND n = 'John'"
+        )
+        assert statement.where == (
+            Predicate("y", ("2003", "2004")),
+            Predicate("n", ("John",)),
+        )
+
+    def test_cell_with_null_key(self):
+        statement = parse_statement("CELL pubs KEY ('John', NULL)")
+        assert statement.key == ("John", None)
+
+    def test_explain_prefix(self):
+        statement = parse_statement("EXPLAIN ROLLUP pubs BY n:detail")
+        assert statement.explain
+        assert statement.verb == "ROLLUP"
+
+    def test_at_version_vector(self):
+        statement = parse_statement("ROLLUP pubs AT VERSION 3, 1, 4")
+        assert statement.at_version == (3, 1, 4)
+
+    def test_within_units(self):
+        assert (
+            parse_statement("ROLLUP pubs WITHIN 50ms").within_seconds
+            == 0.05
+        )
+        assert (
+            parse_statement("ROLLUP pubs WITHIN 2s").within_seconds
+            == 2.0
+        )
+        # No unit means seconds.
+        assert (
+            parse_statement("ROLLUP pubs WITHIN 0.5").within_seconds
+            == 0.5
+        )
+
+    def test_within_unknown_unit(self):
+        with pytest.raises(QueryParseError, match="duration unit"):
+            parse_statement("ROLLUP pubs WITHIN 5 fortnights")
+
+    def test_unitless_within_then_clause(self):
+        statement = parse_statement(
+            "ROLLUP pubs WITHIN 0.5 MEASURE count"
+        )
+        assert statement.within_seconds == 0.5
+        assert statement.measure == "COUNT"
+
+    def test_measure_uppercased(self):
+        assert (
+            parse_statement("ROLLUP pubs MEASURE count").measure
+            == "COUNT"
+        )
+
+    def test_quoted_level(self):
+        statement = parse_statement("ROLLUP pubs BY y:'SP+PC-AD'")
+        assert statement.group_by == (Assignment("y", "SP+PC-AD"),)
+
+    def test_assignment_accepts_equals(self):
+        assert parse_statement(
+            "ROLLUP pubs BY n = detail"
+        ) == parse_statement("ROLLUP pubs BY n:detail")
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(QueryParseError, match="duplicate BY"):
+            parse_statement("ROLLUP pubs BY n:detail BY y:detail")
+
+    def test_version_must_be_integer(self):
+        with pytest.raises(QueryParseError, match="integer"):
+            parse_statement("ROLLUP pubs AT VERSION 1.5")
+
+    def test_slice_requires_value(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_statement("SLICE pubs ON y")
+        assert excinfo.value.incomplete
+
+    def test_cell_requires_key(self):
+        with pytest.raises(QueryParseError, match="KEY"):
+            parse_statement("CELL pubs BY n:detail")
+
+
+class TestErrors:
+    def test_empty_statement(self):
+        with pytest.raises(QueryParseError, match="empty"):
+            parse_statement("   -- just a comment")
+
+    def test_unknown_verb_names_the_alternatives(self):
+        with pytest.raises(QueryParseError, match="ROLLUP"):
+            parse_statement("FROBNICATE pubs")
+
+    def test_error_carries_position(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_statement("ROLLUP pubs BY :detail")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 16
+        assert "line 1" in str(excinfo.value)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError, match="after the statement"):
+            parse_statement("ROLLUP pubs BY n:detail; extra")
+
+    def test_garbage_clause(self):
+        with pytest.raises(QueryParseError, match="expected a clause"):
+            parse_statement("ROLLUP pubs BY n:detail ROLLUP")
+
+    def test_complete_statement_is_not_incomplete(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            parse_statement("ROLLUP pubs nonsense here")
+        assert not excinfo.value.incomplete
+
+
+class TestScripts:
+    def test_semicolon_separated(self):
+        statements = parse_statements(
+            "ROLLUP pubs; SLICE pubs ON y = '2003';"
+        )
+        assert [s.verb for s in statements] == ["ROLLUP", "SLICE"]
+
+    def test_empty_script(self):
+        assert parse_statements(" ; ; -- nothing") == []
+
+    def test_trailing_semicolon_on_single(self):
+        statement = parse_statement("ROLLUP pubs;")
+        assert statement.verb == "ROLLUP"
+
+    def test_missing_separator(self):
+        with pytest.raises(QueryParseError, match="';'"):
+            parse_statements(
+                'for $b in doc("d.xml")//f, $n in $b/a '
+                "X^3 $b by $n (LND) return COUNT(). ROLLUP pubs"
+            )
+
+
+class TestRoundTrip:
+    CASES = [
+        "ROLLUP pubs",
+        "ROLLUP pubs BY n:detail, y:SP",
+        "DRILLDOWN pubs ON n BY y:detail",
+        "SLICE pubs ON y = '2003' BY n:detail",
+        "DICE pubs BY n:detail WHERE y IN ('2003', '2004')",
+        "CELL pubs KEY ('John', NULL) BY n:detail, y:detail",
+        "EXPLAIN ROLLUP pubs BY n:detail AT VERSION 0, 1 "
+        "WITHIN 0.05s MEASURE COUNT",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_nav_round_trip(self, text):
+        statement = parse_statement(text)
+        assert pretty(statement) == text
+        assert parse_statement(pretty(statement)) == statement
+
+    def test_query1_round_trip(self):
+        statement = parse_statement(QUERY1_TEXT)
+        assert parse_statement(pretty(statement)) == statement
+
+    def test_positions_do_not_affect_equality(self):
+        a = parse_statement("ROLLUP pubs BY n:detail")
+        b = parse_statement("ROLLUP\n    pubs\n    BY n:detail")
+        assert a == b
+        assert a.pos != b.pos or a.group_by[0].pos != b.group_by[0].pos

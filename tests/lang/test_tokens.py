@@ -1,0 +1,167 @@
+"""Unit tests for the X^3QL tokenizer."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.lang.tokens import (
+    TokenKind,
+    is_bare_name,
+    statement_spans,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        tokens = tokenize("")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+
+    def test_simple_statement(self):
+        assert kinds("ROLLUP pubs BY n:detail") == [
+            TokenKind.NAME,
+            TokenKind.NAME,
+            TokenKind.NAME,
+            TokenKind.NAME,
+            TokenKind.COLON,
+            TokenKind.NAME,
+            TokenKind.EOF,
+        ]
+
+    def test_positions_are_one_based(self):
+        first, second, _ = tokenize("a\n  bc")
+        assert (first.line, first.column) == (1, 1)
+        assert (second.line, second.column) == (2, 3)
+
+    def test_variables(self):
+        token = tokenize("$name2")[0]
+        assert token.kind is TokenKind.VAR
+        assert token.text == "$name2"
+
+    def test_bare_dollar_fails(self):
+        with pytest.raises(QueryParseError):
+            tokenize("$ x")
+
+    def test_numbers(self):
+        token = tokenize("12.5")[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == 12.5
+
+    def test_number_then_flwor_dot(self):
+        # "3." is the number 3 followed by the FLWOR terminator.
+        assert kinds("3.") == [
+            TokenKind.NUMBER,
+            TokenKind.DOT,
+            TokenKind.EOF,
+        ]
+
+    def test_slash_variants(self):
+        assert kinds("/a//b") == [
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.DSLASH,
+            TokenKind.NAME,
+            TokenKind.EOF,
+        ]
+
+    def test_unexpected_character_has_position(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            tokenize("a ?")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 3
+
+    def test_non_string_input(self):
+        with pytest.raises(QueryParseError):
+            tokenize(b"ROLLUP pubs")  # type: ignore[arg-type]
+
+
+class TestNames:
+    def test_lattice_labels_are_single_names(self):
+        for label in ("PC-AD", "SP+PC-AD", "LND"):
+            tokens = tokenize(label)
+            assert tokens[0].kind is TokenKind.NAME
+            assert tokens[0].text == label
+
+    def test_attribute_names(self):
+        token = tokenize("@id")[0]
+        assert token.kind is TokenKind.NAME
+        assert token.text == "@id"
+
+    def test_dotted_name(self):
+        # A '.' continues a name only when a name character follows.
+        tokens = tokenize("book.xml")
+        assert tokens[0].text == "book.xml"
+        tokens = tokenize("name.")
+        assert [t.kind for t in tokens[:2]] == [
+            TokenKind.NAME,
+            TokenKind.DOT,
+        ]
+
+    def test_double_dash_breaks_a_name(self):
+        # '--' opens a comment even mid-name.
+        tokens = tokenize("a--b")
+        assert [t.kind for t in tokens] == [TokenKind.NAME, TokenKind.EOF]
+        assert tokens[0].text == "a"
+
+
+class TestX3Operator:
+    @pytest.mark.parametrize("glyph", ["X^3", "X~3", 'X"3', "x^3"])
+    def test_operator_glyphs(self, glyph):
+        token = tokenize(glyph)[0]
+        assert token.kind is TokenKind.X3OP
+        assert token.value == "X^3"
+
+    def test_plain_x3_is_a_name(self):
+        token = tokenize("X3")[0]
+        assert token.kind is TokenKind.NAME
+
+
+class TestStrings:
+    def test_both_quote_kinds(self):
+        assert tokenize("'a b'")[0].value == "a b"
+        assert tokenize('"a b"')[0].value == "a b"
+
+    def test_no_escapes(self):
+        assert tokenize(r"'a\b'")[0].value == "a\\b"
+
+    def test_unterminated_string_is_incomplete(self):
+        with pytest.raises(QueryParseError) as excinfo:
+            tokenize("SLICE c ON a = 'oops")
+        assert excinfo.value.incomplete
+
+
+class TestComments:
+    def test_comment_to_end_of_line(self):
+        tokens = tokenize("a -- the rest is noise ; ROLLUP\nb")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+
+    def test_comment_only(self):
+        assert kinds("-- nothing here") == [TokenKind.EOF]
+
+
+class TestStatementSpans:
+    def test_split_on_semicolons(self):
+        tokens = tokenize("a b; c;; d")
+        spans = statement_spans(tokens)
+        texts = [
+            [t.text for t in tokens[b:e]] for b, e in spans
+        ]
+        assert texts == [["a", "b"], ["c"], ["d"]]
+
+
+class TestIsBareName:
+    @pytest.mark.parametrize(
+        "text", ["detail", "PC-AD", "SP+PC-AD", "@id", "book.xml", "a_1"]
+    )
+    def test_bare(self, text):
+        assert is_bare_name(text)
+
+    @pytest.mark.parametrize(
+        "text", ["", "2006", "a b", "a--b", "name.", "'q'", "x;y"]
+    )
+    def test_not_bare(self, text):
+        assert not is_bare_name(text)

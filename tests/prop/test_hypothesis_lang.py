@@ -1,0 +1,237 @@
+"""Property-based tests for the X^3QL front end.
+
+Two laws:
+
+- **Round trip**: for every well-formed statement AST,
+  ``parse(pretty(ast)) == ast`` — the canonical pretty-print loses
+  nothing the grammar can express (positions are excluded from node
+  equality by construction).
+- **Total parsing**: arbitrary text — including raw byte noise — fed
+  to :func:`parse_statement` either parses or raises
+  :class:`~repro.errors.QueryParseError`; no other exception ever
+  escapes the front end.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryParseError
+from repro.lang.ast import (
+    Assignment,
+    AxisBinding,
+    AxisRelaxations,
+    NAV_VERBS,
+    NavStatement,
+    PathExpr,
+    Predicate,
+    X3Statement,
+    pretty,
+)
+from repro.lang.parser import parse_statement
+
+#: Words the grammar treats as (contextual) keywords in positions a
+#: generated NAME could land in; excluded from identifier strategies so
+#: the round trip does not depend on parser lookahead subtleties.
+_KEYWORDS = frozenset(
+    word.upper()
+    for word in (
+        NAV_VERBS
+        + ("EXPLAIN", "FOR", "IN", "DOC", "RETURN", "BY", "WHERE",
+           "AT", "VERSION", "WITHIN", "MEASURE", "ON", "KEY", "NULL",
+           "AND", "X3")
+    )
+)
+
+names = st.from_regex(
+    r"[A-Za-z_][A-Za-z0-9_]{0,7}", fullmatch=True
+).filter(lambda word: word.upper() not in _KEYWORDS)
+
+#: String literal values: anything printable without "'" (the pretty
+#: printer then always has a quote kind to use) or newlines.
+values = st.text(
+    alphabet=st.characters(
+        codec="ascii", categories=("L", "N", "P", "Zs"),
+        exclude_characters="'",
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+levels = st.one_of(
+    st.sampled_from(["detail", "all", "SP", "PC-AD", "SP+PC-AD"]),
+    names,
+)
+
+relaxation_names = st.lists(
+    st.sampled_from(["LND", "SP", "PC-AD", "SP+PC-AD"]),
+    unique=True,
+    max_size=4,
+).map(tuple)
+
+
+@st.composite
+def nav_statements(draw):
+    verb = draw(st.sampled_from(NAV_VERBS))
+    axis = None
+    value = None
+    key = None
+    if verb in ("DRILLDOWN", "SLICE"):
+        axis = draw(names)
+    if verb == "SLICE":
+        value = draw(values)
+    if verb == "CELL":
+        key = tuple(
+            draw(
+                st.lists(
+                    st.one_of(st.none(), values),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+        )
+    group_by = tuple(
+        Assignment(name, draw(levels))
+        for name in draw(st.lists(names, unique=True, max_size=3))
+    )
+    where = ()
+    if verb == "DICE" or draw(st.booleans()):
+        where = tuple(
+            Predicate(
+                name,
+                tuple(
+                    draw(st.lists(values, min_size=1, max_size=3))
+                ),
+            )
+            for name in draw(st.lists(names, unique=True, max_size=2))
+        )
+    at_version = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(min_value=0, max_value=99),
+                min_size=1,
+                max_size=3,
+            ).map(tuple),
+        )
+    )
+    within = draw(
+        st.one_of(
+            st.none(),
+            st.floats(
+                min_value=0.001,
+                max_value=100.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+        )
+    )
+    measure = draw(st.one_of(st.none(), names.map(str.upper)))
+    return NavStatement(
+        verb=verb,
+        cube=draw(names),
+        group_by=group_by,
+        axis=axis,
+        value=value,
+        key=key,
+        where=where,
+        at_version=at_version,
+        within_seconds=within,
+        measure=measure,
+        explain=draw(st.booleans()),
+    )
+
+
+@st.composite
+def paths(draw):
+    steps = draw(st.lists(names, min_size=1, max_size=3))
+    first_descendant = draw(st.booleans())
+    parts = []
+    for index, step in enumerate(steps):
+        if index == 0:
+            parts.append(f"//{step}" if first_descendant else step)
+        else:
+            parts.append(
+                f"//{step}" if draw(st.booleans()) else f"/{step}"
+            )
+    return "".join(parts)
+
+
+@st.composite
+def x3_statements(draw):
+    variables = draw(
+        st.lists(
+            names.map(lambda word: f"${word}"),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        )
+    )
+    fact_var, axis_vars = variables[0], variables[1:]
+    bindings = tuple(
+        AxisBinding(var, fact_var, draw(paths())) for var in axis_vars
+    )
+    by = tuple(
+        AxisRelaxations(var, draw(relaxation_names))
+        for var in draw(
+            st.lists(
+                st.sampled_from(axis_vars),
+                min_size=1,
+                max_size=len(axis_vars),
+                unique=True,
+            )
+        )
+    )
+    measure = PathExpr(
+        fact_var, draw(st.one_of(st.just(""), st.just("@id"), paths()))
+    )
+    arg = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                PathExpr,
+                st.just(fact_var),
+                st.one_of(st.just(""), paths()),
+            ),
+        )
+    )
+    return X3Statement(
+        document=draw(values),
+        fact_tag=draw(names),
+        fact_var=fact_var,
+        bindings=bindings,
+        measure=measure,
+        by=by,
+        aggregate=draw(names.map(str.upper)),
+        aggregate_arg=arg,
+    )
+
+
+@given(nav_statements())
+@settings(max_examples=150, deadline=None)
+def test_nav_pretty_parse_round_trip(statement):
+    assert parse_statement(pretty(statement)) == statement
+
+
+@given(x3_statements())
+@settings(max_examples=150, deadline=None)
+def test_x3_pretty_parse_round_trip(statement):
+    assert parse_statement(pretty(statement)) == statement
+
+
+@given(st.text(max_size=120))
+@settings(max_examples=300, deadline=None)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_statement(text)
+    except QueryParseError:
+        pass  # the only exception the front end may raise
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_byte_noise_never_crashes(blob):
+    text = blob.decode("utf-8", errors="replace")
+    try:
+        parse_statement(text)
+    except QueryParseError:
+        pass

@@ -1,0 +1,227 @@
+"""Golden tests for ``POST /api/v1/query`` — the X^3QL text endpoint.
+
+Drives :meth:`repro.server.X3Api.handle` directly (no socket) on the
+Fig. 1 workload, covering every body form the endpoint accepts, the
+error-kind to status mapping (with source positions on 400s), and the
+modeled parse+compile cost folded into the serving envelope.
+"""
+
+import json
+
+import pytest
+
+from repro.core.extract import extract_fact_table
+from repro.core.properties import PropertyOracle
+from repro.datagen.publications import (
+    QUERY1_TEXT,
+    figure1_document,
+    query1,
+)
+from repro.lang.compiler import modeled_lang_seconds
+from repro.serve import CubeServer
+from repro.server import CubeCatalog, LogicalCube, TenantAuth, X3Api
+
+ENDPOINT = "/api/v1/query"
+
+
+@pytest.fixture()
+def api():
+    table = extract_fact_table(figure1_document(), query1())
+    server = CubeServer(table, PropertyOracle.from_data(table))
+    catalog = CubeCatalog()
+    catalog.register(
+        LogicalCube.from_lattice("pubs", table.lattice, measure="COUNT"),
+        server,
+    )
+    return X3Api(catalog)
+
+
+def post(api, body, headers=None):
+    encoded = body.encode("utf-8") if isinstance(body, str) else body
+    response = api.handle("POST", ENDPOINT, encoded, headers)
+    return response, json.loads(response.body)
+
+
+class TestBodyForms:
+    def test_raw_text(self, api):
+        response, decoded = post(
+            api, "ROLLUP pubs BY n:detail, y:detail"
+        )
+        assert response.status == 200
+        assert decoded["kind"] == "aggregate"
+        assert decoded["cube"] == "pubs"
+        assert decoded["point"] == "$n:rigid, $p:LND, $y:rigid"
+        assert decoded["query"] == {
+            "point": "$n:rigid, $p:LND, $y:rigid",
+            "kind": "aggregate",
+        }
+
+    def test_json_envelope(self, api):
+        response, decoded = post(
+            api, json.dumps({"query": "ROLLUP pubs BY y:detail"})
+        )
+        assert response.status == 200
+        assert decoded["point"] == "$n:LND, $p:LND, $y:rigid"
+
+    def test_json_string(self, api):
+        response, decoded = post(
+            api, json.dumps("ROLLUP pubs BY y:detail")
+        )
+        assert response.status == 200
+        assert decoded["point"] == "$n:LND, $p:LND, $y:rigid"
+
+    def test_envelope_without_query_field(self, api):
+        response, decoded = post(api, json.dumps({"stmt": "ROLLUP"}))
+        assert response.status == 400
+        assert decoded["error"]["kind"] == "invalid_query"
+
+    def test_empty_body(self, api):
+        response, decoded = post(api, b"")
+        assert response.status == 400
+        assert decoded["error"]["kind"] == "invalid_query"
+
+    def test_non_utf8_body(self, api):
+        response, decoded = post(api, b"\xff\xfe")
+        assert response.status == 400
+        assert decoded["error"]["kind"] == "parse_error"
+
+    def test_get_is_not_allowed(self, api):
+        response = api.handle("GET", ENDPOINT, None, None)
+        assert response.status == 405
+
+
+class TestErrorMapping:
+    def test_syntax_error_is_parse_error_with_position(self, api):
+        response, decoded = post(api, "ROLLUP pubs BY :detail")
+        assert response.status == 400
+        error = decoded["error"]
+        assert error["kind"] == "parse_error"
+        assert error["line"] == 1
+        assert error["column"] == 16
+        assert "line 1" in error["message"]
+
+    def test_compile_error_is_invalid_query(self, api):
+        response, decoded = post(api, "ROLLUP pubs BY bogus:detail")
+        assert response.status == 400
+        assert decoded["error"]["kind"] == "invalid_query"
+        assert "bogus" in decoded["error"]["message"]
+
+    def test_where_on_rollup_is_invalid_query(self, api):
+        response, decoded = post(api, "ROLLUP pubs WHERE y = '2003'")
+        assert response.status == 400
+        assert "DICE only" in decoded["error"]["message"]
+
+    def test_unknown_cube_is_404(self, api):
+        response, decoded = post(api, "ROLLUP nope")
+        assert response.status == 404
+        assert decoded["error"]["kind"] == "unknown_cube"
+
+    def test_stale_version_is_409(self, api):
+        response, decoded = post(api, "ROLLUP pubs AT VERSION 7")
+        assert response.status == 409
+        assert decoded["error"]["kind"] == "stale_version"
+
+    def test_measure_mismatch_is_400(self, api):
+        response, decoded = post(api, "ROLLUP pubs MEASURE SUM")
+        assert response.status == 400
+        assert decoded["error"]["kind"] == "invalid_query"
+
+    def test_multiple_statements_are_rejected(self, api):
+        response, decoded = post(api, "ROLLUP pubs; ROLLUP pubs")
+        assert response.status == 400
+        assert decoded["error"]["kind"] == "parse_error"
+
+
+class TestAnswers:
+    def test_rollup_golden_groups(self, api):
+        _, decoded = post(api, "ROLLUP pubs BY y:detail")
+        assert decoded["groups"] == [
+            {"key": ["2003"], "value": 2.0},
+            {"key": ["2004"], "value": 1.0},
+            {"key": ["2005"], "value": 1.0},
+        ]
+
+    def test_dice(self, api):
+        _, decoded = post(
+            api,
+            "DICE pubs BY n:detail, y:detail "
+            "WHERE y IN ('2003', '2004')",
+        )
+        assert decoded["kind"] == "dice"
+        assert all("2005" not in key for key in decoded["groups"])
+
+    def test_cell(self, api):
+        _, decoded = post(
+            api, "CELL pubs KEY ('John', '2003') BY n:detail, y:detail"
+        )
+        assert decoded["kind"] == "cell"
+        assert decoded["value"] == 1.0
+
+    def test_explain_does_not_execute(self, api):
+        response, decoded = post(api, "EXPLAIN ROLLUP pubs BY y:detail")
+        assert response.status == 200
+        assert "rungs" in decoded
+        assert "groups" not in decoded
+        assert decoded["cube"] == "pubs"
+
+    def test_flwor_answers_with_the_definition(self, api):
+        response, decoded = post(api, QUERY1_TEXT)
+        assert response.status == 200
+        assert decoded["kind"] == "definition"
+        assert decoded["fact_tag"] == "publication"
+        assert decoded["lattice_points"] == 30
+        assert decoded["axes"] == ["$n", "$p", "$y"]
+        assert "for $b in doc" in decoded["flwor"]
+
+    def test_deadline_flag_carried_through(self, api):
+        _, decoded = post(
+            api, "ROLLUP pubs BY n:detail WITHIN 1ms"
+        )
+        assert decoded["deadline_exceeded"] is True
+
+
+class TestCostModel:
+    def test_lang_cost_folded_into_modeled_seconds(self, api):
+        text = "ROLLUP pubs BY n:detail"  # 6 tokens
+        _, decoded = post(api, text)
+        lang = decoded["lang_modeled_seconds"]
+        assert lang == modeled_lang_seconds(6)
+        # The envelope's modeled_seconds includes the language charge
+        # on top of the backend's own cost.
+        assert decoded["modeled_seconds"] > lang
+
+    def test_explain_reports_the_cost_without_serving(self, api):
+        _, decoded = post(api, "EXPLAIN ROLLUP pubs")
+        assert decoded["lang_modeled_seconds"] == modeled_lang_seconds(3)
+
+
+class TestMetricsAndAuth:
+    def test_statement_counter_by_verb(self, api):
+        post(api, "ROLLUP pubs BY y:detail")
+        post(api, "SLICE pubs ON y = '2003' BY y:detail")
+        metrics = api.handle("GET", "/metrics", None, None).body
+        if isinstance(metrics, bytes):
+            metrics = metrics.decode("utf-8")
+        assert (
+            'x3_http_lang_statements_total{verb="ROLLUP"} 1' in metrics
+        )
+        assert (
+            'x3_http_lang_statements_total{verb="SLICE"} 1' in metrics
+        )
+
+    def test_auth_enforced_when_configured(self):
+        table = extract_fact_table(figure1_document(), query1())
+        server = CubeServer(table, PropertyOracle.from_data(table))
+        catalog = CubeCatalog()
+        catalog.register(
+            LogicalCube.from_lattice("pubs", table.lattice), server
+        )
+        api = X3Api(catalog, auth=TenantAuth({"sekrit": "team-a"}))
+        denied, _ = post(api, "ROLLUP pubs")
+        assert denied.status == 401
+        allowed, _ = post(
+            api,
+            "ROLLUP pubs",
+            headers={"Authorization": "Bearer sekrit"},
+        )
+        assert allowed.status == 200
